@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ablation (Section 4.2): minimum chunk size for INVISIFENCE-CONTINUOUS
+ * (the paper uses ~100 instructions).
+ */
+
+#include "bench_util.hh"
+
+using namespace invisifence;
+using namespace invisifence::bench;
+
+int
+main()
+{
+    const RunConfig base = RunConfig::fromEnv();
+    Table table("Ablation: continuous-mode minimum chunk size "
+                "(throughput relative to 100 instructions)");
+    table.setHeader({"workload", "25", "50", "100", "200", "400"});
+    for (const char* name : {"Apache", "Barnes", "Ocean"}) {
+        const Workload& wl = workloadByName(name);
+        std::map<std::uint32_t, double> thr;
+        for (const std::uint32_t size : {25u, 50u, 100u, 200u, 400u}) {
+            RunConfig cfg = base;
+            cfg.system.minChunkSize = size;
+            thr[size] = runExperiment(wl, ImplKind::Continuous,
+                                      cfg).throughput();
+        }
+        table.addRow({name, Table::num(thr[25] / thr[100], 3),
+                      Table::num(thr[50] / thr[100], 3), "1.000",
+                      Table::num(thr[200] / thr[100], 3),
+                      Table::num(thr[400] / thr[100], 3)});
+    }
+    table.print(std::cout);
+    std::cout << "Tradeoff: small chunks checkpoint too often; large\n"
+                 "chunks increase violation vulnerability.\n";
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Ablation: commit-on-violate timeout sensitivity (the paper uses a
+ * 4000-cycle interval) for INVISIFENCE-CONTINUOUS.
+ */
+
+#include "bench_util.hh"
+
+using namespace invisifence;
+using namespace invisifence::bench;
+
+int
+main()
+{
+    const RunConfig base = RunConfig::fromEnv();
+    Table table("Ablation: CoV timeout (Invisi_cont_CoV throughput "
+                "relative to the paper's 4000 cycles)");
+    table.setHeader({"workload", "250", "1000", "4000", "16000"});
+    for (const char* name : {"Apache", "OLTP-DB2", "Ocean"}) {
+        const Workload& wl = workloadByName(name);
+        std::map<Cycle, double> thr;
+        for (const Cycle timeout : {250u, 1000u, 4000u, 16000u}) {
+            RunConfig cfg = base;
+            cfg.system.covTimeout = timeout;
+            thr[timeout] = runExperiment(wl, ImplKind::ContinuousCoV,
+                                         cfg).throughput();
+        }
+        table.addRow({name, Table::num(thr[250] / thr[4000], 3),
+                      Table::num(thr[1000] / thr[4000], 3), "1.000",
+                      Table::num(thr[16000] / thr[4000], 3)});
+    }
+    table.print(std::cout);
+    return 0;
+}

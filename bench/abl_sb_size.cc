@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ablation (Section 6.1): coalescing store-buffer capacity sensitivity
+ * for INVISIFENCE-SELECTIVE. The paper's sensitivity study found eight
+ * entries sufficient for single-checkpoint configurations.
+ */
+
+#include "bench_util.hh"
+
+using namespace invisifence;
+using namespace invisifence::bench;
+
+int
+main()
+{
+    const RunConfig base = RunConfig::fromEnv();
+    Table table("Ablation: Invisi_sc store-buffer entries "
+                "(throughput relative to 8 entries)");
+    table.setHeader({"workload", "2", "4", "8", "16", "32"});
+    for (const char* name : {"Apache", "OLTP-DB2", "Ocean"}) {
+        const Workload& wl = workloadByName(name);
+        std::map<std::uint32_t, double> thr;
+        for (const std::uint32_t entries : {2u, 4u, 8u, 16u, 32u}) {
+            RunConfig cfg = base;
+            cfg.system.specSbEntries = entries;
+            thr[entries] =
+                runExperiment(wl, ImplKind::InvisiSC, cfg).throughput();
+        }
+        table.addRow({name, Table::num(thr[2] / thr[8], 3),
+                      Table::num(thr[4] / thr[8], 3), "1.000",
+                      Table::num(thr[16] / thr[8], 3),
+                      Table::num(thr[32] / thr[8], 3)});
+    }
+    table.print(std::cout);
+    std::cout << "Paper claim: eight entries perform close to unbounded\n"
+                 "capacity (diminishing returns beyond 8).\n";
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries.
+ *
+ * Each binary regenerates one table/figure of the paper. Absolute
+ * numbers differ from the paper's testbed; the *shape* (who wins, by
+ * roughly what factor, where crossovers fall) is the reproduction
+ * target. See EXPERIMENTS.md.
+ */
+
+#ifndef INVISIFENCE_BENCH_BENCH_UTIL_HH
+#define INVISIFENCE_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/table.hh"
+#include "workload/workloads.hh"
+
+namespace invisifence::bench {
+
+/** Results of one workload under a set of implementations. */
+using ResultRow = std::map<std::string, RunResult>;
+
+/** Run every workload under every implementation kind. */
+inline std::map<std::string, ResultRow>
+runMatrix(const std::vector<ImplKind>& kinds, const RunConfig& cfg)
+{
+    std::map<std::string, ResultRow> out;
+    for (const auto& wl : workloadSuite()) {
+        std::cerr << "  running " << wl.name << " ..." << std::endl;
+        for (const ImplKind kind : kinds)
+            out[wl.name][implKindName(kind)] =
+                runExperiment(wl, kind, cfg);
+    }
+    return out;
+}
+
+/** Geometric mean over per-workload speedups. */
+inline double
+geomean(const std::vector<double>& v)
+{
+    double log_sum = 0;
+    for (const double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+/** Print the classic speedup-over-baseline table. */
+inline void
+printSpeedups(const std::string& title,
+              const std::map<std::string, ResultRow>& matrix,
+              const std::vector<ImplKind>& kinds,
+              const std::string& baseline)
+{
+    Table table(title);
+    std::vector<std::string> header = {"workload"};
+    for (const ImplKind k : kinds)
+        header.push_back(implKindName(k));
+    table.setHeader(header);
+
+    std::map<std::string, std::vector<double>> per_impl;
+    for (const auto& wl : workloadSuite()) {
+        const ResultRow& row = matrix.at(wl.name);
+        const double base = row.at(baseline).throughput();
+        std::vector<std::string> cells = {wl.name};
+        for (const ImplKind k : kinds) {
+            const double thr = row.at(implKindName(k)).throughput();
+            if (base <= 0 || thr <= 0) {
+                // A configuration that made no committed progress in the
+                // window (see EXPERIMENTS.md, Figure 11 known gap).
+                cells.push_back("stalled");
+                continue;
+            }
+            const double sp = thr / base;
+            per_impl[implKindName(k)].push_back(sp);
+            cells.push_back(Table::num(sp, 3));
+        }
+        table.addRow(cells);
+    }
+    std::vector<std::string> gm = {"geomean"};
+    for (const ImplKind k : kinds) {
+        const auto& v = per_impl[implKindName(k)];
+        gm.push_back(v.empty() ? "n/a" : Table::num(geomean(v), 3));
+    }
+    table.addRow(gm);
+    table.print(std::cout);
+}
+
+/** Print per-config runtime breakdowns normalized to a baseline. */
+inline void
+printBreakdowns(const std::string& title,
+                const std::map<std::string, ResultRow>& matrix,
+                const std::vector<ImplKind>& kinds,
+                const std::string& baseline)
+{
+    Table table(title);
+    table.setHeader({"workload", "config", "norm.runtime", "busy",
+                     "other", "sb_full", "sb_drain", "violation"});
+    for (const auto& wl : workloadSuite()) {
+        const ResultRow& row = matrix.at(wl.name);
+        const RunResult& base = row.at(baseline);
+        for (const ImplKind k : kinds) {
+            const RunResult& r = row.at(implKindName(k));
+            const BreakdownShares s = normalizedShares(r, base);
+            const double norm =
+                r.throughput() > 0 && base.throughput() > 0
+                    ? base.throughput() / r.throughput()
+                    : 0.0;
+            table.addRow({wl.name, r.impl,
+                          norm > 0 ? Table::num(norm, 3) : "stalled",
+                          Table::pct(s.busy), Table::pct(s.other),
+                          Table::pct(s.sbFull), Table::pct(s.sbDrain),
+                          Table::pct(s.violation)});
+        }
+    }
+    table.print(std::cout);
+}
+
+} // namespace invisifence::bench
+
+#endif // INVISIFENCE_BENCH_BENCH_UTIL_HH

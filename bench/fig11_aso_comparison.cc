@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 11: runtime of ASO, INVISIFENCE-SELECTIVE (one checkpoint),
+ * and INVISIFENCE with two checkpoints, normalized to ASOsc.
+ */
+
+#include "bench_util.hh"
+
+using namespace invisifence;
+using namespace invisifence::bench;
+
+int
+main()
+{
+    const RunConfig cfg = RunConfig::fromEnv();
+    const std::vector<ImplKind> kinds = {
+        ImplKind::Aso, ImplKind::InvisiSC, ImplKind::InvisiSC2Ckpt};
+    const auto matrix = runMatrix(kinds, cfg);
+    printBreakdowns("Figure 11: ASOsc vs Invisi_sc (1 ckpt) vs "
+                    "Invisi_sc (2 ckpts), normalized to ASOsc", matrix,
+                    kinds, "ASOsc");
+    printSpeedups("Figure 11 (speedups over ASOsc)", matrix, kinds,
+                  "ASOsc");
+    std::cout << "Paper shape: ASO and Invisi_sc-1ckpt are close (ASO\n"
+                 "slightly ahead via periodic checkpoints bounding\n"
+                 "discarded work); the second checkpoint closes the gap.\n";
+    return 0;
+}

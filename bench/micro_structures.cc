@@ -1,0 +1,97 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot hardware structures: the
+ * flash operations the paper's Figure 3 circuits implement in a single
+ * cycle, store-buffer searches, cache lookups, and the event queue.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache_array.hh"
+#include "mem/store_buffer.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+using namespace invisifence;
+
+static void
+BM_CacheLookup(benchmark::State& state)
+{
+    CacheArray cache(64 * 1024, 2, "bm");
+    Rng rng(1);
+    for (int i = 0; i < 512; ++i) {
+        const Addr a = static_cast<Addr>(rng.below(1024)) * kBlockBytes;
+        CacheLine& line = cache.findVictim(a);
+        line.blockAddr = a;
+        line.state = CoherenceState::Shared;
+    }
+    Addr probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(probe));
+        probe = (probe + kBlockBytes) & 0xffff;
+    }
+}
+BENCHMARK(BM_CacheLookup);
+
+static void
+BM_FlashClearSpecBits(benchmark::State& state)
+{
+    CacheArray cache(64 * 1024, 2, "bm");
+    for (auto _ : state)
+        cache.flashClearSpecBits(0);
+}
+BENCHMARK(BM_FlashClearSpecBits);
+
+static void
+BM_FlashInvalidateSpecWritten(benchmark::State& state)
+{
+    CacheArray cache(64 * 1024, 2, "bm");
+    for (auto _ : state)
+        cache.flashInvalidateSpecWritten(0);
+}
+BENCHMARK(BM_FlashInvalidateSpecWritten);
+
+static void
+BM_FifoSbForward(benchmark::State& state)
+{
+    FifoStoreBuffer sb(64);
+    for (InstSeq i = 0; i < 64; ++i)
+        sb.push(static_cast<Addr>(i % 48) * 8, i, i);
+    Addr probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sb.forward(probe));
+        probe = (probe + 8) % 512;
+    }
+}
+BENCHMARK(BM_FifoSbForward);
+
+static void
+BM_CoalescingSbGather(benchmark::State& state)
+{
+    CoalescingStoreBuffer sb(8);
+    for (InstSeq i = 0; i < 8; ++i)
+        sb.store(static_cast<Addr>(i) * kBlockBytes, 8, i, false,
+                 kNonSpecCtx, i);
+    Addr probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sb.gatherBlock(probe));
+        probe = (probe + kBlockBytes) % (8 * kBlockBytes);
+    }
+}
+BENCHMARK(BM_CoalescingSbGather);
+
+static void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    EventQueue eq;
+    Cycle t = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 8; ++i)
+            eq.schedule(static_cast<Cycle>(1 + i % 5), []() {});
+        t += 8;
+        eq.advanceTo(t);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Litmus-test tour: run the classic memory-model litmus tests under a
+ * chosen implementation and print the observed outcomes.
+ *
+ * Usage: litmus_tour [impl] [iterations]
+ *   impl: sc | tso | rmo | invisi_sc | invisi_tso | invisi_rmo |
+ *         cont | cont_cov | aso      (default: tso)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "harness/system.hh"
+#include "harness/table.hh"
+#include "workload/litmus.hh"
+
+using namespace invisifence;
+
+namespace {
+
+ImplKind
+parseKind(const std::string& s)
+{
+    static const std::map<std::string, ImplKind> kinds = {
+        {"sc", ImplKind::ConvSC},          {"tso", ImplKind::ConvTSO},
+        {"rmo", ImplKind::ConvRMO},        {"invisi_sc", ImplKind::InvisiSC},
+        {"invisi_tso", ImplKind::InvisiTSO},
+        {"invisi_rmo", ImplKind::InvisiRMO},
+        {"cont", ImplKind::Continuous},
+        {"cont_cov", ImplKind::ContinuousCoV},
+        {"aso", ImplKind::Aso},
+    };
+    auto it = kinds.find(s);
+    if (it == kinds.end()) {
+        std::cerr << "unknown impl '" << s << "'\n";
+        std::exit(1);
+    }
+    return it->second;
+}
+
+std::uint64_t
+lastLoadOf(System& sys, std::uint32_t t, Addr addr)
+{
+    const auto& j = sys.core(t).journal();
+    for (auto it = j.rbegin(); it != j.rend(); ++it) {
+        if (isLoadLike(it->type) && wordAlign(it->addr) == wordAlign(addr))
+            return it->result;
+    }
+    return ~0ull;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const ImplKind kind = parseKind(argc > 1 ? argv[1] : "tso");
+    const std::uint32_t iters =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 24;
+
+    std::cout << "Litmus outcomes under " << implKindName(kind) << " ("
+              << iters << " timing-perturbed iterations each)\n\n";
+
+    Table table("observed outcome frequencies");
+    table.setHeader({"test", "outcome", "count", "note"});
+
+    for (const LitmusTest& t :
+         {litmusSb(), litmusSbFenced(), litmusMp(), litmusLb()}) {
+        std::map<std::string, int> counts;
+        for (std::uint32_t i = 0; i < iters; ++i) {
+            std::vector<std::unique_ptr<ThreadProgram>> programs;
+            std::uint32_t tid = 0;
+            for (const auto& thread : t.threads) {
+                std::vector<ScriptOp> s;
+                for (const auto& th2 : t.threads)
+                    for (const auto& op : th2)
+                        if (isMemOp(op.inst.type))
+                            s.push_back(opLoad(op.inst.addr));
+                s.push_back(opAlu(200));
+                for (std::uint32_t d = 0; d < (i * (tid + 3) * 7) % 40;
+                     ++d) {
+                    s.push_back(opAlu(1));
+                }
+                for (const auto& op : thread)
+                    s.push_back(op);
+                programs.push_back(
+                    std::make_unique<ScriptedProgram>(std::move(s)));
+                ++tid;
+            }
+            SystemParams params = SystemParams::small(
+                static_cast<std::uint32_t>(t.threads.size()));
+            System sys(params, std::move(programs), kind);
+            for (std::uint32_t c = 0; c < sys.numCores(); ++c)
+                sys.core(c).enableJournal();
+            if (!sys.runUntilDone(2000000))
+                continue;
+            std::string outcome;
+            for (const auto& p : t.probes) {
+                outcome += "r=" +
+                           std::to_string(lastLoadOf(sys, p.thread,
+                                                     p.addr)) +
+                           " ";
+            }
+            ++counts[outcome];
+        }
+        bool first = true;
+        for (const auto& [outcome, count] : counts) {
+            table.addRow({first ? t.name : "", outcome,
+                          std::to_string(count), ""});
+            first = false;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "Try: litmus_tour sc (SB's 'r=0 r=0' vanishes under\n"
+                 "sequential consistency) vs litmus_tour tso.\n";
+    return 0;
+}

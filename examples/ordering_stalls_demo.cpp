@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal demonstration of WHY memory ordering costs performance: one
+ * core, one remote store miss, and a stream of independent loads, under
+ * each consistency implementation.
+ *
+ * This is the paper's Figure 1 in miniature: under SC the loads cannot
+ * retire past the outstanding store; under TSO/RMO they can; under
+ * InvisiFence-SC they retire speculatively and commit when the store
+ * completes.
+ */
+
+#include <iostream>
+
+#include "harness/system.hh"
+#include "harness/table.hh"
+#include "workload/litmus.hh"
+
+using namespace invisifence;
+
+int
+main()
+{
+    Table table("one store miss + 24 independent load hits");
+    table.setHeader({"impl", "cycles to done", "sb_drain cycles",
+                     "speculations"});
+    for (const ImplKind kind :
+         {ImplKind::ConvSC, ImplKind::ConvTSO, ImplKind::ConvRMO,
+          ImplKind::InvisiSC}) {
+        std::vector<ScriptOp> s;
+        for (int b = 0; b < 4; ++b)
+            s.push_back(opLoad(0x0900'0000 + 0x800 + b * kBlockBytes));
+        s.push_back(opAlu(250));
+        s.push_back(opStore(0x0900'0041 * kBlockBytes, 1));  // remote
+        for (int i = 0; i < 24; ++i)
+            s.push_back(opLoad(0x0900'0000 + 0x800 +
+                               (i % 4) * kBlockBytes));
+        std::vector<std::unique_ptr<ThreadProgram>> programs;
+        programs.push_back(
+            std::make_unique<ScriptedProgram>(std::move(s)));
+        programs.push_back(std::make_unique<ScriptedProgram>(
+            std::vector<ScriptOp>{}));
+        SystemParams params = SystemParams::small(2);
+        params.dir.memLatency = 400;
+        System sys(params, std::move(programs), kind);
+        sys.runUntilDone(100000);
+        std::string specs = "-";
+        if (auto* sp = dynamic_cast<SpeculativeImpl*>(&sys.impl(0)))
+            specs = std::to_string(sp->statSpeculations);
+        table.addRow({implKindName(kind), std::to_string(sys.now()),
+                      std::to_string(sys.core(0).breakdown().sbDrain),
+                      specs});
+    }
+    table.print(std::cout);
+    std::cout << "SC stalls retirement for the whole miss; InvisiFence\n"
+                 "retires the loads speculatively and commits when the\n"
+                 "store completes, matching the relaxed models' time.\n";
+    return 0;
+}

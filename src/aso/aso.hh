@@ -1,0 +1,35 @@
+/**
+ * @file
+ * ASO baseline (Wenisch et al., "Mechanisms for Store-wait-free
+ * Multiprocessors", ISCA 2007), the speculative-retirement comparison
+ * point of Section 6.4.
+ *
+ * ASO is modeled as a preset of the unified speculation engine
+ * (SpecConfig::aso()): SC-selective triggers, two in-flight checkpoints
+ * (ASO takes periodic checkpoints to bound discarded work), an unbounded
+ * per-store Scalable Store Buffer, and a commit that drains one store per
+ * cycle into the L2 with the cache's external interface blocked — in
+ * contrast to INVISIFENCE's constant-time flash commit. DESIGN.md
+ * documents this substitution.
+ */
+
+#ifndef INVISIFENCE_ASO_ASO_HH
+#define INVISIFENCE_ASO_ASO_HH
+
+#include <memory>
+
+#include "core/invisifence.hh"
+
+namespace invisifence {
+
+/** Build the ASOsc implementation used in Figure 11. */
+inline std::unique_ptr<SpeculativeImpl>
+makeAso(Core& core, CacheAgent& agent)
+{
+    return std::make_unique<SpeculativeImpl>(SpecConfig::aso(), core,
+                                             agent);
+}
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_ASO_ASO_HH

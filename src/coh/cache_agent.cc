@@ -1,0 +1,666 @@
+#include "coh/cache_agent.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace invisifence {
+
+CacheAgent::CacheAgent(NodeId node, std::uint32_t num_nodes, Network& net,
+                       EventQueue& eq, const AgentParams& params)
+    : node_(node), numNodes_(num_nodes), net_(net), eq_(eq),
+      params_(params),
+      l1_(params.l1Size, params.l1Ways,
+          "node" + std::to_string(node) + ".l1d"),
+      l2_(params.l2Size, params.l2Ways,
+          "node" + std::to_string(node) + ".l2"),
+      vc_(params.victimEntries), mshrs_(params.mshrs + 64)
+{
+    net_.attach(node_, Unit::Agent, [this](const Msg& m) { deliver(m); });
+}
+
+CacheAgent::Where
+CacheAgent::probe(Addr addr) const
+{
+    if (l1_.lookup(addr))
+        return Where::L1;
+    if (vc_.probe(addr) || l2_.lookup(addr))
+        return Where::Local;
+    return Where::Remote;
+}
+
+bool
+CacheAgent::l1Present(Addr addr) const
+{
+    return l1_.lookup(addr) != nullptr;
+}
+
+bool
+CacheAgent::l1Readable(Addr addr) const
+{
+    const CacheLine* l1line = l1_.lookup(addr);
+    if (!l1line)
+        return false;
+    const CacheLine* l2line = l2_.lookup(addr);
+    return l2line && isValidState(l2line->state);
+}
+
+bool
+CacheAgent::l1Writable(Addr addr) const
+{
+    const CacheLine* l1line = l1_.lookup(addr);
+    if (!l1line)
+        return false;
+    const CacheLine* l2line = l2_.lookup(addr);
+    return l2line && isWritable(l2line->state);
+}
+
+bool
+CacheAgent::l1Dirty(Addr addr) const
+{
+    const CacheLine* l1line = l1_.lookup(addr);
+    return l1line && l1line->dirty;
+}
+
+bool
+CacheAgent::l1SpecWritten(Addr addr) const
+{
+    const CacheLine* l1line = l1_.lookup(addr);
+    return l1line && l1line->specWrittenAny();
+}
+
+bool
+CacheAgent::fetchOutstanding(Addr addr) const
+{
+    return const_cast<MshrFile&>(mshrs_).lookup(addr, Mshr::Kind::Fetch) !=
+           nullptr;
+}
+
+bool
+CacheAgent::request(Addr addr, bool write, std::function<void()> cb)
+{
+    const Addr block = blockAlign(addr);
+
+    // Merge into an outstanding fetch for the same block.
+    if (Mshr* m = mshrs_.lookup(block, Mshr::Kind::Fetch)) {
+        if (write) {
+            m->wantWrite = true;
+            m->writeWaiters.push_back(std::move(cb));
+        } else {
+            m->readWaiters.push_back(std::move(cb));
+        }
+        return true;
+    }
+
+    CacheLine* l2line = l2_.lookup(block);
+    if (l2line && isValidState(l2line->state)) {
+        if (!write || isWritable(l2line->state)) {
+            // Local fill: data and permission both available.
+            const bool vc_hit = vc_.probe(block) != nullptr;
+            const Cycle lat =
+                vc_hit ? params_.victimLatency : params_.l2Latency;
+            if (vc_hit)
+                vc_.extract(block, nullptr);
+            eq_.schedule(lat, [this, block, cb = std::move(cb)]() {
+                completeLocalFill(block, cb, 0);
+            });
+            return true;
+        }
+        // Upgrade: data present (Shared) but write permission missing.
+        if (fetchCount_ >= params_.mshrs)
+            return false;
+        Mshr* m = mshrs_.allocate(block, Mshr::Kind::Fetch);
+        ++fetchCount_;
+        m->wantWrite = true;
+        m->issuedWrite = true;
+        m->writeWaiters.push_back(std::move(cb));
+        ++statUpgrades;
+        sendToHome(MsgType::GetM, block, nullptr, false);
+        return true;
+    }
+
+    // Full miss.
+    if (fetchCount_ >= params_.mshrs)
+        return false;
+    Mshr* m = mshrs_.allocate(block, Mshr::Kind::Fetch);
+    ++fetchCount_;
+    m->wantWrite = write;
+    m->issuedWrite = write;
+    if (write)
+        m->writeWaiters.push_back(std::move(cb));
+    else
+        m->readWaiters.push_back(std::move(cb));
+    sendToHome(write ? MsgType::GetM : MsgType::GetS, block, nullptr,
+               false);
+    return true;
+}
+
+std::uint64_t
+CacheAgent::readWordL1(Addr addr) const
+{
+    const CacheLine* l1line = l1_.lookup(addr);
+    assert(l1line && "readWordL1 of absent block");
+    return l1line->data.readWord(blockOffset(wordAlign(addr)));
+}
+
+void
+CacheAgent::writeWordL1(Addr addr, std::uint64_t value, bool speculative,
+                        std::uint32_t ctx)
+{
+    MaskedBlock mb;
+    mb.write(blockOffset(wordAlign(addr)), kWordBytes, value);
+    writeMaskedL1(blockAlign(addr), mb, speculative, ctx);
+}
+
+void
+CacheAgent::writeMaskedL1(Addr block_addr, const MaskedBlock& data,
+                          bool speculative, std::uint32_t ctx)
+{
+    CacheLine* l1line = l1_.lookup(block_addr);
+    CacheLine* l2line = l2_.lookup(block_addr);
+    assert(l1line && l2line && isWritable(l2line->state) &&
+           "write to non-writable block");
+    if (speculative) {
+        // The cleaning writeback must already have preserved the
+        // pre-speculative value of a dirty block (Section 3.2).
+        assert(!(l1line->dirty && !l1line->specWrittenAny()) &&
+               "speculative write to unclean non-speculative dirty block");
+        assert(ctx < kMaxCheckpoints);
+        if (!l1line->speculative())
+            ++specLines_;
+        l1line->specWritten[ctx] = true;
+    }
+    data.applyTo(l1line->data);
+    l1line->dirty = true;
+    l2line->state = CoherenceState::Modified;
+    l1_.touch(*l1line);
+}
+
+void
+CacheAgent::setSpecRead(Addr addr, std::uint32_t ctx)
+{
+    CacheLine* l1line = l1_.lookup(addr);
+    assert(l1line && "setSpecRead of absent block");
+    assert(ctx < kMaxCheckpoints);
+    if (!l1line->speculative())
+        ++specLines_;
+    l1line->specRead[ctx] = true;
+}
+
+bool
+CacheAgent::cleanWriteback(Addr addr, std::function<void()> cb)
+{
+    const Addr block = blockAlign(addr);
+    CacheLine* l1line = l1_.lookup(block);
+    if (!l1line || !l1line->dirty)
+        return false;
+    ++statCleanWritebacks;
+    eq_.schedule(params_.l2Latency, [this, block, cb = std::move(cb)]() {
+        CacheLine* line = l1_.lookup(block);
+        if (line && line->dirty && !line->specWrittenAny())
+            syncL2FromL1(block);
+        cb();
+    });
+    return true;
+}
+
+void
+CacheAgent::flashCommit(std::uint32_t ctx)
+{
+    l1_.flashClearSpecBits(ctx);
+    specLines_ = l1_.countSpeculative(0) + l1_.countSpeculative(1);
+}
+
+void
+CacheAgent::flashAbort(std::uint32_t ctx)
+{
+    l1_.flashInvalidateSpecWritten(ctx);
+    specLines_ = l1_.countSpeculative(0) + l1_.countSpeculative(1);
+}
+
+std::uint32_t
+CacheAgent::specBlockCount(std::uint32_t ctx) const
+{
+    return l1_.countSpeculative(ctx);
+}
+
+void
+CacheAgent::primeBlock(Addr block, CoherenceState state,
+                       const BlockData& data)
+{
+    installL2(blockAlign(block), data, state);
+}
+
+bool
+CacheAgent::tryInstantL1Install(Addr addr)
+{
+    const Addr block = blockAlign(addr);
+    CacheLine* l2line = l2_.lookup(block);
+    if (!l2line || !isValidState(l2line->state))
+        return false;
+    vc_.extract(block, nullptr);
+    return installL1(block) != nullptr;
+}
+
+void
+CacheAgent::setExternalBlocked(bool blocked)
+{
+    const bool was = externalBlocked_;
+    externalBlocked_ = blocked;
+    if (was && !blocked)
+        serveDeferred();
+}
+
+void
+CacheAgent::deliver(const Msg& msg)
+{
+    switch (msg.type) {
+      case MsgType::DataS:
+      case MsgType::DataE:
+      case MsgType::DataM:
+        handleFill(msg);
+        return;
+      case MsgType::FwdGetS:
+      case MsgType::FwdGetM:
+      case MsgType::Inv:
+        handleExternal(msg);
+        return;
+      case MsgType::WbAck:
+      case MsgType::AckStale:
+        handleWbAck(msg);
+        return;
+      default:
+        IF_PANIC("agent %u: unexpected message %s", node_,
+                 msgTypeName(msg.type).data());
+    }
+}
+
+void
+CacheAgent::completeLocalFill(Addr block, std::function<void()> cb,
+                              int attempt)
+{
+    // Revalidate: an external request may have taken the block away
+    // while the fill was pending.
+    CacheLine* l2line = l2_.lookup(block);
+    if (l2line && isValidState(l2line->state)) {
+        if (!installL1(block)) {
+            // Speculative overflow: wait for the store buffer to drain
+            // and the speculation to commit (bounded by a hard abort).
+            ++statDeferredFills;
+            if (attempt >= 200 && listener_)
+                listener_->resolveSpecEvictionHard(block);
+            eq_.schedule(10, [this, block, cb = std::move(cb),
+                              attempt]() {
+                completeLocalFill(block, cb, attempt + 1);
+            });
+            return;
+        }
+        ++statL1FillsLocal;
+    }
+    cb();
+}
+
+void
+CacheAgent::handleFill(const Msg& msg)
+{
+    Mshr* m = mshrs_.lookup(msg.blockAddr, Mshr::Kind::Fetch);
+    if (!m) {
+        IF_PANIC("agent %u: fill %s with no MSHR blk=%llx", node_,
+                 msgTypeName(msg.type).data(),
+                 static_cast<unsigned long long>(msg.blockAddr));
+    }
+    assert(msg.hasData);
+
+    CoherenceState state = CoherenceState::Shared;
+    if (msg.type == MsgType::DataE || msg.type == MsgType::DataM)
+        state = CoherenceState::Exclusive;
+
+    installL2(msg.blockAddr, msg.data, state);
+    ++statL1FillsRemote;
+    finishFill(msg.blockAddr, 0);
+}
+
+void
+CacheAgent::finishFill(Addr block, int attempt)
+{
+    Mshr* m = mshrs_.lookup(block, Mshr::Kind::Fetch);
+    if (!m)
+        return;
+
+    CacheLine* l2line = l2_.lookup(block);
+    if (!l2line || !isValidState(l2line->state)) {
+        // Stolen while the install was deferred: reissue the fetch; the
+        // next data response restarts this path.
+        m->issuedWrite = m->wantWrite;
+        sendToHome(m->wantWrite ? MsgType::GetM : MsgType::GetS, block,
+                   nullptr, false);
+        return;
+    }
+
+    if (!installL1(block)) {
+        // Speculative overflow (Section 4.1): defer the fill while the
+        // store buffer drains so the speculation can commit, with a
+        // bounded fallback to abort for forward progress.
+        ++statDeferredFills;
+        if (attempt >= 200 && listener_)
+            listener_->resolveSpecEvictionHard(block);
+        eq_.schedule(10, [this, block, attempt]() {
+            finishFill(block, attempt + 1);
+        });
+        return;
+    }
+
+    const bool writable = isWritable(l2line->state);
+
+    // Wake readers unconditionally; they only need a valid copy.
+    auto readers = std::move(m->readWaiters);
+    m->readWaiters.clear();
+    for (auto& fn : readers)
+        fn();
+
+    if (m->wantWrite) {
+        if (writable) {
+            auto writers = std::move(m->writeWaiters);
+            m->writeWaiters.clear();
+            mshrs_.free(m);
+            --fetchCount_;
+            for (auto& fn : writers)
+                fn();
+        } else if (!m->issuedWrite) {
+            // GetS answered with a Shared copy but a writer is waiting:
+            // upgrade with a follow-on GetM.
+            m->issuedWrite = true;
+            ++statUpgrades;
+            sendToHome(MsgType::GetM, block, nullptr, false);
+        }
+        // else: a GetM is already in flight; its fill finishes the job.
+    } else {
+        mshrs_.free(m);
+        --fetchCount_;
+    }
+}
+
+void
+CacheAgent::handleExternal(const Msg& msg)
+{
+    if (externalBlocked_) {
+        ++statExternalDeferred;
+        deferred_.push_back(msg);
+        return;
+    }
+    const Addr block = msg.blockAddr;
+    const bool wants_write =
+        msg.type == MsgType::FwdGetM || msg.type == MsgType::Inv;
+
+    const CacheLine* l1line = l1_.lookup(block);
+    const bool conflict =
+        l1line && (l1line->specWrittenAny() ||
+                   (wants_write && l1line->specReadAny()));
+    if (conflict && listener_) {
+        const auto action = listener_->onSpecConflict(block, wants_write);
+        if (action == CoherenceListener::ExtAction::Defer) {
+            ++statExternalDeferred;
+            deferred_.push_back(msg);
+            return;
+        }
+        // The listener committed or aborted; all speculative bits that
+        // conflicted are resolved now and serving is safe.
+    }
+    serveExternal(msg);
+}
+
+void
+CacheAgent::serveExternal(const Msg& msg)
+{
+    const Addr block = msg.blockAddr;
+    ++statExternalServed;
+    CacheLine* l2line = l2_.lookup(block);
+    CacheLine* l1line = l1_.lookup(block);
+    assert(!(l1line && l1line->specWrittenAny()) &&
+           "serving external request from speculatively-written block");
+
+    switch (msg.type) {
+      case MsgType::FwdGetS: {
+        if (l2line && isValidState(l2line->state)) {
+            syncL2FromL1(block);
+            const bool dirty = l2line->state == CoherenceState::Modified;
+            sendToHome(MsgType::DataToHome, block, &l2line->data, dirty);
+            // Home writes memory; our retained copy becomes a clean
+            // Shared one.
+            l2line->state = CoherenceState::Shared;
+        } else if (Mshr* wb = mshrs_.lookup(block, Mshr::Kind::Writeback)) {
+            sendToHome(MsgType::DataToHome, block, &wb->wbData,
+                       wb->wbDirty);
+            wb->ownershipLost = true;
+        } else {
+            IF_PANIC("agent %u: FwdGetS for absent block %llx", node_,
+                     static_cast<unsigned long long>(block));
+        }
+        break;
+      }
+      case MsgType::FwdGetM: {
+        if (l2line && isValidState(l2line->state)) {
+            syncL2FromL1(block);
+            const bool dirty = l2line->state == CoherenceState::Modified;
+            sendToHome(MsgType::DataToHome, block, &l2line->data, dirty);
+            if (l1line)
+                l1line->invalidate();
+            vc_.invalidate(block);
+            l2line->invalidate();
+        } else if (Mshr* wb = mshrs_.lookup(block, Mshr::Kind::Writeback)) {
+            sendToHome(MsgType::DataToHome, block, &wb->wbData,
+                       wb->wbDirty);
+            wb->ownershipLost = true;
+        } else {
+            IF_PANIC("agent %u: FwdGetM for absent block %llx", node_,
+                     static_cast<unsigned long long>(block));
+        }
+        if (listener_)
+            listener_->onInvalidateApplied(block);
+        break;
+      }
+      case MsgType::Inv: {
+        if (l1line)
+            l1line->invalidate();
+        vc_.invalidate(block);
+        if (l2line)
+            l2line->invalidate();
+        sendToHome(MsgType::InvAck, block, nullptr, false);
+        if (listener_)
+            listener_->onInvalidateApplied(block);
+        break;
+      }
+      default:
+        IF_PANIC("serveExternal on %s", msgTypeName(msg.type).data());
+    }
+}
+
+void
+CacheAgent::serveDeferred()
+{
+    if (externalBlocked_)
+        return;
+    std::deque<Msg> pending;
+    pending.swap(deferred_);
+    for (const auto& msg : pending)
+        handleExternal(msg);
+}
+
+void
+CacheAgent::handleWbAck(const Msg& msg)
+{
+    Mshr* wb = mshrs_.lookup(msg.blockAddr, Mshr::Kind::Writeback);
+    if (!wb) {
+        IF_PANIC("agent %u: %s with no writeback MSHR", node_,
+                 msgTypeName(msg.type).data());
+    }
+    mshrs_.free(wb);
+}
+
+CacheLine&
+CacheAgent::installL2(Addr block, const BlockData& data,
+                      CoherenceState state)
+{
+    if (CacheLine* existing = l2_.lookup(block)) {
+        existing->data = data;
+        existing->state = state;
+        l2_.touch(*existing);
+        return *existing;
+    }
+
+    bool forced = false;
+    auto avoid = [this](const CacheLine& line) {
+        const CacheLine* l1line = l1_.lookup(line.blockAddr);
+        return l1line && l1line->speculative();
+    };
+    CacheLine* victim = &l2_.findVictim(block, avoid, &forced);
+    if (forced) {
+        assert(listener_);
+        ++statForcedSpecEvictions;
+        if (!listener_->resolveSpecEviction(victim->blockAddr))
+            listener_->resolveSpecEvictionHard(victim->blockAddr);
+        victim = &l2_.findVictim(block, avoid, &forced);
+        assert(!forced && "speculation unresolved after forced eviction");
+    }
+    if (victim->valid())
+        evictL2Line(*victim);
+
+    victim->blockAddr = blockAlign(block);
+    victim->state = state;
+    victim->dirty = false;
+    victim->data = data;
+    l2_.touch(*victim);
+    return *victim;
+}
+
+CacheLine*
+CacheAgent::installL1(Addr block)
+{
+    CacheLine* l2line = l2_.lookup(block);
+    assert(l2line && isValidState(l2line->state) &&
+           "L1 install without L2 backing (inclusion violated)");
+
+    if (CacheLine* existing = l1_.lookup(block)) {
+        // Refresh data from the L2 only when the L1 copy is clean;
+        // a dirty L1 copy is newer than the L2's.
+        if (!existing->dirty)
+            existing->data = l2line->data;
+        existing->state = l2line->state;
+        l1_.touch(*existing);
+        return existing;
+    }
+
+    bool forced = false;
+    auto avoid = [](const CacheLine& line) { return line.speculative(); };
+    CacheLine* victim = &l1_.findVictim(block, avoid, &forced);
+    if (forced) {
+        assert(listener_);
+        ++statForcedSpecEvictions;
+        if (!listener_->resolveSpecEviction(victim->blockAddr))
+            return nullptr;   // caller defers the fill and retries
+        victim = &l1_.findVictim(block, avoid, &forced);
+        assert(!forced && "speculation unresolved after forced eviction");
+    }
+    if (victim->valid()) {
+        // Non-speculative L1 victim: propagate dirty data to the L2 and
+        // keep a clean low-latency copy in the victim cache.
+        assert(!victim->speculative());
+        if (victim->dirty)
+            syncL2FromL1(victim->blockAddr);
+        VictimCache::Entry ve;
+        ve.blockAddr = victim->blockAddr;
+        ve.state = victim->state;
+        ve.dirty = false;
+        ve.data = victim->data;
+        vc_.insert(ve);
+        victim->invalidate();
+    }
+
+    victim->blockAddr = blockAlign(block);
+    victim->state = l2line->state;
+    victim->dirty = false;
+    victim->data = l2line->data;
+    l1_.touch(*victim);
+    return victim;
+}
+
+void
+CacheAgent::syncL2FromL1(Addr block)
+{
+    CacheLine* l1line = l1_.lookup(block);
+    if (!l1line || !l1line->dirty)
+        return;
+    CacheLine* l2line = l2_.lookup(block);
+    assert(l2line && isWritable(l2line->state) &&
+           "dirty L1 line without writable L2 backing");
+    l2line->data = l1line->data;
+    l2line->state = CoherenceState::Modified;
+    l1line->dirty = false;
+}
+
+void
+CacheAgent::evictL2Line(CacheLine& line)
+{
+    const Addr block = line.blockAddr;
+    ++statL2Evictions;
+
+    // Inclusion: purge the L1 copy (speculative lines were resolved by
+    // the avoidance logic in installL2) and the victim cache copy.
+    if (CacheLine* l1line = l1_.lookup(block)) {
+        assert(!l1line->speculative());
+        if (l1line->dirty) {
+            line.data = l1line->data;
+            line.state = CoherenceState::Modified;
+        }
+        l1line->invalidate();
+    }
+    vc_.invalidate(block);
+    if (listener_)
+        listener_->onInvalidateApplied(block);
+
+    // The data is retained in a writeback MSHR until the home
+    // acknowledges, so crossing forwards can still be served.
+    Mshr* wb = mshrs_.allocate(block, Mshr::Kind::Writeback);
+    if (!wb) {
+        IF_PANIC("agent %u: MSHR pool exhausted for writeback of %llx",
+                 node_, static_cast<unsigned long long>(block));
+    }
+    wb->wbData = line.data;
+    wb->wbDirty = line.state == CoherenceState::Modified;
+
+    switch (line.state) {
+      case CoherenceState::Modified:
+        sendToHome(MsgType::PutM, block, &line.data, true);
+        break;
+      case CoherenceState::Exclusive:
+        sendToHome(MsgType::PutE, block, nullptr, false);
+        break;
+      case CoherenceState::Shared:
+        sendToHome(MsgType::PutS, block, nullptr, false);
+        break;
+      case CoherenceState::Invalid:
+        IF_PANIC("evicting invalid L2 line");
+    }
+    line.invalidate();
+}
+
+void
+CacheAgent::sendToHome(MsgType type, Addr block, const BlockData* data,
+                       bool dirty)
+{
+    Msg m;
+    m.type = type;
+    m.blockAddr = blockAlign(block);
+    m.src = node_;
+    m.dst = homeOf(block, numNodes_);
+    m.dstUnit = Unit::Directory;
+    m.requester = node_;
+    if (data) {
+        m.data = *data;
+        m.hasData = true;
+    }
+    m.dirty = dirty;
+    net_.send(m);
+}
+
+} // namespace invisifence

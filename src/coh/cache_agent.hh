@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Per-node cache agent: private inclusive L1D + L2 pair, victim cache,
+ * MSHRs, and the node's side of the directory protocol.
+ *
+ * The agent is the coherence endpoint for its node. The L2 line holds the
+ * node's global MESI state; the L1 holds presence, an L1-vs-L2 dirty bit,
+ * block data, and InvisiFence's speculatively-read/written bits. Blocks
+ * with speculative bits never leave the L1 (their eviction forces the
+ * listener to resolve the speculation), so external-request conflict
+ * checks against L1 bits detect every ordering violation (Section 3.2).
+ */
+
+#ifndef INVISIFENCE_COH_CACHE_AGENT_HH
+#define INVISIFENCE_COH_CACHE_AGENT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "coh/directory.hh"
+#include "coh/listener.hh"
+#include "coh/message.hh"
+#include "coh/network.hh"
+#include "mem/cache_array.hh"
+#include "mem/mshr.hh"
+#include "mem/victim_cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** Cache hierarchy parameters (Figure 6 defaults). */
+struct AgentParams
+{
+    std::uint64_t l1Size = 64 * 1024;
+    std::uint32_t l1Ways = 2;
+    Cycle l1Latency = 2;          //!< load-to-use
+    std::uint64_t l2Size = 2 * 1024 * 1024;
+    std::uint32_t l2Ways = 8;
+    Cycle l2Latency = 25;
+    std::uint32_t victimEntries = 16;
+    Cycle victimLatency = 3;
+    std::uint32_t mshrs = 32;
+};
+
+/** Coherence endpoint and two-level private cache hierarchy of one node. */
+class CacheAgent
+{
+  public:
+    CacheAgent(NodeId node, std::uint32_t num_nodes, Network& net,
+               EventQueue& eq, const AgentParams& params);
+
+    void setListener(CoherenceListener* l) { listener_ = l; }
+
+    /** Where a block currently lives, for hit/miss latency accounting. */
+    enum class Where { L1, Local, Remote };
+    Where probe(Addr addr) const;
+
+    /** @{ Presence and permission probes (L2 state is authoritative). */
+    bool l1Present(Addr addr) const;
+    bool l1Readable(Addr addr) const;
+    bool l1Writable(Addr addr) const;
+    bool l1Dirty(Addr addr) const;
+    bool l1SpecWritten(Addr addr) const;
+    /** @} */
+
+    /**
+     * Bring the block into the L1 with (at least) the requested
+     * permission; @p cb runs when it is usable. Returns false when the
+     * fetch MSHRs are exhausted (caller retries later).
+     */
+    bool request(Addr addr, bool write, std::function<void()> cb);
+
+    /** True when a fetch for this block is already outstanding. */
+    bool fetchOutstanding(Addr addr) const;
+
+    /** @{ L1 data access; block must be present (and writable to write). */
+    std::uint64_t readWordL1(Addr addr) const;
+    void writeWordL1(Addr addr, std::uint64_t value, bool speculative,
+                     std::uint32_t ctx);
+    void writeMaskedL1(Addr block_addr, const MaskedBlock& data,
+                       bool speculative, std::uint32_t ctx);
+    /** @} */
+
+    /** Mark the block speculatively read in context @p ctx. */
+    void setSpecRead(Addr addr, std::uint32_t ctx);
+
+    /**
+     * Pull a locally-resident (L2/VC) block back into the L1 immediately.
+     * Used when a retiring speculative load must mark its block but the
+     * line slipped into the victim cache between execute and retire.
+     * Returns false when the block is not locally resident.
+     */
+    bool tryInstantL1Install(Addr addr);
+
+    /**
+     * While blocked, all arriving external requests are parked on the
+     * deferred queue (ASO's commit drain disables the cache's external
+     * interface). serveDeferred() runs automatically on unblock.
+     */
+    void setExternalBlocked(bool blocked);
+    bool externalBlocked() const { return externalBlocked_; }
+
+    /**
+     * Clean-writeback: copy the L1's dirty data down to the L2 so the
+     * pre-speculative value survives an abort (Section 3.2, speculative
+     * stores). @p cb runs when the copy completes. Returns false when the
+     * block is not dirty in L1 (no cleaning needed; @p cb not called).
+     */
+    bool cleanWriteback(Addr addr, std::function<void()> cb);
+
+    /** Commit context @p ctx: flash-clear its speculative bits. */
+    void flashCommit(std::uint32_t ctx);
+
+    /**
+     * Abort context @p ctx: flash-invalidate speculatively-written blocks
+     * and clear the context's bits (Figure 3 conditional clear).
+     */
+    void flashAbort(std::uint32_t ctx);
+
+    /** Number of L1 lines with speculative bits in @p ctx. */
+    std::uint32_t specBlockCount(std::uint32_t ctx) const;
+
+    /** O(1) count of L1 lines holding any speculative bit. */
+    std::uint32_t specFootprint() const { return specLines_; }
+
+    /**
+     * Warm-start utility: install a block directly into the L2 with the
+     * given state (the matching directory entry must be primed too).
+     * Models the warm caches of the paper's sampling methodology.
+     */
+    void primeBlock(Addr block, CoherenceState state,
+                    const BlockData& data);
+
+    /** Network sink for this node's agent unit. */
+    void deliver(const Msg& msg);
+
+    /** Re-process external requests parked by a Defer verdict. */
+    void serveDeferred();
+    bool hasDeferred() const { return !deferred_.empty(); }
+
+    /** @{ Test access. */
+    CacheArray& l1() { return l1_; }
+    CacheArray& l2() { return l2_; }
+    VictimCache& victimCache() { return vc_; }
+    MshrFile& mshrs() { return mshrs_; }
+    NodeId node() const { return node_; }
+    const AgentParams& params() const { return params_; }
+    /** @} */
+
+    std::uint64_t statL1FillsLocal = 0;
+    std::uint64_t statL1FillsRemote = 0;
+    std::uint64_t statUpgrades = 0;
+    std::uint64_t statExternalServed = 0;
+    std::uint64_t statExternalDeferred = 0;
+    std::uint64_t statCleanWritebacks = 0;
+    std::uint64_t statForcedSpecEvictions = 0;
+    std::uint64_t statDeferredFills = 0;
+    std::uint64_t statL2Evictions = 0;
+
+  private:
+    void handleFill(const Msg& msg);
+    void handleExternal(const Msg& msg);
+    void serveExternal(const Msg& msg);
+    void handleWbAck(const Msg& msg);
+
+    /** Install/update a block in the L2 (may evict; sends writebacks). */
+    CacheLine& installL2(Addr block, const BlockData& data,
+                         CoherenceState state);
+    /**
+     * Copy an L2-resident block into the L1 (may evict to the VC).
+     * Returns nullptr when every candidate way holds speculative state
+     * and the listener cannot commit yet; the caller defers and retries
+     * while the store buffer drains (Section 4.1, cache overflow).
+     */
+    CacheLine* installL1(Addr block);
+    /** Retry loop for network fills blocked on speculative eviction. */
+    void finishFill(Addr block, int attempt);
+    /** Retry loop for L2/VC-local fills (same deferral rules). */
+    void completeLocalFill(Addr block, std::function<void()> cb,
+                           int attempt);
+    void evictL2Line(CacheLine& line);
+    void sendToHome(MsgType type, Addr block, const BlockData* data,
+                    bool dirty);
+    /** Propagate dirty L1 data into the L2 line. */
+    void syncL2FromL1(Addr block);
+    /** Number of fetch-kind MSHRs in use. */
+    std::uint32_t fetchCount() const { return fetchCount_; }
+
+    NodeId node_;
+    std::uint32_t numNodes_;
+    Network& net_;
+    EventQueue& eq_;
+    AgentParams params_;
+    CoherenceListener* listener_ = nullptr;
+
+    CacheArray l1_;
+    CacheArray l2_;
+    VictimCache vc_;
+    MshrFile mshrs_;
+    std::uint32_t fetchCount_ = 0;
+    std::uint32_t specLines_ = 0;   //!< L1 lines with speculative bits
+    std::deque<Msg> deferred_;
+    bool externalBlocked_ = false;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_COH_CACHE_AGENT_HH

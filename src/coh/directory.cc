@@ -1,0 +1,342 @@
+#include "coh/directory.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace invisifence {
+
+DirectorySlice::DirectorySlice(NodeId node, std::uint32_t num_nodes,
+                               Network& net, EventQueue& eq,
+                               FunctionalMemory& mem,
+                               const DirectoryParams& params)
+    : node_(node), numNodes_(num_nodes), net_(net), eq_(eq), mem_(mem),
+      params_(params)
+{
+    net_.attach(node_, Unit::Directory,
+                [this](const Msg& m) { deliver(m); });
+}
+
+DirectorySlice::DirEntry&
+DirectorySlice::entry(Addr block)
+{
+    return dir_[blockAlign(block)];
+}
+
+DirectorySlice::EntryView
+DirectorySlice::inspect(Addr block) const
+{
+    auto it = dir_.find(blockAlign(block));
+    if (it == dir_.end())
+        return EntryView{};
+    return EntryView{it->second.state, it->second.sharers,
+                     it->second.owner};
+}
+
+void
+DirectorySlice::primeOwned(Addr block, NodeId owner)
+{
+    assert(homeOf(block, numNodes_) == node_);
+    DirEntry& e = entry(block);
+    e.state = DirState::Owned;
+    e.owner = owner;
+    e.sharers = 0;
+}
+
+void
+DirectorySlice::primeShared(Addr block, std::uint32_t sharer_mask)
+{
+    assert(homeOf(block, numNodes_) == node_);
+    assert(sharer_mask != 0);
+    DirEntry& e = entry(block);
+    e.state = DirState::Shared;
+    e.sharers = sharer_mask;
+    e.owner = 0;
+}
+
+void
+DirectorySlice::deliver(const Msg& msg)
+{
+    assert(homeOf(msg.blockAddr, numNodes_) == node_);
+    if (!isRequest(msg.type)) {
+        handleResponse(msg);
+        return;
+    }
+    const Addr block = msg.blockAddr;
+    if (busy_.count(block)) {
+        waiting_[block].push_back(msg);
+        ++waitingTotal_;
+        ++statQueuedRequests;
+        return;
+    }
+    busy_.insert(block);
+    eq_.schedule(params_.procLatency, [this, msg]() { startTxn(msg); });
+}
+
+void
+DirectorySlice::startNextIfQueued(Addr block)
+{
+    auto it = waiting_.find(block);
+    if (it == waiting_.end() || it->second.empty()) {
+        busy_.erase(block);
+        return;
+    }
+    const Msg next = it->second.front();
+    it->second.pop_front();
+    --waitingTotal_;
+    eq_.schedule(params_.procLatency, [this, next]() { startTxn(next); });
+}
+
+void
+DirectorySlice::startTxn(const Msg& req)
+{
+    DirEntry& e = entry(req.blockAddr);
+    switch (req.type) {
+      case MsgType::PutM:
+      case MsgType::PutE:
+      case MsgType::PutS:
+        handlePut(req, e);
+        startNextIfQueued(req.blockAddr);
+        return;
+      default:
+        break;
+    }
+
+    assert(!txns_.count(req.blockAddr));
+    Txn& txn = txns_[req.blockAddr];
+    txn.req = req;
+
+    if (req.type == MsgType::GetS) {
+        ++statGetS;
+        handleGetS(txn, e);
+    } else {
+        assert(req.type == MsgType::GetM);
+        ++statGetM;
+        handleGetM(txn, e);
+    }
+    maybeFinish(req.blockAddr);
+}
+
+void
+DirectorySlice::handleGetS(Txn& txn, DirEntry& e)
+{
+    const NodeId req = txn.req.src;
+    switch (e.state) {
+      case DirState::Idle:
+      case DirState::Shared:
+        txn.needMem = true;
+        beginMemRead(txn.req.blockAddr);
+        break;
+      case DirState::Owned:
+        if (e.owner == req) {
+            IF_PANIC("GetS from current owner %u blk=%llx", req,
+                     static_cast<unsigned long long>(txn.req.blockAddr));
+        }
+        txn.needOwnerData = true;
+        sendToAgent(e.owner, MsgType::FwdGetS, txn.req.blockAddr, nullptr,
+                    false, req);
+        break;
+    }
+}
+
+void
+DirectorySlice::handleGetM(Txn& txn, DirEntry& e)
+{
+    const NodeId req = txn.req.src;
+    switch (e.state) {
+      case DirState::Idle:
+        txn.needMem = true;
+        beginMemRead(txn.req.blockAddr);
+        break;
+      case DirState::Shared: {
+        txn.needMem = true;
+        beginMemRead(txn.req.blockAddr);
+        for (NodeId n = 0; n < numNodes_; ++n) {
+            if (n == req || !(e.sharers & (1u << n)))
+                continue;
+            sendToAgent(n, MsgType::Inv, txn.req.blockAddr, nullptr,
+                        false, req);
+            ++txn.pendingAcks;
+            ++statInvalidationsSent;
+        }
+        break;
+      }
+      case DirState::Owned:
+        if (e.owner == req) {
+            IF_PANIC("GetM from current owner %u blk=%llx", req,
+                     static_cast<unsigned long long>(txn.req.blockAddr));
+        }
+        txn.needOwnerData = true;
+        sendToAgent(e.owner, MsgType::FwdGetM, txn.req.blockAddr, nullptr,
+                    false, req);
+        break;
+    }
+}
+
+void
+DirectorySlice::handlePut(const Msg& req, DirEntry& e)
+{
+    const NodeId src = req.src;
+    ++statWritebacks;
+    bool stale = false;
+    switch (req.type) {
+      case MsgType::PutM:
+      case MsgType::PutE:
+        if (e.state == DirState::Owned && e.owner == src) {
+            if (req.type == MsgType::PutM) {
+                assert(req.hasData);
+                mem_.writeBlock(req.blockAddr, req.data);
+            }
+            e.state = DirState::Idle;
+            e.sharers = 0;
+        } else {
+            stale = true;
+        }
+        break;
+      case MsgType::PutS:
+        if (e.state == DirState::Shared && (e.sharers & (1u << src))) {
+            e.sharers &= ~(1u << src);
+            if (e.sharers == 0)
+                e.state = DirState::Idle;
+        } else {
+            stale = true;
+        }
+        break;
+      default:
+        IF_PANIC("handlePut on %s", msgTypeName(req.type).data());
+    }
+    if (stale)
+        ++statStaleWritebacks;
+    sendToAgent(src, stale ? MsgType::AckStale : MsgType::WbAck,
+                req.blockAddr, nullptr, false, src);
+}
+
+void
+DirectorySlice::beginMemRead(Addr block)
+{
+    ++statMemReads;
+    eq_.schedule(params_.memLatency, [this, block]() {
+        auto it = txns_.find(blockAlign(block));
+        if (it == txns_.end())
+            return;    // transaction satisfied by owner data instead
+        Txn& txn = it->second;
+        txn.memDone = true;
+        if (!txn.dataFromOwner) {
+            txn.data = mem_.readBlock(block);
+            txn.dataDirty = false;
+        }
+        maybeFinish(block);
+    });
+}
+
+void
+DirectorySlice::handleResponse(const Msg& msg)
+{
+    auto it = txns_.find(blockAlign(msg.blockAddr));
+    if (it == txns_.end()) {
+        IF_PANIC("response %s with no active txn blk=%llx",
+                 msgTypeName(msg.type).data(),
+                 static_cast<unsigned long long>(msg.blockAddr));
+    }
+    Txn& txn = it->second;
+    switch (msg.type) {
+      case MsgType::InvAck:
+        assert(txn.pendingAcks > 0);
+        --txn.pendingAcks;
+        break;
+      case MsgType::DataToHome:
+        assert(txn.needOwnerData && msg.hasData);
+        txn.ownerDataDone = true;
+        txn.data = msg.data;
+        txn.dataFromOwner = true;
+        txn.dataDirty = msg.dirty;
+        // Keep memory current: Shared implies the memory image is valid.
+        mem_.writeBlock(msg.blockAddr, msg.data);
+        break;
+      default:
+        IF_PANIC("unexpected response %s at directory",
+                 msgTypeName(msg.type).data());
+    }
+    maybeFinish(msg.blockAddr);
+}
+
+void
+DirectorySlice::maybeFinish(Addr block)
+{
+    auto it = txns_.find(blockAlign(block));
+    if (it == txns_.end())
+        return;
+    Txn& txn = it->second;
+    if (txn.needMem && !txn.memDone && !txn.dataFromOwner)
+        return;
+    if (txn.pendingAcks > 0)
+        return;
+    if (txn.needOwnerData && !txn.ownerDataDone)
+        return;
+
+    DirEntry& e = entry(block);
+    if (txn.req.type == MsgType::GetS)
+        finishGetS(txn, e);
+    else
+        finishGetM(txn, e);
+    txns_.erase(blockAlign(block));
+    startNextIfQueued(block);
+}
+
+void
+DirectorySlice::finishGetS(Txn& txn, DirEntry& e)
+{
+    const NodeId req = txn.req.src;
+    if (e.state == DirState::Idle) {
+        // Grant Exclusive when no one else holds the block.
+        e.state = DirState::Owned;
+        e.owner = req;
+        e.sharers = 0;
+        sendToAgent(req, MsgType::DataE, txn.req.blockAddr, &txn.data,
+                    false, req);
+    } else if (e.state == DirState::Shared) {
+        e.sharers |= (1u << req);
+        sendToAgent(req, MsgType::DataS, txn.req.blockAddr, &txn.data,
+                    false, req);
+    } else {
+        // Owner provided the data and downgraded itself to Shared.
+        assert(txn.dataFromOwner);
+        e.state = DirState::Shared;
+        e.sharers = (1u << e.owner) | (1u << req);
+        sendToAgent(req, MsgType::DataS, txn.req.blockAddr, &txn.data,
+                    false, req);
+    }
+}
+
+void
+DirectorySlice::finishGetM(Txn& txn, DirEntry& e)
+{
+    const NodeId req = txn.req.src;
+    e.state = DirState::Owned;
+    e.owner = req;
+    e.sharers = 0;
+    sendToAgent(req, MsgType::DataM, txn.req.blockAddr, &txn.data,
+                txn.dataDirty, req);
+}
+
+void
+DirectorySlice::sendToAgent(NodeId dst, MsgType type, Addr block,
+                            const BlockData* data, bool dirty,
+                            NodeId requester)
+{
+    Msg m;
+    m.type = type;
+    m.blockAddr = blockAlign(block);
+    m.src = node_;
+    m.dst = dst;
+    m.dstUnit = Unit::Agent;
+    m.requester = requester;
+    if (data) {
+        m.data = *data;
+        m.hasData = true;
+    }
+    m.dirty = dirty;
+    net_.send(m);
+}
+
+} // namespace invisifence

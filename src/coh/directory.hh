@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Home directory slice of the blocking MESI directory protocol.
+ *
+ * Each node owns the directory slice (and memory bank) for the blocks whose
+ * home it is (block-address interleaving). The slice serializes all
+ * transactions for a block: one active transaction at a time, all other
+ * requests queue FIFO. Data responses flow through the home. This provides
+ * exactly the two properties the paper's consistency implementations need
+ * from the memory system (Section 2.1): serialization of writes to each
+ * address, and an acknowledgment when each store miss completes.
+ */
+
+#ifndef INVISIFENCE_COH_DIRECTORY_HH
+#define INVISIFENCE_COH_DIRECTORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "coh/message.hh"
+#include "coh/network.hh"
+#include "mem/functional_mem.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** Directory and memory timing parameters (Figure 6). */
+struct DirectoryParams
+{
+    Cycle memLatency = 160;   //!< 40 ns at 4 GHz
+    Cycle procLatency = 10;   //!< microcoded protocol controller occupancy
+};
+
+/** Home node of a block: blocks interleave across nodes. */
+constexpr NodeId
+homeOf(Addr addr, std::uint32_t num_nodes)
+{
+    return static_cast<NodeId>((addr >> kBlockShift) % num_nodes);
+}
+
+/** One node's slice of the directory plus its local memory bank. */
+class DirectorySlice
+{
+  public:
+    DirectorySlice(NodeId node, std::uint32_t num_nodes, Network& net,
+                   EventQueue& eq, FunctionalMemory& mem,
+                   const DirectoryParams& params);
+
+    /** Network sink: called for every message addressed to this slice. */
+    void deliver(const Msg& msg);
+
+    /** True when no transaction is active and no requests queue (tests). */
+    bool
+    quiescent() const
+    {
+        return txns_.empty() && waitingTotal_ == 0 && busy_.empty();
+    }
+
+    // Directory-visible state of a block, for tests and the checker.
+    enum class DirState : std::uint8_t { Idle, Shared, Owned };
+    struct EntryView
+    {
+        DirState state = DirState::Idle;
+        std::uint32_t sharers = 0;
+        NodeId owner = 0;
+    };
+    EntryView inspect(Addr block) const;
+
+    /** @{ Warm-start utilities: set directory state directly. */
+    void primeOwned(Addr block, NodeId owner);
+    void primeShared(Addr block, std::uint32_t sharer_mask);
+    /** @} */
+
+    std::uint64_t statGetS = 0;
+    std::uint64_t statGetM = 0;
+    std::uint64_t statWritebacks = 0;
+    std::uint64_t statInvalidationsSent = 0;
+    std::uint64_t statMemReads = 0;
+    std::uint64_t statStaleWritebacks = 0;
+    std::uint64_t statQueuedRequests = 0;
+
+  private:
+    struct DirEntry
+    {
+        DirState state = DirState::Idle;
+        std::uint32_t sharers = 0;   //!< bitmask over nodes
+        NodeId owner = 0;
+    };
+
+    /** Active transaction on a block. */
+    struct Txn
+    {
+        Msg req;
+        bool needMem = false;
+        bool memDone = false;
+        std::uint32_t pendingAcks = 0;
+        bool needOwnerData = false;
+        bool ownerDataDone = false;
+        BlockData data{};
+        bool dataFromOwner = false;
+        bool dataDirty = false;
+    };
+
+    DirEntry& entry(Addr block);
+
+    void startNextIfQueued(Addr block);
+    void startTxn(const Msg& req);
+    void handleGetS(Txn& txn, DirEntry& e);
+    void handleGetM(Txn& txn, DirEntry& e);
+    void handlePut(const Msg& req, DirEntry& e);
+    void handleResponse(const Msg& msg);
+    void maybeFinish(Addr block);
+    void finishGetS(Txn& txn, DirEntry& e);
+    void finishGetM(Txn& txn, DirEntry& e);
+    void beginMemRead(Addr block);
+
+    void sendToAgent(NodeId dst, MsgType type, Addr block,
+                     const BlockData* data, bool dirty, NodeId requester);
+
+    NodeId node_;
+    std::uint32_t numNodes_;
+    Network& net_;
+    EventQueue& eq_;
+    FunctionalMemory& mem_;
+    DirectoryParams params_;
+
+    std::unordered_map<Addr, DirEntry> dir_;
+    std::unordered_map<Addr, Txn> txns_;
+    std::unordered_map<Addr, std::deque<Msg>> waiting_;
+    /** Blocks with a transaction in flight or scheduled to start. */
+    std::unordered_set<Addr> busy_;
+    std::uint64_t waitingTotal_ = 0;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_COH_DIRECTORY_HH

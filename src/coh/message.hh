@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Coherence protocol message vocabulary.
+ *
+ * The protocol is a blocking directory MESI: every transaction for a block
+ * serializes at the block's home directory slice. Data responses flow
+ * through the home (hub-and-spoke), which keeps the transient-state space
+ * small while preserving the properties the paper relies on: writes to a
+ * block are serialized, and the processor is informed when each store miss
+ * completes (Section 2.1).
+ */
+
+#ifndef INVISIFENCE_COH_MESSAGE_HH
+#define INVISIFENCE_COH_MESSAGE_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "mem/block.hh"
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** Kinds of coherence messages. */
+enum class MsgType : std::uint8_t
+{
+    // Agent -> home requests (queued FIFO per block at the home).
+    GetS,        //!< fetch a readable copy
+    GetM,        //!< fetch/upgrade to a writable copy
+    PutM,        //!< eviction of a dirty owned block (carries data)
+    PutE,        //!< eviction of a clean owned block
+    PutS,        //!< eviction of a shared copy (sharer-list prune)
+
+    // Home -> agent forwards (sub-operations of the active transaction).
+    FwdGetS,     //!< owner: send data to home, downgrade to Shared
+    FwdGetM,     //!< owner: send data to home, invalidate
+    Inv,         //!< sharer: invalidate and ack
+
+    // Agent -> home responses.
+    InvAck,
+    DataToHome,  //!< owner's data in response to a forward
+
+    // Home -> agent responses.
+    DataS,       //!< readable data
+    DataE,       //!< readable+writable data, clean (block was idle)
+    DataM,       //!< writable data (all invalidations complete)
+    WbAck,       //!< eviction accepted, agent may drop its copy
+    AckStale,    //!< eviction arrived after ownership moved on; drop
+};
+
+/** True for the agent->home message kinds that open a transaction. */
+constexpr bool
+isRequest(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS:
+      case MsgType::GetM:
+      case MsgType::PutM:
+      case MsgType::PutE:
+      case MsgType::PutS:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Human-readable name for traces and test failures. */
+constexpr std::string_view
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS: return "GetS";
+      case MsgType::GetM: return "GetM";
+      case MsgType::PutM: return "PutM";
+      case MsgType::PutE: return "PutE";
+      case MsgType::PutS: return "PutS";
+      case MsgType::FwdGetS: return "FwdGetS";
+      case MsgType::FwdGetM: return "FwdGetM";
+      case MsgType::Inv: return "Inv";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::DataToHome: return "DataToHome";
+      case MsgType::DataS: return "DataS";
+      case MsgType::DataE: return "DataE";
+      case MsgType::DataM: return "DataM";
+      case MsgType::WbAck: return "WbAck";
+      case MsgType::AckStale: return "AckStale";
+    }
+    return "?";
+}
+
+/** Destination unit within a node. */
+enum class Unit : std::uint8_t { Agent, Directory };
+
+/** A coherence message in flight. */
+struct Msg
+{
+    MsgType type = MsgType::GetS;
+    Addr blockAddr = 0;
+    NodeId src = 0;          //!< sending node
+    NodeId dst = 0;          //!< receiving node
+    Unit dstUnit = Unit::Directory;
+    NodeId requester = 0;    //!< original requester (carried by forwards)
+    BlockData data{};
+    bool hasData = false;
+    bool dirty = false;      //!< data differs from memory image
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_COH_MESSAGE_HH

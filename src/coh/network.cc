@@ -1,0 +1,68 @@
+#include "coh/network.hh"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace invisifence {
+
+Network::Network(EventQueue& eq, const NetworkParams& params,
+                 std::uint32_t num_nodes)
+    : eq_(eq), params_(params), numNodes_(num_nodes)
+{
+    if (params_.dimX * params_.dimY < num_nodes)
+        IF_FATAL("torus %ux%u too small for %u nodes", params_.dimX,
+                 params_.dimY, num_nodes);
+    sinks_.resize(static_cast<std::size_t>(num_nodes) * 2);
+}
+
+void
+Network::attach(NodeId node, Unit unit, Sink sink)
+{
+    assert(node < numNodes_);
+    sinks_[node * 2 + static_cast<std::size_t>(unit)] = std::move(sink);
+}
+
+std::uint32_t
+Network::hops(NodeId a, NodeId b) const
+{
+    const auto torus_dist = [](std::uint32_t p, std::uint32_t q,
+                               std::uint32_t dim) {
+        const std::uint32_t d = p > q ? p - q : q - p;
+        return d < dim - d ? d : dim - d;
+    };
+    const std::uint32_t ax = a % params_.dimX, ay = a / params_.dimX;
+    const std::uint32_t bx = b % params_.dimX, by = b / params_.dimX;
+    return torus_dist(ax, bx, params_.dimX) +
+           torus_dist(ay, by, params_.dimY);
+}
+
+Cycle
+Network::delay(NodeId a, NodeId b) const
+{
+    const std::uint32_t h = hops(a, b);
+    if (h == 0)
+        return params_.localLatency;
+    return static_cast<Cycle>(h) * params_.perHopLatency;
+}
+
+void
+Network::send(const Msg& msg)
+{
+    assert(msg.src < numNodes_ && msg.dst < numNodes_);
+    ++statMessages;
+    if (msg.hasData)
+        ++statDataMessages;
+    statTotalHops += hops(msg.src, msg.dst);
+    const std::size_t idx =
+        msg.dst * 2 + static_cast<std::size_t>(msg.dstUnit);
+    assert(sinks_[idx] && "message sent to unattached endpoint");
+    IF_TRACE("net: %s blk=%llx %u->%u", msgTypeName(msg.type).data(),
+             static_cast<unsigned long long>(msg.blockAddr), msg.src,
+             msg.dst);
+    eq_.schedule(delay(msg.src, msg.dst),
+                 [this, idx, msg]() { sinks_[idx](msg); });
+}
+
+} // namespace invisifence

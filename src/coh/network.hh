@@ -1,0 +1,74 @@
+/**
+ * @file
+ * 2D torus interconnect (Figure 6: 4x4 torus, 25 ns per hop).
+ *
+ * Latency-only model: delivery delay is hops(src, dst) * per-hop latency,
+ * with a floor of one cycle for node-local traffic. Because the delay
+ * between a fixed (src, dst) pair is constant and the event queue preserves
+ * insertion order at equal ticks, delivery is FIFO per pair — an ordering
+ * property the directory protocol relies on (an agent's PutM can never be
+ * overtaken by its own later GetM).
+ */
+
+#ifndef INVISIFENCE_COH_NETWORK_HH
+#define INVISIFENCE_COH_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "coh/message.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** Parameters of the torus. */
+struct NetworkParams
+{
+    std::uint32_t dimX = 4;
+    std::uint32_t dimY = 4;
+    Cycle perHopLatency = 100;   //!< 25 ns at 4 GHz
+    Cycle localLatency = 1;      //!< node-local unit-to-unit latency
+};
+
+/**
+ * Message fabric connecting cache agents and directory slices.
+ *
+ * Endpoints register a delivery sink per (node, unit); send() computes the
+ * topological delay and schedules delivery on the shared event queue.
+ */
+class Network
+{
+  public:
+    using Sink = std::function<void(const Msg&)>;
+
+    Network(EventQueue& eq, const NetworkParams& params,
+            std::uint32_t num_nodes);
+
+    /** Register the receiver for (node, unit). */
+    void attach(NodeId node, Unit unit, Sink sink);
+
+    /** Send @p msg; delivery is scheduled after the topological delay. */
+    void send(const Msg& msg);
+
+    /** Minimal torus hop count between two nodes. */
+    std::uint32_t hops(NodeId a, NodeId b) const;
+
+    /** Delivery delay for a message from @p a to @p b. */
+    Cycle delay(NodeId a, NodeId b) const;
+
+    std::uint64_t statMessages = 0;
+    std::uint64_t statDataMessages = 0;
+    std::uint64_t statTotalHops = 0;
+
+  private:
+    EventQueue& eq_;
+    NetworkParams params_;
+    std::uint32_t numNodes_;
+    std::vector<Sink> sinks_;   //!< indexed by node * 2 + unit
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_COH_NETWORK_HH

@@ -1,0 +1,799 @@
+#include "core/invisifence.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace invisifence {
+
+SpecConfig
+SpecConfig::selective(Model m, std::uint32_t ckpts)
+{
+    SpecConfig c;
+    c.model = m;
+    c.continuous = false;
+    c.numCheckpoints = ckpts;
+    c.sbEntries = ckpts >= 2 ? 32 : 8;
+    return c;
+}
+
+SpecConfig
+SpecConfig::continuousMode(bool cov)
+{
+    SpecConfig c;
+    c.model = Model::SC;    // continuous chunks enforce any model
+    c.continuous = true;
+    c.numCheckpoints = 2;
+    c.sbEntries = 32;
+    c.commitOnViolate = cov;
+    c.maxWindowInsts = 0;   // chunking already bounds window length
+    return c;
+}
+
+SpecConfig
+SpecConfig::aso()
+{
+    SpecConfig c;
+    c.model = Model::SC;
+    c.continuous = false;
+    c.numCheckpoints = 2;
+    c.sbEntries = 0xffffff;     // SSB: no practical capacity limit
+    c.unboundedSb = true;
+    c.commitDrainPerStore = 1;  // drain one store per cycle into the L2
+    c.nameOverride = "aso_sc";
+    return c;
+}
+
+std::string
+SpecConfig::name() const
+{
+    if (!nameOverride.empty())
+        return nameOverride;
+    if (continuous)
+        return commitOnViolate ? "invisi_cont_cov" : "invisi_cont";
+    std::string n = std::string("invisi_") + modelName(model);
+    if (numCheckpoints >= 2)
+        n += "_2ckpt";
+    if (commitOnViolate)
+        n += "_cov";
+    return n;
+}
+
+SpeculativeImpl::SpeculativeImpl(const SpecConfig& cfg, Core& core,
+                                 CacheAgent& agent)
+    : ConsistencyImpl(cfg.name(), core, agent), cfg_(cfg),
+      sb_(cfg.sbEntries)
+{
+    assert(cfg_.numCheckpoints >= 1 &&
+           cfg_.numCheckpoints <= kMaxCheckpoints);
+    if (cfg_.continuous)
+        assert(cfg_.numCheckpoints == 2);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint bookkeeping
+// ---------------------------------------------------------------------
+
+bool
+SpeculativeImpl::hasOpenCkpt() const
+{
+    return !order_.empty() && !ckpts_[order_.back()].closed;
+}
+
+std::uint32_t
+SpeculativeImpl::openCtx() const
+{
+    assert(hasOpenCkpt());
+    return order_.back();
+}
+
+std::uint32_t
+SpeculativeImpl::freeSlot() const
+{
+    for (std::uint32_t c = 0; c < cfg_.numCheckpoints; ++c) {
+        if (!ckpts_[c].active)
+            return c;
+    }
+    return kNoSpecCtx;
+}
+
+void
+SpeculativeImpl::openCkpt()
+{
+    const std::uint32_t c = freeSlot();
+    assert(c != kNoSpecCtx && "no free checkpoint slot");
+    Ckpt& k = ckpts_[c];
+    k = Ckpt{};
+    k.active = true;
+    k.snap = core_.retiredSnapshot();
+    k.boundarySeq = core_.lastRetiredSeq();
+    k.startedAt = core_.now();
+    order_.push_back(c);
+    ++statSpeculations;
+}
+
+void
+SpeculativeImpl::maybeCloseChunk()
+{
+    if (!speculating() || cfg_.numCheckpoints < 2)
+        return;
+    Ckpt& k = ckpts_[order_.back()];
+    if (k.closed || k.retiredInsts < cfg_.minChunkSize)
+        return;
+    if (freeSlot() == kNoSpecCtx)
+        return;
+    k.closed = true;
+    openCkpt();
+}
+
+// ---------------------------------------------------------------------
+// Store routing (Section 3.2: speculative stores)
+// ---------------------------------------------------------------------
+
+SpeculativeImpl::StoreRoute
+SpeculativeImpl::routeStore(Addr addr, bool spec, std::uint32_t ctx) const
+{
+    const Addr blk = blockAlign(addr);
+    const std::uint32_t label = spec ? ctx : kNonSpecCtx;
+
+    bool any_block_entry = false;
+    for (const auto& e : sb_.entries()) {
+        if (e.blockAddr != blk)
+            continue;
+        if (e.speculative == spec && e.ctx == label)
+            return StoreRoute::Merge;
+        any_block_entry = true;
+    }
+
+    // Would a fresh entry need to be held behind an older checkpoint's
+    // write to the same block?
+    bool held = false;
+    const CacheLine* line =
+        const_cast<CacheAgent&>(agent_).l1().lookup(blk);
+    if (spec && line) {
+        for (std::uint32_t o = 0; o < cfg_.numCheckpoints; ++o) {
+            if (o != ctx && ckpts_[o].active && line->specWritten[o])
+                held = true;
+        }
+    }
+
+    if (any_block_entry) {
+        if (sb_.full())
+            return StoreRoute::Full;
+        return held ? StoreRoute::NewEntryHeld : StoreRoute::NewEntry;
+    }
+
+    if (agent_.l1Writable(addr)) {
+        const bool dirty_nonspec =
+            line && line->dirty && !line->specWrittenAny();
+        if (spec && (dirty_nonspec || held)) {
+            // First speculative store to a dirty block goes to the SB
+            // while the cleaning writeback preserves the old value; a
+            // second-checkpoint store to a first-checkpoint block waits
+            // in the SB for the older commit.
+            if (sb_.full())
+                return StoreRoute::Full;
+            return held ? StoreRoute::NewEntryHeld : StoreRoute::NewEntry;
+        }
+        return StoreRoute::DirectHit;
+    }
+
+    return sb_.full() ? StoreRoute::Full : StoreRoute::NewEntry;
+}
+
+RetireCheck
+SpeculativeImpl::checkStoreCapacity(Addr addr, bool spec,
+                                    std::uint32_t ctx)
+{
+    if (routeStore(addr, spec, ctx) == StoreRoute::Full)
+        return {false, StallKind::SbFull};
+    return {true, StallKind::None};
+}
+
+void
+SpeculativeImpl::doStore(Addr addr, std::uint64_t value, bool spec,
+                         std::uint32_t ctx, InstSeq seq)
+{
+    const StoreRoute route = routeStore(addr, spec, ctx);
+    const std::uint32_t label = spec ? ctx : kNonSpecCtx;
+    switch (route) {
+      case StoreRoute::DirectHit:
+        agent_.writeWordL1(addr, value, spec, spec ? ctx : 0);
+        break;
+      case StoreRoute::Merge:
+      case StoreRoute::NewEntry:
+      case StoreRoute::NewEntryHeld: {
+        const auto res =
+            sb_.store(addr, kWordBytes, value, spec, label, seq);
+        assert(res != CoalescingStoreBuffer::StoreResult::Full);
+        (void)res;
+        if (route == StoreRoute::NewEntryHeld) {
+            for (auto& e : sb_.entries()) {
+                if (e.blockAddr == blockAlign(addr) &&
+                    e.speculative == spec && e.ctx == label) {
+                    e.held = true;
+                }
+            }
+        }
+        break;
+      }
+      case StoreRoute::Full:
+        IF_PANIC("store routed to a full store buffer");
+    }
+    if (spec)
+        ++ckpts_[ctx].storeCount;
+}
+
+// ---------------------------------------------------------------------
+// Retirement rules
+// ---------------------------------------------------------------------
+
+RetireCheck
+SpeculativeImpl::conventionalCanRetire(RobEntry& entry)
+{
+    const Addr addr = entry.inst.addr;
+    switch (entry.inst.type) {
+      case OpType::Alu:
+      case OpType::Nop:
+      case OpType::Halt:
+        return {true, StallKind::None};
+
+      case OpType::Load:
+        if (cfg_.model == Model::SC && !sb_.empty())
+            return {false, StallKind::SbDrain};
+        return {true, StallKind::None};
+
+      case OpType::Store:
+        if (cfg_.model != Model::RMO) {
+            // The coalescing SB is unordered: under SC/TSO a store may
+            // only retire non-speculatively when no older store is
+            // pending (this is exactly the paper's speculation trigger).
+            if (!sb_.empty())
+                return {false, StallKind::SbDrain};
+            return {true, StallKind::None};
+        }
+        // RMO: stores are unordered; only capacity can stall them.
+        if (!sb_.gatherBlock(addr).empty() || agent_.l1Writable(addr) ||
+            !sb_.full()) {
+            return {true, StallKind::None};
+        }
+        return {false, StallKind::SbFull};
+
+      case OpType::Cas:
+      case OpType::FetchAdd: {
+        const bool order_ok =
+            cfg_.model == Model::RMO ? sb_.gatherBlock(addr).empty()
+                                     : sb_.empty();
+        if (!order_ok)
+            return {false, StallKind::SbDrain};
+        if (!agent_.l1Writable(addr)) {
+            if (!agent_.fetchOutstanding(addr))
+                agent_.request(addr, true, []() {});
+            return {false, StallKind::SbDrain};
+        }
+        return {true, StallKind::None};
+      }
+
+      case OpType::Fence:
+        if (cfg_.model == Model::SC)
+            return {true, StallKind::None};
+        if (cfg_.model == Model::TSO && !entry.inst.fullFence)
+            return {true, StallKind::None};
+        if (!sb_.empty())
+            return {false, StallKind::SbDrain};
+        return {true, StallKind::None};
+    }
+    return {true, StallKind::None};
+}
+
+RetireCheck
+SpeculativeImpl::canRetire(RobEntry& entry)
+{
+    const Addr addr = entry.inst.addr;
+
+    // Forward progress after an abort: complete one instruction under
+    // the strictest non-speculative rules before speculating again.
+    if (needNonSpecProgress_) {
+        assert(!speculating());
+        switch (entry.inst.type) {
+          case OpType::Alu:
+          case OpType::Nop:
+          case OpType::Halt:
+            return {true, StallKind::None};
+          case OpType::Load:
+          case OpType::Fence:
+            if (!sb_.empty())
+                return {false, StallKind::SbDrain};
+            return {true, StallKind::None};
+          case OpType::Store:
+          case OpType::Cas:
+          case OpType::FetchAdd:
+            if (!sb_.empty())
+                return {false, StallKind::SbDrain};
+            if (!agent_.l1Writable(addr)) {
+                if (!agent_.fetchOutstanding(addr))
+                    agent_.request(addr, true, []() {});
+                return {false, StallKind::SbDrain};
+            }
+            return {true, StallKind::None};
+        }
+    }
+
+    const bool will_write =
+        entry.inst.type == OpType::Store ||
+        entry.inst.type == OpType::FetchAdd ||
+        (entry.inst.type == OpType::Cas &&
+         entry.result == entry.inst.expect);
+
+    if (commitPressure_ && speculating()) {
+        // A deferred fill needs the speculation gone: stall retirement
+        // until the drain completes and the commit fires.
+        return {false, StallKind::SbDrain};
+    }
+
+    if (cfg_.continuous || speculating()) {
+        // Everything retires into the current speculation.
+        if (!hasOpenCkpt()) {
+            if (freeSlot() == kNoSpecCtx)
+                return {false, StallKind::SbDrain};  // commit backpressure
+            openCkpt();
+        }
+        if (will_write)
+            return checkStoreCapacity(addr, true, openCtx());
+        return {true, StallKind::None};
+    }
+
+    // Selective, not currently speculating: conventional rules; an
+    // ordering stall initiates speculation instead (Section 4.1).
+    RetireCheck conv = conventionalCanRetire(entry);
+    if (conv.ok)
+        return conv;
+    if (conv.stall == StallKind::SbDrain) {
+        openCkpt();
+        if (will_write)
+            return checkStoreCapacity(addr, true, openCtx());
+        return {true, StallKind::None};
+    }
+    return conv;   // SB-full capacity stalls gain nothing from speculating
+}
+
+void
+SpeculativeImpl::onRetire(RobEntry& entry)
+{
+    const bool spec = speculating();
+    const std::uint32_t ctx = spec ? openCtx() : kNonSpecCtx;
+    const Addr addr = entry.inst.addr;
+
+    // Selective mode marks speculatively-read bits at retirement; the
+    // block is local (any invalidation would have squashed the load via
+    // the load-queue snoop), but it may have slipped into the victim
+    // cache, in which case it is pulled back instantly.
+    const auto mark_read = [&]() {
+        if (!spec)
+            return true;
+        // Continuous mode normally marked the bit at execution; loads
+        // that executed before a chunk was open retire unmarked and
+        // must be marked here, or the violation would go undetected.
+        if (cfg_.continuous && entry.specMarked)
+            return true;
+        if (!agent_.l1Present(addr) && !agent_.tryInstantL1Install(addr)) {
+            ++statMarkFallbacks;
+            abortAll();
+            return false;
+        }
+        agent_.setSpecRead(addr, ctx);
+        return true;
+    };
+
+    switch (entry.inst.type) {
+      case OpType::Load:
+        if (!mark_read())
+            return;
+        break;
+      case OpType::Store:
+        doStore(addr, entry.inst.value, spec, ctx, entry.seq);
+        break;
+      case OpType::Cas:
+        if (!mark_read())
+            return;
+        if (entry.result == entry.inst.expect) {
+            if (spec)
+                doStore(addr, entry.inst.value, true, ctx, entry.seq);
+            else
+                agent_.writeWordL1(addr, entry.inst.value, false, 0);
+        }
+        break;
+      case OpType::FetchAdd:
+        if (!mark_read())
+            return;
+        if (spec) {
+            doStore(addr, entry.result + entry.inst.value, true, ctx,
+                    entry.seq);
+        } else {
+            agent_.writeWordL1(addr, entry.result + entry.inst.value,
+                               false, 0);
+        }
+        break;
+      default:
+        break;
+    }
+
+    if (spec) {
+        ++ckpts_[ctx].retiredInsts;
+        maybeCloseChunk();
+        // Bounded windows: once the speculation is long enough (or its
+        // L1 footprint large enough) and no further checkpoint is
+        // available, push it toward commit before it overflows the L1.
+        const bool too_long =
+            cfg_.maxWindowInsts != 0 && hasOpenCkpt() &&
+            ckpts_[openCtx()].retiredInsts >= cfg_.maxWindowInsts;
+        const bool too_big =
+            cfg_.specFootprintCap != 0 &&
+            agent_.specFootprint() >= cfg_.specFootprintCap;
+        if ((too_long || too_big) && freeSlot() == kNoSpecCtx) {
+            commitPressure_ = true;
+            for (const std::uint32_t c : order_)
+                ckpts_[c].closed = true;
+        }
+    } else {
+        needNonSpecProgress_ = false;
+    }
+}
+
+std::optional<std::uint64_t>
+SpeculativeImpl::forwardStore(Addr addr) const
+{
+    return sb_.forward(addr);
+}
+
+void
+SpeculativeImpl::onLoadExecuted(RobEntry& entry)
+{
+    // Continuous mode marks speculatively-read bits at execution
+    // (Section 4.2), which subsumes load-queue snooping. Loads whose
+    // value came from the store buffer (block absent) need no bit: their
+    // producing store is part of the same atomic commit.
+    if (!cfg_.continuous)
+        return;
+    // Open the first chunk lazily so even the earliest loads execute
+    // inside a speculation (the paper's continuous chunks start at
+    // cycle zero); when no slot is free the retirement-time backstop
+    // in onRetire marks the bit instead.
+    if (!hasOpenCkpt()) {
+        if (needNonSpecProgress_ || commitPressure_ ||
+            freeSlot() == kNoSpecCtx) {
+            return;
+        }
+        openCkpt();
+    }
+    const Addr addr = entry.inst.addr;
+    if (!agent_.l1Present(addr))
+        return;
+    const std::uint32_t ctx = openCtx();
+    agent_.setSpecRead(addr, ctx);
+    entry.specMarked = true;
+    entry.specCtx = ctx;
+}
+
+bool
+SpeculativeImpl::routeCycle(StallKind kind)
+{
+    if (!speculating())
+        return false;
+    ckpts_[order_.back()].pendingAcct.add(kind);
+    return true;
+}
+
+void
+SpeculativeImpl::onIdle()
+{
+    for (const std::uint32_t c : order_)
+        ckpts_[c].closed = true;
+}
+
+bool
+SpeculativeImpl::quiesced() const
+{
+    return !speculating() && sb_.empty() && cleaningPending_.empty();
+}
+
+// ---------------------------------------------------------------------
+// Drain, commit, abort
+// ---------------------------------------------------------------------
+
+bool
+SpeculativeImpl::anyNonSpecSbEntry() const
+{
+    for (const auto& e : sb_.entries()) {
+        if (!e.speculative)
+            return true;
+    }
+    return false;
+}
+
+bool
+SpeculativeImpl::robHasMarkedLoads(std::uint32_t ctx) const
+{
+    const Rob& rob = core_.rob();
+    for (std::size_t i = 0; i < rob.size(); ++i) {
+        const RobEntry& e = rob.at(i);
+        if (e.specMarked && e.specCtx == ctx)
+            return true;
+    }
+    return false;
+}
+
+bool
+SpeculativeImpl::commitConditionsMet(std::uint32_t ctx,
+                                     bool ignore_closed) const
+{
+    const Ckpt& k = ckpts_[ctx];
+    if (cfg_.continuous && !k.closed && !ignore_closed)
+        return false;
+    if (anyNonSpecSbEntry())
+        return false;   // older (pre-speculation) stores must complete
+    if (!sb_.emptyOfCtx(ctx))
+        return false;
+    if (robHasMarkedLoads(ctx))
+        return false;   // continuous: all the chunk's loads must retire
+    return true;
+}
+
+bool
+SpeculativeImpl::tryCommitOldest(bool force_close)
+{
+    const std::uint32_t c = order_.front();
+    Ckpt& k = ckpts_[c];
+
+    if (k.committing) {
+        // ASO: the SSB drain into the L2 is in progress; the external
+        // interface stays blocked until it finishes. Commit first, THEN
+        // unblock: the replayed external requests must observe the
+        // committed state (and may abort the remaining checkpoints).
+        if (core_.now() < k.commitDoneAt)
+            return false;
+        finishCommit(c);
+        agent_.setExternalBlocked(false);
+        return true;
+    }
+
+    if (!commitConditionsMet(c, force_close))
+        return false;
+
+    if (cfg_.commitDrainPerStore > 0 && k.storeCount > 0) {
+        k.committing = true;
+        k.commitDoneAt =
+            core_.now() + k.storeCount * cfg_.commitDrainPerStore;
+        agent_.setExternalBlocked(true);
+        return false;
+    }
+
+    // INVISIFENCE: constant-time commit by flash-clearing the bits.
+    finishCommit(c);
+    return true;
+}
+
+void
+SpeculativeImpl::finishCommit(std::uint32_t ctx)
+{
+    Ckpt& k = ckpts_[ctx];
+    agent_.flashCommit(ctx);
+    core_.breakdown().merge(k.pendingAcct);
+    statSpecRetired += k.retiredInsts;
+    ++statCommits;
+    k = Ckpt{};
+    assert(!order_.empty() && order_.front() == ctx);
+    order_.erase(order_.begin());
+    for (auto& e : sb_.entries())
+        e.held = false;
+}
+
+void
+SpeculativeImpl::abortAll()
+{
+    assert(speculating());
+    ++statAborts;
+    const ProgSnapshot snap = ckpts_[order_.front()].snap;
+    const InstSeq boundary = ckpts_[order_.front()].boundarySeq;
+    bool was_blocked = false;
+    for (const std::uint32_t c : order_) {
+        Ckpt& k = ckpts_[c];
+        was_blocked |= k.committing;
+        agent_.flashAbort(c);
+        core_.breakdown().violation += k.pendingAcct.total();
+        statAbortedRetired += k.retiredInsts;
+        k = Ckpt{};
+    }
+    order_.clear();
+    sb_.flashInvalidateSpeculative();
+    cleaningPending_.clear();
+    core_.rollbackTo(snap, boundary);
+    needNonSpecProgress_ = true;
+    covArmed_ = false;
+    commitPressure_ = false;
+    // Unblock only after all speculative state is gone: the replayed
+    // external requests must not re-enter the abort path.
+    if (was_blocked)
+        agent_.setExternalBlocked(false);
+    agent_.serveDeferred();
+}
+
+void
+SpeculativeImpl::drainStoreBuffer()
+{
+    int drained = 0;
+    std::unordered_set<Addr> seen;
+    auto& entries = sb_.entries();
+    for (std::size_t i = 0; i < entries.size();) {
+        auto& e = entries[i];
+        // Only the oldest entry per block may drain (checkpoint order).
+        const bool first = seen.insert(e.blockAddr).second;
+        if (!first || e.held) {
+            ++i;
+            continue;
+        }
+        if (!agent_.l1Writable(e.blockAddr)) {
+            // Issue the write fetch; re-issue if another core stole the
+            // permission before this entry drained.
+            if (!e.fillRequested ||
+                !agent_.fetchOutstanding(e.blockAddr)) {
+                if (agent_.request(e.blockAddr, true, []() {}))
+                    e.fillRequested = true;
+            }
+            ++i;
+            continue;
+        }
+        if (e.speculative) {
+            const CacheLine* line = agent_.l1().lookup(e.blockAddr);
+            if (line && line->dirty && !line->specWrittenAny()) {
+                // Preserve the pre-speculative value before the first
+                // speculative byte lands in the L1 (Section 3.2).
+                if (!cleaningPending_.count(e.blockAddr)) {
+                    cleaningPending_.insert(e.blockAddr);
+                    ++statCleanings;
+                    const Addr blk = e.blockAddr;
+                    agent_.cleanWriteback(blk, [this, blk]() {
+                        cleaningPending_.erase(blk);
+                    });
+                }
+                ++i;
+                continue;
+            }
+            if (cleaningPending_.count(e.blockAddr)) {
+                ++i;
+                continue;
+            }
+        }
+        if (drained >= 2) {
+            ++i;
+            continue;
+        }
+        agent_.writeMaskedL1(e.blockAddr, e.data, e.speculative,
+                             e.speculative ? e.ctx : 0);
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+        ++drained;
+    }
+}
+
+void
+SpeculativeImpl::tick()
+{
+    if (speculating())
+        ++statCyclesSpeculating;
+
+    drainStoreBuffer();
+
+    if (covArmed_ && core_.now() >= covDeadline_) {
+        ++statCovTimeouts;
+        if (speculating()) {
+            abortAll();
+        } else {
+            covArmed_ = false;
+            agent_.serveDeferred();
+        }
+        return;
+    }
+
+    while (speculating() && tryCommitOldest(covArmed_ || commitPressure_)) {
+    }
+    if (commitPressure_ && !speculating())
+        commitPressure_ = false;
+
+    if (covArmed_) {
+        agent_.serveDeferred();
+        if (!agent_.hasDeferred()) {
+            covArmed_ = false;
+            ++statCovCommits;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coherence listener
+// ---------------------------------------------------------------------
+
+ConsistencyImpl::ExtAction
+SpeculativeImpl::onSpecConflict(Addr block, bool wants_write)
+{
+    (void)block;
+    (void)wants_write;
+    ++statConflicts;
+    if (!speculating()) {
+        // Bits can linger only transiently; treat as resolved.
+        return ExtAction::Proceed;
+    }
+    if (cfg_.commitOnViolate) {
+        if (!covArmed_) {
+            covArmed_ = true;
+            covDeadline_ = core_.now() + cfg_.covTimeout;
+            ++statCovDeferrals;
+        }
+        return ExtAction::Defer;
+    }
+    abortAll();
+    return ExtAction::Proceed;
+}
+
+bool
+SpeculativeImpl::resolveSpecEviction(Addr block)
+{
+    (void)block;
+    ++statForcedEvictions;
+    if (!speculating())
+        return true;   // stale bits cannot exist; nothing to resolve
+    // Commit everything if every active checkpoint could commit right
+    // now; otherwise the agent defers the fill while the store buffer
+    // drains (Section 4.1: wait for the drain, then commit).
+    bool all_ready = !anyNonSpecSbEntry();
+    for (const std::uint32_t c : order_) {
+        if (!sb_.emptyOfCtx(c) || robHasMarkedLoads(c))
+            all_ready = false;
+    }
+    if (!all_ready) {
+        commitPressure_ = true;
+        for (const std::uint32_t c : order_)
+            ckpts_[c].closed = true;
+        return false;
+    }
+    while (speculating())
+        finishCommit(order_.front());
+    return true;
+}
+
+void
+SpeculativeImpl::resolveSpecEvictionHard(Addr block)
+{
+    (void)block;
+    if (speculating())
+        abortAll();
+}
+
+Breakdown
+SpeculativeImpl::pendingBreakdown() const
+{
+    Breakdown b;
+    for (const std::uint32_t c : order_)
+        b.merge(ckpts_[c].pendingAcct);
+    return b;
+}
+
+void
+SpeculativeImpl::registerStats(StatRegistry& reg,
+                               const std::string& prefix) const
+{
+    reg.registerStat(prefix + ".speculations", &statSpeculations);
+    reg.registerStat(prefix + ".commits", &statCommits);
+    reg.registerStat(prefix + ".aborts", &statAborts);
+    reg.registerStat(prefix + ".cycles_speculating",
+                     &statCyclesSpeculating);
+    reg.registerStat(prefix + ".spec_retired", &statSpecRetired);
+    reg.registerStat(prefix + ".aborted_retired", &statAbortedRetired);
+    reg.registerStat(prefix + ".conflicts", &statConflicts);
+    reg.registerStat(prefix + ".cov_deferrals", &statCovDeferrals);
+    reg.registerStat(prefix + ".cov_commits", &statCovCommits);
+    reg.registerStat(prefix + ".cov_timeouts", &statCovTimeouts);
+    reg.registerStat(prefix + ".forced_evictions", &statForcedEvictions);
+    reg.registerStat(prefix + ".cleanings", &statCleanings);
+}
+
+} // namespace invisifence

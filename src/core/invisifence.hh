@@ -1,0 +1,190 @@
+/**
+ * @file
+ * INVISIFENCE: post-retirement speculation for memory ordering
+ * (Sections 3 and 4 of the paper), plus the ASO baseline as a
+ * configuration preset.
+ *
+ * The engine implements:
+ *  - register checkpoints (program snapshots), one or two in flight;
+ *  - speculatively-read/written bits in the L1 with flash commit/abort;
+ *  - the coalescing store buffer discipline, including the no-coalesce
+ *    rule across speculative/non-speculative and checkpoint boundaries,
+ *    cleaning writebacks of dirty blocks, and held second-checkpoint
+ *    entries;
+ *  - INVISIFENCE-SELECTIVE triggers for SC/TSO/RMO (Section 4.1) with
+ *    constant-time opportunistic commit;
+ *  - INVISIFENCE-CONTINUOUS chunked execution with a minimum chunk size
+ *    and pipelined two-checkpoint commit (Section 4.2), marking read bits
+ *    at execute and subsuming load-queue snooping;
+ *  - the commit-on-violate (CoV) policy with a bounded timeout
+ *    (Section 3.2, violation detection);
+ *  - an ASO-like baseline (Section 5/6.4): unbounded per-store buffer,
+ *    multiple checkpoints, and a commit that drains one store per cycle
+ *    into the L2 while the cache's external interface is blocked.
+ */
+
+#ifndef INVISIFENCE_CORE_INVISIFENCE_HH
+#define INVISIFENCE_CORE_INVISIFENCE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cpu/consistency.hh"
+#include "cpu/core.hh"
+#include "mem/store_buffer.hh"
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** Configuration of one speculative consistency implementation. */
+struct SpecConfig
+{
+    Model model = Model::SC;       //!< enforced consistency model
+    bool continuous = false;       //!< continuous (chunk) speculation
+    std::uint32_t numCheckpoints = 1;
+    std::uint32_t sbEntries = 8;   //!< 32 with two checkpoints (Fig. 6)
+    std::uint32_t minChunkSize = 100;
+    bool commitOnViolate = false;
+    Cycle covTimeout = 4000;
+    /** ASO: cycles per store drained at commit (0 = flash commit). */
+    Cycle commitDrainPerStore = 0;
+    /** ASO: per-store SSB with no practical capacity limit. */
+    bool unboundedSb = false;
+    /**
+     * Bound on a single-checkpoint speculation's length (instructions).
+     * When exceeded, the engine stops extending the window so the store
+     * buffer drains and the commit fires — the same periodic-commit idea
+     * as ASO's checkpoints, and it keeps the speculative footprint well
+     * inside the L1 (0 = unbounded). Swept by bench/abl_window.
+     */
+    std::uint64_t maxWindowInsts = 0;
+    /**
+     * Commit pressure starts once this many L1 lines carry speculative
+     * bits: keeping the footprint well below the L1's capacity avoids
+     * forced-eviction stalls/aborts (the paper's cache-overflow commit,
+     * applied proactively). Swept by bench/abl_window.
+     */
+    std::uint32_t specFootprintCap = 320;
+    std::string nameOverride;
+
+    /** INVISIFENCE-SELECTIVE for @p m (Invisi_sc / _tso / _rmo). */
+    static SpecConfig selective(Model m, std::uint32_t ckpts = 1);
+    /** INVISIFENCE-CONTINUOUS (optionally with commit-on-violate). */
+    static SpecConfig continuousMode(bool cov);
+    /** ASO baseline enforcing SC (ASOsc in Section 6.4). */
+    static SpecConfig aso();
+
+    std::string name() const;
+};
+
+/** The unified post-retirement speculation engine. */
+class SpeculativeImpl : public ConsistencyImpl
+{
+  public:
+    SpeculativeImpl(const SpecConfig& cfg, Core& core, CacheAgent& agent);
+
+    void tick() override;
+    RetireCheck canRetire(RobEntry& entry) override;
+    void onRetire(RobEntry& entry) override;
+    std::optional<std::uint64_t> forwardStore(Addr addr) const override;
+    bool speculating() const override { return !order_.empty(); }
+    void onLoadExecuted(RobEntry& entry) override;
+    bool routeCycle(StallKind kind) override;
+    void onIdle() override;
+    bool quiesced() const override;
+
+    ExtAction onSpecConflict(Addr block, bool wants_write) override;
+    bool resolveSpecEviction(Addr block) override;
+    void resolveSpecEvictionHard(Addr block) override;
+
+    const SpecConfig& config() const { return cfg_; }
+    const CoalescingStoreBuffer& storeBuffer() const { return sb_; }
+
+    /** Register engine statistics under @p prefix. */
+    void registerStats(StatRegistry& reg, const std::string& prefix) const;
+
+    /** Cycles accrued by still-active checkpoints (not yet folded). */
+    Breakdown pendingBreakdown() const;
+
+    std::uint64_t statSpeculations = 0;
+    std::uint64_t statCommits = 0;
+    std::uint64_t statAborts = 0;
+    std::uint64_t statCyclesSpeculating = 0;
+    std::uint64_t statSpecRetired = 0;       //!< committed spec instrs
+    std::uint64_t statAbortedRetired = 0;    //!< discarded spec instrs
+    std::uint64_t statConflicts = 0;
+    std::uint64_t statCovDeferrals = 0;
+    std::uint64_t statCovCommits = 0;
+    std::uint64_t statCovTimeouts = 0;
+    std::uint64_t statForcedEvictions = 0;
+    std::uint64_t statCleanings = 0;
+    std::uint64_t statMarkFallbacks = 0;
+
+  private:
+    /** One checkpoint context. */
+    struct Ckpt
+    {
+        bool active = false;
+        bool closed = false;      //!< no longer accepts instructions
+        bool committing = false;  //!< ASO drain in progress
+        Cycle commitDoneAt = 0;
+        ProgSnapshot snap{};
+        InstSeq boundarySeq = 0;  //!< last retired seq at checkpoint time
+        Cycle startedAt = 0;
+        std::uint64_t retiredInsts = 0;
+        std::uint64_t storeCount = 0;
+        Breakdown pendingAcct{};
+    };
+
+    /** Where a retiring store's data goes. */
+    enum class StoreRoute
+    {
+        DirectHit,     //!< write straight into the L1
+        Merge,         //!< coalesce into a compatible SB entry
+        NewEntry,      //!< allocate a fresh SB entry
+        NewEntryHeld,  //!< fresh entry held until the older ckpt commits
+        Full,          //!< no room: SB-full stall
+    };
+    StoreRoute routeStore(Addr addr, bool spec, std::uint32_t ctx) const;
+    void doStore(Addr addr, std::uint64_t value, bool spec,
+                 std::uint32_t ctx, InstSeq seq);
+    RetireCheck checkStoreCapacity(Addr addr, bool spec, std::uint32_t ctx);
+
+    /** Conventional-mode retirement rules for the target model. */
+    RetireCheck conventionalCanRetire(RobEntry& entry);
+    /** Would the conventional rules stall this entry for ordering? */
+    bool wouldTriggerSpeculation(const RobEntry& entry) const;
+
+    bool hasOpenCkpt() const;
+    std::uint32_t openCtx() const;
+    std::uint32_t freeSlot() const;
+    void openCkpt();
+    void maybeCloseChunk();
+
+    bool anyNonSpecSbEntry() const;
+    bool robHasMarkedLoads(std::uint32_t ctx) const;
+    bool commitConditionsMet(std::uint32_t ctx, bool ignore_closed) const;
+    /** Advance the oldest checkpoint toward commit; true if it retired. */
+    bool tryCommitOldest(bool force_close);
+    void finishCommit(std::uint32_t ctx);
+    void abortAll();
+    void drainStoreBuffer();
+
+    SpecConfig cfg_;
+    CoalescingStoreBuffer sb_;
+    Ckpt ckpts_[kMaxCheckpoints];
+    std::vector<std::uint32_t> order_;   //!< active ckpts, oldest first
+    bool needNonSpecProgress_ = false;
+    /** A deferred fill is waiting: stop extending speculation so the
+     *  store buffer drains and the commit can fire (Section 4.1). */
+    bool commitPressure_ = false;
+    bool covArmed_ = false;
+    Cycle covDeadline_ = 0;
+    std::unordered_set<Addr> cleaningPending_;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_CORE_INVISIFENCE_HH

@@ -1,0 +1,368 @@
+#include "cpu/core.hh"
+
+#include <cassert>
+
+#include "cpu/consistency.hh"
+#include "sim/log.hh"
+
+namespace invisifence {
+
+Core::Core(NodeId id, const CoreParams& params, CacheAgent& agent,
+           ThreadProgram& program)
+    : id_(id), params_(params), agent_(agent), program_(program),
+      rob_(params.robSize)
+{
+    program_.snapshotTo(retiredSnap_);
+}
+
+void
+Core::setConsistency(ConsistencyImpl* impl)
+{
+    impl_ = impl;
+    agent_.setListener(impl);
+}
+
+bool
+Core::done() const
+{
+    return halted_ && rob_.empty() && impl_->quiesced();
+}
+
+void
+Core::tick(Cycle now)
+{
+    assert(impl_ && "core ticked without a consistency implementation");
+    now_ = now;
+    ++statCycles;
+    impl_->tick();
+    retireStage();
+    executeStage();
+    dispatchStage();
+    if (halted_ && rob_.empty())
+        impl_->onIdle();
+}
+
+void
+Core::retireStage()
+{
+    std::uint32_t retired = 0;
+    StallKind stall = StallKind::Other;
+
+    while (retired < params_.width && !rob_.empty()) {
+        RobEntry& head = rob_.head();
+        if (head.status != RobEntry::Status::Done) {
+            stall = StallKind::Other;
+            break;
+        }
+        RetireCheck chk = impl_->canRetire(head);
+        if (!chk.ok) {
+            stall = chk.stall;
+            break;
+        }
+
+        // onRetire may, in rare paths (forced eviction of a speculative
+        // block while marking a read bit), abort the speculation and
+        // flush the ROB under us; detect that and void the retirement.
+        const Instruction inst = head.inst;
+        const std::uint64_t epoch_before = flushEpoch_;
+
+        impl_->onRetire(head);
+
+        if (flushEpoch_ != epoch_before)
+            break;
+
+        RobEntry& h = rob_.head();
+        const bool mispredict =
+            h.inst.feedsBack && h.result != h.inst.predictedResult;
+
+        retiredSnap_ = h.snapAfter;
+        lastRetiredSeq_ = h.seq;
+        if (journalEnabled_ && isMemOp(h.inst.type))
+            journal_.push_back({h.seq, h.inst.type, h.inst.addr, h.result});
+        switch (inst.type) {
+          case OpType::Load: ++statLoads; break;
+          case OpType::Store: ++statStores; break;
+          case OpType::Cas:
+          case OpType::FetchAdd: ++statAtomics; break;
+          case OpType::Fence: ++statFences; break;
+          default: break;
+        }
+
+        if (mispredict) {
+            ++statMispredicts;
+            program_.restoreFrom(h.snapAfter);
+            program_.setLastResult(h.result);
+            program_.snapshotTo(retiredSnap_);
+            halted_ = false;
+            rob_.clear();
+        } else {
+            rob_.popHead();
+        }
+        ++retired;
+        ++statRetired;
+        if (mispredict)
+            break;
+    }
+
+    const StallKind kind =
+        retired > 0 ? StallKind::None
+                    : (rob_.empty() && halted_ ? StallKind::Other : stall);
+    if (!impl_->routeCycle(kind))
+        breakdown_.add(kind);
+}
+
+void
+Core::executeStage()
+{
+    std::uint32_t issued = 0;
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        RobEntry& e = rob_.at(i);
+        if (e.status == RobEntry::Status::Issued && e.valueBound &&
+            e.readyAt <= now_) {
+            e.status = RobEntry::Status::Done;
+            if (isLoadLike(e.inst.type))
+                impl_->onLoadExecuted(e);
+            continue;
+        }
+        if (e.status == RobEntry::Status::Dispatched &&
+            isLoadLike(e.inst.type) && issued < params_.l1Ports) {
+            if (tryIssueLoad(i))
+                ++issued;
+        }
+    }
+}
+
+Core::RobForward
+Core::forwardFromRob(std::size_t idx, Addr addr) const
+{
+    RobForward fw;
+    const Addr word = wordAlign(addr);
+    for (std::size_t j = idx; j-- > 0;) {
+        const RobEntry& f = rob_.at(j);
+        if (!isStoreLike(f.inst.type) ||
+            wordAlign(f.inst.addr) != word) {
+            continue;
+        }
+        if (f.inst.type == OpType::Store) {
+            fw.producerFound = true;
+            fw.valueKnown = true;
+            fw.value = f.inst.value;
+            return fw;
+        }
+        if (f.inst.type == OpType::Cas) {
+            // Resolved CAS: forward its new value on success, else it
+            // wrote nothing and older producers are searched.
+            if (f.status == RobEntry::Status::Done || f.valueBound) {
+                if (f.result != f.inst.expect)
+                    continue;
+                fw.producerFound = true;
+                fw.valueKnown = true;
+                fw.value = f.inst.value;
+                return fw;
+            }
+            // Unresolved: only a feedsBack CAS has a verified-at-retire
+            // prediction we may rely on (a mispredict squashes us).
+            if (f.inst.feedsBack) {
+                if (f.inst.predictedResult != f.inst.expect)
+                    continue;   // predicted fail: no write expected
+                fw.producerFound = true;
+                fw.valueKnown = true;
+                fw.value = f.inst.value;
+                return fw;
+            }
+            fw.producerFound = true;   // wait for the CAS to resolve
+            return fw;
+        }
+        // FetchAdd: new value known only once the old value is bound.
+        fw.producerFound = true;
+        if (f.status == RobEntry::Status::Done || f.valueBound) {
+            fw.valueKnown = true;
+            fw.value = f.result + f.inst.value;
+        }
+        return fw;
+    }
+    return fw;
+}
+
+void
+Core::bindLoadValue(RobEntry& entry, std::uint64_t value, Cycle ready)
+{
+    entry.result = value;
+    entry.valueBound = true;
+    entry.status = RobEntry::Status::Issued;
+    entry.readyAt = ready;
+}
+
+bool
+Core::tryIssueLoad(std::size_t idx)
+{
+    RobEntry& e = rob_.at(idx);
+    const Addr addr = e.inst.addr;
+    const Cycle hit_ready = now_ + agent_.params().l1Latency;
+
+    // 1. Forward from an older, not-yet-retired store in the window.
+    const RobForward fw = forwardFromRob(idx, addr);
+    if (fw.producerFound) {
+        if (!fw.valueKnown)
+            return false;       // wait for the producer to resolve
+        bindLoadValue(e, fw.value, hit_ready);
+        ++statLoadForwards;
+        return true;
+    }
+
+    // 2. Forward from the store buffer.
+    if (auto v = impl_->forwardStore(addr)) {
+        bindLoadValue(e, *v, hit_ready);
+        ++statLoadForwards;
+        return true;
+    }
+
+    // 3. L1 hit.
+    if (agent_.l1Readable(addr)) {
+        bindLoadValue(e, agent_.readWordL1(addr), hit_ready);
+        ++statL1LoadHits;
+        // Atomics also want write permission; prefetch it.
+        if (isAtomic(e.inst.type) && params_.storePrefetch &&
+            !agent_.l1Writable(addr) && !e.prefetched) {
+            e.prefetched = true;
+            agent_.request(addr, true, []() {});
+        }
+        return true;
+    }
+
+    // 4. Miss: fetch the block (atomics fetch with write intent).
+    const bool want_write = isAtomic(e.inst.type);
+    const InstSeq seq = e.seq;
+    const bool accepted =
+        agent_.request(addr, want_write, [this, seq, addr]() {
+            const std::ptrdiff_t i = rob_.indexOf(seq);
+            if (i < 0)
+                return;   // squashed while the fill was in flight
+            RobEntry& e2 = rob_.at(static_cast<std::size_t>(i));
+            if (e2.status != RobEntry::Status::Issued || e2.valueBound)
+                return;
+            if (!agent_.l1Readable(addr)) {
+                // The block was stolen before the (possibly deferred)
+                // fill completed: replay the issue.
+                e2.status = RobEntry::Status::Dispatched;
+                return;
+            }
+            e2.result = agent_.readWordL1(addr);
+            e2.valueBound = true;
+            e2.status = RobEntry::Status::Done;
+            if (isLoadLike(e2.inst.type))
+                impl_->onLoadExecuted(e2);
+        });
+    if (!accepted)
+        return false;     // MSHRs exhausted; retry next cycle
+    e.status = RobEntry::Status::Issued;
+    e.valueBound = false;
+    e.readyAt = ~Cycle{0};
+    ++statLoadMisses;
+    return true;
+}
+
+void
+Core::dispatchStage()
+{
+    if (halted_)
+        return;
+    std::uint32_t dispatched = 0;
+    while (dispatched < params_.width && !rob_.full()) {
+        const Instruction inst = program_.fetchNext();
+        if (inst.type == OpType::Halt) {
+            halted_ = true;
+            return;
+        }
+        RobEntry& e = rob_.push();
+        e = RobEntry{};
+        e.inst = inst;
+        e.seq = nextSeq_++;
+        program_.snapshotTo(e.snapAfter);
+
+        switch (inst.type) {
+          case OpType::Alu:
+            e.status = RobEntry::Status::Issued;
+            e.valueBound = true;
+            e.readyAt = now_ + inst.latency;
+            break;
+          case OpType::Nop:
+          case OpType::Fence:
+            e.status = RobEntry::Status::Done;
+            break;
+          case OpType::Store:
+            e.status = RobEntry::Status::Done;
+            if (params_.storePrefetch && !agent_.l1Writable(inst.addr)) {
+                e.prefetched = true;
+                agent_.request(inst.addr, true, []() {});
+            }
+            break;
+          case OpType::Load:
+          case OpType::Cas:
+          case OpType::FetchAdd:
+            e.status = RobEntry::Status::Dispatched;
+            break;
+          case OpType::Halt:
+            break;
+        }
+        ++dispatched;
+    }
+}
+
+void
+Core::rollbackTo(const ProgSnapshot& snap, InstSeq last_valid_seq)
+{
+    program_.restoreFrom(snap);
+    retiredSnap_ = snap;
+    rob_.clear();
+    halted_ = false;
+    ++flushEpoch_;
+    lastRetiredSeq_ = last_valid_seq;
+    if (journalEnabled_) {
+        while (!journal_.empty() && journal_.back().seq > last_valid_seq)
+            journal_.pop_back();
+    }
+}
+
+void
+Core::notifyInvalidated(Addr block)
+{
+    const Addr blk = blockAlign(block);
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        RobEntry& e = rob_.at(i);
+        if (!isLoadLike(e.inst.type) || !e.valueBound || e.specMarked)
+            continue;
+        if (blockAlign(e.inst.addr) != blk)
+            continue;
+        // Replay this load and squash everything younger.
+        program_.restoreFrom(e.snapAfter);
+        halted_ = false;
+        rob_.squashAfter(i);
+        e.status = RobEntry::Status::Dispatched;
+        e.valueBound = false;
+        e.readyAt = 0;
+        ++statLqSquashes;
+        ++flushEpoch_;
+        return;
+    }
+}
+
+void
+Core::registerStats(StatRegistry& reg, const std::string& prefix) const
+{
+    reg.registerStat(prefix + ".retired", &statRetired);
+    reg.registerStat(prefix + ".loads", &statLoads);
+    reg.registerStat(prefix + ".stores", &statStores);
+    reg.registerStat(prefix + ".atomics", &statAtomics);
+    reg.registerStat(prefix + ".fences", &statFences);
+    reg.registerStat(prefix + ".mispredicts", &statMispredicts);
+    reg.registerStat(prefix + ".lq_squashes", &statLqSquashes);
+    reg.registerStat(prefix + ".cycles", &statCycles);
+    reg.registerStat(prefix + ".cycles.busy", &breakdown_.busy);
+    reg.registerStat(prefix + ".cycles.other", &breakdown_.other);
+    reg.registerStat(prefix + ".cycles.sb_full", &breakdown_.sbFull);
+    reg.registerStat(prefix + ".cycles.sb_drain", &breakdown_.sbDrain);
+    reg.registerStat(prefix + ".cycles.violation", &breakdown_.violation);
+}
+
+} // namespace invisifence

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Out-of-order core model (Figure 6: 4 GHz, 4-wide, 96-entry ROB).
+ *
+ * The pipeline is collapsed to the three stages that matter for memory
+ * ordering studies: dispatch (fetch from the thread program into the
+ * ROB), execute (issue loads/atomics to the memory system out of order,
+ * complete ALU ops), and retire (in order, gated by the consistency
+ * implementation). In-window speculative load reordering is supported by
+ * snooping the ROB's bound-value loads on invalidations and replaying
+ * from the violating load, as in MIPS R10000-style designs (Section 2.1).
+ */
+
+#ifndef INVISIFENCE_CPU_CORE_HH
+#define INVISIFENCE_CPU_CORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coh/cache_agent.hh"
+#include "cpu/accounting.hh"
+#include "cpu/program.hh"
+#include "cpu/rob.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace invisifence {
+
+class ConsistencyImpl;
+
+/** Core pipeline parameters. */
+struct CoreParams
+{
+    std::uint32_t width = 4;        //!< dispatch/retire width
+    std::uint32_t robSize = 96;
+    std::uint32_t l1Ports = 3;      //!< memory issues per cycle
+    bool storePrefetch = true;      //!< prefetch write permission early
+};
+
+/** One out-of-order core bound to a thread program and a cache agent. */
+class Core
+{
+  public:
+    Core(NodeId id, const CoreParams& params, CacheAgent& agent,
+         ThreadProgram& program);
+
+    /** Must be called before the first tick. */
+    void setConsistency(ConsistencyImpl* impl);
+
+    /** Advance one cycle: retire, execute, dispatch, account. */
+    void tick(Cycle now);
+
+    /** @{ Services used by consistency implementations. */
+    CacheAgent& agent() { return agent_; }
+    ThreadProgram& program() { return program_; }
+    Cycle now() const { return now_; }
+
+    /** Program state as of the last retired instruction. */
+    const ProgSnapshot& retiredSnapshot() const { return retiredSnap_; }
+
+    /**
+     * Full rollback (speculation abort): flush all in-flight
+     * instructions, restore the program checkpoint, resume fetch.
+     * @p last_valid_seq is the youngest retired instruction that
+     * survives the rollback; younger journal records are discarded.
+     */
+    void rollbackTo(const ProgSnapshot& snap, InstSeq last_valid_seq);
+
+    /** Sequence number of the most recently retired instruction. */
+    InstSeq lastRetiredSeq() const { return lastRetiredSeq_; }
+
+    /** One committed retirement, for litmus outcome observers. */
+    struct RetireRecord
+    {
+        InstSeq seq = 0;
+        OpType type = OpType::Nop;
+        Addr addr = 0;
+        std::uint64_t result = 0;
+    };
+
+    /** Record retired memory operations (litmus outcome checking). */
+    void enableJournal() { journalEnabled_ = true; }
+    const std::vector<RetireRecord>& journal() const { return journal_; }
+
+    /**
+     * In-window snoop: an invalidation hit @p block. Replay from the
+     * oldest bound-value load of that block, if any. Loads protected by
+     * speculative read bits (specMarked) are skipped; their violations
+     * surface through the cache bits instead.
+     */
+    void notifyInvalidated(Addr block);
+
+    Breakdown& breakdown() { return breakdown_; }
+    const Breakdown& breakdown() const { return breakdown_; }
+    /** @} */
+
+    NodeId id() const { return id_; }
+    const CoreParams& params() const { return params_; }
+    bool halted() const { return halted_; }
+
+    /** True when the program halted and the pipeline fully drained. */
+    bool done() const;
+
+    const Rob& rob() const { return rob_; }
+
+    /** Register this core's statistics under @p prefix. */
+    void registerStats(StatRegistry& reg, const std::string& prefix) const;
+
+    std::uint64_t statRetired = 0;
+    std::uint64_t statLoads = 0;
+    std::uint64_t statStores = 0;
+    std::uint64_t statAtomics = 0;
+    std::uint64_t statFences = 0;
+    std::uint64_t statMispredicts = 0;
+    std::uint64_t statLqSquashes = 0;
+    std::uint64_t statL1LoadHits = 0;
+    std::uint64_t statLoadForwards = 0;
+    std::uint64_t statLoadMisses = 0;
+    std::uint64_t statCycles = 0;
+
+  private:
+    void retireStage();
+    void executeStage();
+    void dispatchStage();
+
+    /** Try to issue the load-like entry at @p idx; true on issue. */
+    bool tryIssueLoad(std::size_t idx);
+
+    /** Forward from an older in-ROB store-like entry. Three-state:
+     *  value (hit), nullopt+match=false (no producer), match=true with
+     *  no value (producer exists but value unresolved: stall). */
+    struct RobForward
+    {
+        bool producerFound = false;
+        bool valueKnown = false;
+        std::uint64_t value = 0;
+    };
+    RobForward forwardFromRob(std::size_t idx, Addr addr) const;
+
+    /** Squash all entries younger than index @p idx and refetch. */
+    void squashYounger(std::size_t idx);
+
+    void bindLoadValue(RobEntry& entry, std::uint64_t value, Cycle ready);
+
+    NodeId id_;
+    CoreParams params_;
+    CacheAgent& agent_;
+    ThreadProgram& program_;
+    ConsistencyImpl* impl_ = nullptr;
+
+    Rob rob_;
+    ProgSnapshot retiredSnap_{};
+    InstSeq nextSeq_ = 1;
+    Cycle now_ = 0;
+    bool halted_ = false;
+    std::uint64_t flushEpoch_ = 0;   //!< bumps on every squash/rollback
+    InstSeq lastRetiredSeq_ = 0;
+    bool journalEnabled_ = false;
+    std::vector<RetireRecord> journal_;
+    Breakdown breakdown_{};
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_CPU_CORE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reorder buffer entry and container.
+ *
+ * Loads live in the ROB itself (entries with a bound value act as the
+ * load queue for snoop-based in-window speculation); stores execute their
+ * memory side at retirement, so no separate store queue is modeled.
+ */
+
+#ifndef INVISIFENCE_CPU_ROB_HH
+#define INVISIFENCE_CPU_ROB_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "cpu/instruction.hh"
+#include "cpu/program.hh"
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** Context value meaning "not part of any speculation". */
+constexpr std::uint32_t kNoSpecCtx = 0xffffffffu;
+
+/** One in-flight instruction. */
+struct RobEntry
+{
+    enum class Status : std::uint8_t
+    {
+        Dispatched,  //!< waiting to issue to memory
+        Issued,      //!< executing; completes at readyAt or via fill
+        Done,        //!< result bound; eligible to retire
+    };
+
+    Instruction inst{};
+    InstSeq seq = 0;
+    ProgSnapshot snapAfter{};   //!< program state just after this fetch
+    Status status = Status::Dispatched;
+    std::uint64_t result = 0;
+    bool valueBound = false;    //!< result holds real data (LQ snooping)
+    bool prefetched = false;    //!< store/atomic write-permission prefetch
+    Cycle readyAt = 0;
+    bool specMarked = false;    //!< set a speculatively-read bit at execute
+    std::uint32_t specCtx = kNoSpecCtx;  //!< checkpoint the bit belongs to
+};
+
+/**
+ * In-order window of RobEntry. A thin wrapper over std::deque kept small
+ * so squash paths stay obvious.
+ */
+class Rob
+{
+  public:
+    explicit Rob(std::uint32_t capacity) : capacity_(capacity) {}
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    std::uint32_t capacity() const { return capacity_; }
+
+    RobEntry& head() { return entries_.front(); }
+    const RobEntry& head() const { return entries_.front(); }
+
+    RobEntry&
+    push()
+    {
+        entries_.emplace_back();
+        return entries_.back();
+    }
+
+    void popHead() { entries_.pop_front(); }
+
+    /** Remove every entry strictly younger than index @p idx. */
+    void
+    squashAfter(std::size_t idx)
+    {
+        entries_.resize(idx + 1);
+    }
+
+    void clear() { entries_.clear(); }
+
+    RobEntry& at(std::size_t i) { return entries_[i]; }
+    const RobEntry& at(std::size_t i) const { return entries_[i]; }
+
+    /** Index of the entry with sequence number @p seq, or -1. */
+    std::ptrdiff_t
+    indexOf(InstSeq seq) const
+    {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].seq == seq)
+                return static_cast<std::ptrdiff_t>(i);
+        }
+        return -1;
+    }
+
+  private:
+    std::uint32_t capacity_;
+    std::deque<RobEntry> entries_;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_CPU_ROB_HH

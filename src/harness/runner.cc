@@ -1,0 +1,217 @@
+#include "harness/runner.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "core/invisifence.hh"
+#include "workload/synthetic.hh"
+
+namespace invisifence {
+
+RunConfig
+RunConfig::fromEnv()
+{
+    RunConfig cfg;
+    if (const char* env = std::getenv("INVISIFENCE_BENCH_CYCLES")) {
+        const long long v = std::atoll(env);
+        if (v > 0) {
+            cfg.measureCycles = static_cast<Cycle>(v);
+            cfg.warmupCycles = static_cast<Cycle>(v) / 6;
+        }
+    }
+    if (const char* env = std::getenv("INVISIFENCE_BENCH_SEED")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            cfg.seed = static_cast<std::uint64_t>(v);
+    }
+    return cfg;
+}
+
+namespace {
+
+std::uint64_t
+clampedDelta(std::uint64_t after, std::uint64_t before)
+{
+    // Aborts reclassify in-flight cycles as Violation, so a category can
+    // shrink slightly across the window; clamp instead of wrapping.
+    return after >= before ? after - before : 0;
+}
+
+Breakdown
+minus(const Breakdown& a, const Breakdown& b)
+{
+    Breakdown d;
+    d.busy = clampedDelta(a.busy, b.busy);
+    d.other = clampedDelta(a.other, b.other);
+    d.sbFull = clampedDelta(a.sbFull, b.sbFull);
+    d.sbDrain = clampedDelta(a.sbDrain, b.sbDrain);
+    d.violation = clampedDelta(a.violation, b.violation);
+    return d;
+}
+
+struct Counters
+{
+    std::uint64_t retired = 0;
+    std::uint64_t abortedRetired = 0;
+    std::uint64_t coreCycles = 0;
+    Breakdown breakdown{};
+    std::uint64_t speculating = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t commits = 0;
+};
+
+Counters
+sample(System& sys)
+{
+    Counters c;
+    c.retired = sys.totalRetired();
+    c.coreCycles = sys.totalCoreCycles();
+    c.breakdown = sys.totalBreakdown();
+    c.speculating = sys.totalSpeculatingCycles();
+    for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
+        if (auto* spec = dynamic_cast<SpeculativeImpl*>(&sys.impl(i))) {
+            c.aborts += spec->statAborts;
+            c.commits += spec->statCommits;
+            c.abortedRetired += spec->statAbortedRetired;
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+void
+warmSystem(System& sys, const SyntheticParams& params)
+{
+    const std::uint32_t n = sys.numCores();
+    const std::uint32_t all_mask =
+        n >= 32 ? ~0u : ((1u << n) - 1);
+    const BlockData zero{};
+    // Never prime more than fits comfortably: overflowing the L2 here
+    // would trigger an eviction storm before the run even starts.
+    const std::uint32_t l2_blocks = static_cast<std::uint32_t>(
+        sys.agent(0).params().l2Size / kBlockBytes);
+    const std::uint32_t priv_cap = l2_blocks / 2;
+    const std::uint32_t shared_cap = l2_blocks / 4;
+
+    const auto prime_shared_everywhere = [&](Addr block) {
+        for (std::uint32_t t = 0; t < n; ++t)
+            sys.agent(t).primeBlock(block, CoherenceState::Shared, zero);
+        sys.directory(homeOf(block, n)).primeShared(block, all_mask);
+    };
+
+    // Private working sets: Exclusive at their owning core.
+    const std::uint32_t priv =
+        std::min<std::uint32_t>(params.privateBlocks, priv_cap);
+    for (std::uint32_t t = 0; t < n; ++t) {
+        const Addr base = kPrivateRegion + t * kPrivateStride;
+        for (std::uint32_t b = 0; b < priv; ++b) {
+            const Addr block = base + static_cast<Addr>(b) * kBlockBytes;
+            sys.agent(t).primeBlock(block, CoherenceState::Exclusive,
+                                    zero);
+            sys.directory(homeOf(block, n)).primeOwned(block, t);
+        }
+    }
+
+    // Shared region and lock words: Shared everywhere.
+    const std::uint32_t shared =
+        std::min<std::uint32_t>(params.sharedBlocks, shared_cap);
+    for (std::uint32_t b = 0; b < shared; ++b)
+        prime_shared_everywhere(kSharedRegion +
+                                static_cast<Addr>(b) * kBlockBytes);
+    const std::uint32_t locks =
+        std::min<std::uint32_t>(params.numLocks, l2_blocks / 16);
+    for (std::uint32_t l = 0; l < locks; ++l)
+        prime_shared_everywhere(lockAddr(l));
+
+    // Lock-protected data: migratory; start at a round-robin owner.
+    for (std::uint32_t l = 0; l < locks; ++l) {
+        const NodeId owner = l % n;
+        const Addr base = kLockDataRegion +
+                          static_cast<Addr>(l) * params.lockDataBlocks *
+                              kBlockBytes;
+        for (std::uint32_t b = 0; b < params.lockDataBlocks; ++b) {
+            const Addr block = base + static_cast<Addr>(b) * kBlockBytes;
+            sys.agent(owner).primeBlock(block, CoherenceState::Exclusive,
+                                        zero);
+            sys.directory(homeOf(block, n)).primeOwned(block, owner);
+        }
+    }
+}
+
+RunResult
+runExperiment(const Workload& workload, ImplKind kind,
+              const RunConfig& cfg)
+{
+    std::vector<std::unique_ptr<ThreadProgram>> programs;
+    for (std::uint32_t t = 0; t < cfg.system.numCores; ++t) {
+        programs.push_back(std::make_unique<SyntheticProgram>(
+            workload.params, t, cfg.seed));
+    }
+    System sys(cfg.system, std::move(programs), kind);
+    if (cfg.warmStart)
+        warmSystem(sys, workload.params);
+
+    sys.run(cfg.warmupCycles);
+    const Counters before = sample(sys);
+    sys.run(cfg.measureCycles);
+    const Counters after = sample(sys);
+
+    RunResult r;
+    r.workload = workload.name;
+    r.impl = implKindName(kind);
+    // Committed instructions only: retirements discarded by an abort are
+    // re-executed and would otherwise be double counted. Clamp: an abort
+    // right after the sample can discard work retired before it.
+    const std::uint64_t committed_after =
+        after.retired >= after.abortedRetired
+            ? after.retired - after.abortedRetired
+            : 0;
+    const std::uint64_t committed_before =
+        before.retired >= before.abortedRetired
+            ? before.retired - before.abortedRetired
+            : 0;
+    r.retired = committed_after >= committed_before
+                    ? committed_after - committed_before
+                    : 0;
+    r.coreCycles = after.coreCycles - before.coreCycles;
+    r.breakdown = minus(after.breakdown, before.breakdown);
+    r.speculatingCycles = after.speculating - before.speculating;
+    r.aborts = after.aborts - before.aborts;
+    r.commits = after.commits - before.commits;
+    return r;
+}
+
+BreakdownShares
+shares(const RunResult& r)
+{
+    BreakdownShares s;
+    const double total = static_cast<double>(r.coreCycles);
+    if (total <= 0)
+        return s;
+    s.busy = static_cast<double>(r.breakdown.busy) / total;
+    s.other = static_cast<double>(r.breakdown.other) / total;
+    s.sbFull = static_cast<double>(r.breakdown.sbFull) / total;
+    s.sbDrain = static_cast<double>(r.breakdown.sbDrain) / total;
+    s.violation = static_cast<double>(r.breakdown.violation) / total;
+    return s;
+}
+
+BreakdownShares
+normalizedShares(const RunResult& r, const RunResult& baseline)
+{
+    BreakdownShares s = shares(r);
+    const double thr = r.throughput();
+    if (thr <= 0)
+        return s;
+    const double scale = baseline.throughput() / thr;
+    s.busy *= scale;
+    s.other *= scale;
+    s.sbFull *= scale;
+    s.sbDrain *= scale;
+    s.violation *= scale;
+    return s;
+}
+
+} // namespace invisifence

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Experiment runner: one (workload, implementation) measurement, plus
+ * the derived metrics the paper's figures report.
+ *
+ * Runs are fixed-length with a warmup prefix excluded from measurement.
+ * Throughput (retired instructions per core-cycle) stands in for the
+ * inverse of runtime: all configurations execute statistically identical
+ * work, so speedup(X over Y) = throughput_X / throughput_Y, and a
+ * configuration's "runtime normalized to SC" (Figure 9/11/12) is
+ * throughput_SC / throughput_X with the cycle-category shares scaled by
+ * the same factor.
+ */
+
+#ifndef INVISIFENCE_HARNESS_RUNNER_HH
+#define INVISIFENCE_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/accounting.hh"
+#include "harness/system.hh"
+#include "workload/workloads.hh"
+
+namespace invisifence {
+
+/** Measurement knobs. */
+struct RunConfig
+{
+    Cycle warmupCycles = 12000;
+    Cycle measureCycles = 50000;
+    std::uint64_t seed = 1;
+    bool warmStart = true;   //!< prime caches/directory (warm sampling)
+    SystemParams system = SystemParams::bench();
+
+    /** Environment override: INVISIFENCE_BENCH_CYCLES scales runs. */
+    static RunConfig fromEnv();
+};
+
+/**
+ * Prime caches and directory with the workload's steady-state working
+ * set: private regions Exclusive at their owner, the shared region and
+ * lock words Shared everywhere, lock-data chunks at a round-robin owner.
+ * Stands in for the warm checkpoints of the SimFlex methodology.
+ */
+void warmSystem(System& sys, const SyntheticParams& params);
+
+/** Result of one measured run. */
+struct RunResult
+{
+    std::string workload;
+    std::string impl;
+    std::uint64_t retired = 0;         //!< instructions in the window
+    std::uint64_t coreCycles = 0;      //!< cores * measured cycles
+    Breakdown breakdown{};             //!< measured-window breakdown
+    std::uint64_t speculatingCycles = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t commits = 0;
+
+    double throughput() const
+    {
+        return coreCycles == 0
+                   ? 0.0
+                   : static_cast<double>(retired) /
+                         static_cast<double>(coreCycles);
+    }
+
+    /** Fraction of core cycles in speculation (Figure 10). */
+    double specFraction() const
+    {
+        return coreCycles == 0
+                   ? 0.0
+                   : static_cast<double>(speculatingCycles) /
+                         static_cast<double>(coreCycles);
+    }
+};
+
+/** Run @p workload under @p kind and measure. */
+RunResult runExperiment(const Workload& workload, ImplKind kind,
+                        const RunConfig& cfg);
+
+/** Category shares of the breakdown, as fractions summing to ~1. */
+struct BreakdownShares
+{
+    double busy = 0, other = 0, sbFull = 0, sbDrain = 0, violation = 0;
+};
+BreakdownShares shares(const RunResult& r);
+
+/** Shares scaled to a runtime normalized against @p baseline. */
+BreakdownShares normalizedShares(const RunResult& r,
+                                 const RunResult& baseline);
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_HARNESS_RUNNER_HH

@@ -1,0 +1,221 @@
+#include "harness/system.hh"
+
+#include <cassert>
+
+#include "core/invisifence.hh"
+#include "sim/log.hh"
+
+namespace invisifence {
+
+const char*
+implKindName(ImplKind k)
+{
+    switch (k) {
+      case ImplKind::ConvSC: return "sc";
+      case ImplKind::ConvTSO: return "tso";
+      case ImplKind::ConvRMO: return "rmo";
+      case ImplKind::InvisiSC: return "Invisi_sc";
+      case ImplKind::InvisiTSO: return "Invisi_tso";
+      case ImplKind::InvisiRMO: return "Invisi_rmo";
+      case ImplKind::InvisiSC2Ckpt: return "Invisi_sc-2ckpt";
+      case ImplKind::Continuous: return "Invisi_cont";
+      case ImplKind::ContinuousCoV: return "Invisi_cont_CoV";
+      case ImplKind::Aso: return "ASOsc";
+    }
+    return "?";
+}
+
+SystemParams
+SystemParams::paper()
+{
+    SystemParams p;
+    p.agent.l2Size = 8 * 1024 * 1024;
+    return p;
+}
+
+SystemParams
+SystemParams::bench()
+{
+    SystemParams p;
+    p.agent.l2Size = 2 * 1024 * 1024;
+    // Gentler interconnect than the paper's board-level 25 ns/hop so
+    // synthetic workloads land in a plausible IPC regime; the ordering
+    // mechanisms under study are latency-shape invariant.
+    p.net.perHopLatency = 30;
+    return p;
+}
+
+SystemParams
+SystemParams::small(std::uint32_t cores)
+{
+    SystemParams p;
+    p.numCores = cores;
+    p.net.dimX = cores;
+    p.net.dimY = 1;
+    p.agent.l1Size = 4 * 1024;
+    p.agent.l2Size = 64 * 1024;
+    p.net.perHopLatency = 20;
+    p.dir.memLatency = 40;
+    // Unit tests observe ordering stalls directly; store prefetching
+    // would hide the misses they rely on.
+    p.core.storePrefetch = false;
+    return p;
+}
+
+std::unique_ptr<ConsistencyImpl>
+makeImpl(ImplKind kind, const SystemParams& params, Core& core,
+         CacheAgent& agent)
+{
+    const auto speculative = [&](SpecConfig cfg) {
+        if (params.specSbEntries != 0 && !cfg.unboundedSb)
+            cfg.sbEntries = params.specSbEntries;
+        cfg.minChunkSize = params.minChunkSize;
+        cfg.covTimeout = params.covTimeout;
+        if (params.specFootprintCap != 0)
+            cfg.specFootprintCap = params.specFootprintCap;
+        return std::make_unique<SpeculativeImpl>(cfg, core, agent);
+    };
+    switch (kind) {
+      case ImplKind::ConvSC:
+        return makeConventional(Model::SC, core, agent);
+      case ImplKind::ConvTSO:
+        return makeConventional(Model::TSO, core, agent);
+      case ImplKind::ConvRMO:
+        return makeConventional(Model::RMO, core, agent);
+      case ImplKind::InvisiSC: {
+        SpecConfig c = SpecConfig::selective(Model::SC);
+        c.commitOnViolate = params.selectiveCov;
+        return speculative(c);
+      }
+      case ImplKind::InvisiTSO: {
+        SpecConfig c = SpecConfig::selective(Model::TSO);
+        c.commitOnViolate = params.selectiveCov;
+        return speculative(c);
+      }
+      case ImplKind::InvisiRMO: {
+        SpecConfig c = SpecConfig::selective(Model::RMO);
+        c.commitOnViolate = params.selectiveCov;
+        return speculative(c);
+      }
+      case ImplKind::InvisiSC2Ckpt:
+        return speculative(SpecConfig::selective(Model::SC, 2));
+      case ImplKind::Continuous:
+        return speculative(SpecConfig::continuousMode(false));
+      case ImplKind::ContinuousCoV:
+        return speculative(SpecConfig::continuousMode(true));
+      case ImplKind::Aso:
+        return speculative(SpecConfig::aso());
+    }
+    return nullptr;
+}
+
+System::System(const SystemParams& params,
+               std::vector<std::unique_ptr<ThreadProgram>> programs,
+               ImplKind kind)
+    : params_(params), kind_(kind),
+      net_(eq_, params.net, params.numCores),
+      programs_(std::move(programs))
+{
+    if (programs_.size() != params_.numCores) {
+        IF_FATAL("system needs %u programs, got %zu", params_.numCores,
+                 programs_.size());
+    }
+    for (NodeId n = 0; n < params_.numCores; ++n) {
+        dirs_.push_back(std::make_unique<DirectorySlice>(
+            n, params_.numCores, net_, eq_, mem_, params_.dir));
+        agents_.push_back(std::make_unique<CacheAgent>(
+            n, params_.numCores, net_, eq_, params_.agent));
+    }
+    for (NodeId n = 0; n < params_.numCores; ++n) {
+        cores_.push_back(std::make_unique<Core>(n, params_.core,
+                                                *agents_[n],
+                                                *programs_[n]));
+        impls_.push_back(makeImpl(kind, params_, *cores_[n],
+                                  *agents_[n]));
+        cores_[n]->setConsistency(impls_[n].get());
+        const std::string prefix = "core" + std::to_string(n);
+        cores_[n]->registerStats(stats_, prefix);
+        if (auto* spec = dynamic_cast<SpeculativeImpl*>(impls_[n].get()))
+            spec->registerStats(stats_, prefix + ".spec");
+    }
+}
+
+void
+System::run(Cycle cycles)
+{
+    const Cycle end = now_ + cycles;
+    while (now_ < end) {
+        ++now_;
+        eq_.advanceTo(now_);
+        for (auto& core : cores_)
+            core->tick(now_);
+    }
+}
+
+bool
+System::runUntilDone(Cycle max_cycles)
+{
+    const Cycle end = now_ + max_cycles;
+    while (now_ < end) {
+        ++now_;
+        eq_.advanceTo(now_);
+        bool all_done = true;
+        for (auto& core : cores_) {
+            core->tick(now_);
+            all_done &= core->done();
+        }
+        if (all_done)
+            return true;
+    }
+    return false;
+}
+
+Breakdown
+System::totalBreakdown() const
+{
+    Breakdown b;
+    for (const auto& core : cores_)
+        b.merge(core->breakdown());
+    // Include cycles still pending inside active speculations so that
+    // every elapsed cycle is accounted somewhere at sampling time.
+    for (const auto& impl : impls_) {
+        if (const auto* spec =
+                dynamic_cast<const SpeculativeImpl*>(impl.get())) {
+            b.merge(spec->pendingBreakdown());
+        }
+    }
+    return b;
+}
+
+std::uint64_t
+System::totalRetired() const
+{
+    std::uint64_t n = 0;
+    for (const auto& core : cores_)
+        n += core->statRetired;
+    return n;
+}
+
+std::uint64_t
+System::totalSpeculatingCycles() const
+{
+    std::uint64_t n = 0;
+    for (const auto& impl : impls_) {
+        if (const auto* spec =
+                dynamic_cast<const SpeculativeImpl*>(impl.get())) {
+            n += spec->statCyclesSpeculating;
+        }
+    }
+    return n;
+}
+
+std::uint64_t
+System::totalCoreCycles() const
+{
+    std::uint64_t n = 0;
+    for (const auto& core : cores_)
+        n += core->statCycles;
+    return n;
+}
+
+} // namespace invisifence

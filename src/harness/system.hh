@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Whole-system builder: N nodes of {core, cache agent, directory slice}
+ * on a torus, one consistency implementation per core.
+ *
+ * Default parameters reproduce Figure 6 (16 nodes, 4-wide OoO cores,
+ * 64 KB L1, private L2, 4x4 torus at 25 ns/hop, 40 ns memory).
+ */
+
+#ifndef INVISIFENCE_HARNESS_SYSTEM_HH
+#define INVISIFENCE_HARNESS_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coh/cache_agent.hh"
+#include "coh/directory.hh"
+#include "coh/network.hh"
+#include "core/invisifence.hh"
+#include "cpu/consistency.hh"
+#include "cpu/core.hh"
+#include "mem/functional_mem.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace invisifence {
+
+/** Every consistency implementation evaluated in the paper. */
+enum class ImplKind
+{
+    ConvSC,          //!< conventional SC (Figures 1, 8, 9, 12)
+    ConvTSO,         //!< conventional TSO
+    ConvRMO,         //!< conventional RMO
+    InvisiSC,        //!< INVISIFENCE-SELECTIVE enforcing SC
+    InvisiTSO,       //!< INVISIFENCE-SELECTIVE enforcing TSO
+    InvisiRMO,       //!< INVISIFENCE-SELECTIVE enforcing RMO
+    InvisiSC2Ckpt,   //!< selective SC with two checkpoints (Figure 11)
+    Continuous,      //!< INVISIFENCE-CONTINUOUS, abort-immediately
+    ContinuousCoV,   //!< INVISIFENCE-CONTINUOUS with commit-on-violate
+    Aso,             //!< ASOsc baseline (Figure 11)
+};
+
+const char* implKindName(ImplKind k);
+
+/** System-wide parameters (Figure 6 defaults). */
+struct SystemParams
+{
+    std::uint32_t numCores = 16;
+    CoreParams core{};
+    AgentParams agent{};
+    DirectoryParams dir{};
+    NetworkParams net{};
+    /** Override for speculative configs (0 = preset default). */
+    std::uint32_t specSbEntries = 0;
+    std::uint32_t minChunkSize = 100;
+    Cycle covTimeout = 4000;
+    /** Apply commit-on-violate to selective variants too (Section 6.6). */
+    bool selectiveCov = false;
+    /** Override for the engine's speculative footprint cap (0 = keep). */
+    std::uint32_t specFootprintCap = 0;
+
+    /** The paper's full configuration (8 MB L2). */
+    static SystemParams paper();
+    /** Same timing, 2 MB L2 (footprints fit either way; saves memory). */
+    static SystemParams bench();
+    /** Tiny deterministic system for unit tests. */
+    static SystemParams small(std::uint32_t cores);
+};
+
+/** A complete simulated multiprocessor. */
+class System
+{
+  public:
+    /**
+     * Build a system where core @c i runs @p programs[i] under the
+     * implementation @p kind.
+     */
+    System(const SystemParams& params,
+           std::vector<std::unique_ptr<ThreadProgram>> programs,
+           ImplKind kind);
+
+    /** Run for @p cycles more cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Run until every core's program halted and drained, or @p max_cycles
+     * elapse. Returns true when all cores finished.
+     */
+    bool runUntilDone(Cycle max_cycles);
+
+    Cycle now() const { return now_; }
+    std::uint32_t numCores() const { return params_.numCores; }
+
+    Core& core(std::uint32_t i) { return *cores_[i]; }
+    CacheAgent& agent(std::uint32_t i) { return *agents_[i]; }
+    DirectorySlice& directory(std::uint32_t i) { return *dirs_[i]; }
+    ConsistencyImpl& impl(std::uint32_t i) { return *impls_[i]; }
+    FunctionalMemory& memory() { return mem_; }
+    EventQueue& eventQueue() { return eq_; }
+    Network& network() { return net_; }
+    StatRegistry& stats() { return stats_; }
+    ImplKind kind() const { return kind_; }
+
+    /** Sum of all cores' cycle breakdowns. */
+    Breakdown totalBreakdown() const;
+    /** Total retired instructions across cores. */
+    std::uint64_t totalRetired() const;
+    /** Total cycles spent speculating across cores (Figure 10). */
+    std::uint64_t totalSpeculatingCycles() const;
+    /** Sum of core cycles (numCores * elapsed). */
+    std::uint64_t totalCoreCycles() const;
+
+  private:
+    SystemParams params_;
+    ImplKind kind_;
+    EventQueue eq_;
+    FunctionalMemory mem_;
+    Network net_;
+    std::vector<std::unique_ptr<ThreadProgram>> programs_;
+    std::vector<std::unique_ptr<DirectorySlice>> dirs_;
+    std::vector<std::unique_ptr<CacheAgent>> agents_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<ConsistencyImpl>> impls_;
+    StatRegistry stats_;
+    Cycle now_ = 0;
+};
+
+/** Build the consistency implementation @p kind for one core. */
+std::unique_ptr<ConsistencyImpl> makeImpl(ImplKind kind,
+                                          const SystemParams& params,
+                                          Core& core, CacheAgent& agent);
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_HARNESS_SYSTEM_HH

@@ -1,0 +1,73 @@
+#include "harness/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace invisifence {
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::pct(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100.0);
+    return buf;
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_)
+        widen(row);
+
+    os << "== " << title_ << " ==\n";
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << (i == 0 ? "" : "  ");
+            os.width(static_cast<std::streamsize>(widths[i]));
+            os << (i == 0 ? std::left : std::right);
+            os << row[i];
+        }
+        os << "\n";
+    };
+    os << std::left;
+    print_row(header_);
+    std::string rule;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+        rule += std::string(widths[i], '-') + (i + 1 < widths.size()
+                                                   ? "  "
+                                                   : "");
+    os << rule << "\n";
+    for (const auto& row : rows_)
+        print_row(row);
+    os << "\n";
+}
+
+} // namespace invisifence

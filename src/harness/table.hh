@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer for the benchmark harness output.
+ */
+
+#ifndef INVISIFENCE_HARNESS_TABLE_HH
+#define INVISIFENCE_HARNESS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace invisifence {
+
+/** Column-aligned table with a title, header row, and data rows. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    void setHeader(std::vector<std::string> header);
+    void addRow(std::vector<std::string> row);
+
+    /** Format @p v with @p decimals digits after the point. */
+    static std::string num(double v, int decimals = 2);
+    /** Format @p v as a percentage with one decimal ("12.3%"). */
+    static std::string pct(double v);
+
+    void print(std::ostream& os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_HARNESS_TABLE_HH

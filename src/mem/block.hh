@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cache-block payloads: raw 64-byte data and byte-masked partial blocks.
+ *
+ * The coalescing store buffer, MSHR fills, and ASO's per-word valid bits all
+ * need "some bytes of this block are defined" semantics, provided here by
+ * MaskedBlock.
+ */
+
+#ifndef INVISIFENCE_MEM_BLOCK_HH
+#define INVISIFENCE_MEM_BLOCK_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** A full 64-byte cache block of data. */
+struct BlockData
+{
+    std::array<std::uint8_t, kBlockBytes> bytes{};
+
+    /** Read a 64-bit word at byte offset @p off (must be word-aligned). */
+    std::uint64_t
+    readWord(std::uint32_t off) const
+    {
+        std::uint64_t v;
+        std::memcpy(&v, bytes.data() + off, sizeof(v));
+        return v;
+    }
+
+    /** Write a 64-bit word at byte offset @p off (must be word-aligned). */
+    void
+    writeWord(std::uint32_t off, std::uint64_t v)
+    {
+        std::memcpy(bytes.data() + off, &v, sizeof(v));
+    }
+
+    bool operator==(const BlockData&) const = default;
+};
+
+/** Bitmask with one bit per byte of a block. */
+using ByteMask = std::uint64_t;
+
+/** Mask covering @p size bytes starting at block offset @p off. */
+constexpr ByteMask
+byteMaskFor(std::uint32_t off, std::uint32_t size)
+{
+    const ByteMask ones =
+        size >= 64 ? ~ByteMask{0} : ((ByteMask{1} << size) - 1);
+    return ones << off;
+}
+
+/** A block in which only the bytes named by @c mask are defined. */
+struct MaskedBlock
+{
+    BlockData data{};
+    ByteMask mask = 0;
+
+    bool empty() const { return mask == 0; }
+    bool full() const { return mask == ~ByteMask{0}; }
+
+    /** True when every byte in [off, off+size) is defined. */
+    bool
+    covers(std::uint32_t off, std::uint32_t size) const
+    {
+        const ByteMask need = byteMaskFor(off, size);
+        return (mask & need) == need;
+    }
+
+    /** Write @p size bytes of @p value at offset @p off, marking them. */
+    void
+    write(std::uint32_t off, std::uint32_t size, std::uint64_t value)
+    {
+        std::memcpy(data.bytes.data() + off, &value, size);
+        mask |= byteMaskFor(off, size);
+    }
+
+    /** Overlay this partial block's defined bytes onto @p base. */
+    void
+    applyTo(BlockData& base) const
+    {
+        for (std::uint32_t i = 0; i < kBlockBytes; ++i) {
+            if (mask & (ByteMask{1} << i))
+                base.bytes[i] = data.bytes[i];
+        }
+    }
+
+    /** Merge another partial block into this one (theirs wins on overlap). */
+    void
+    merge(const MaskedBlock& other)
+    {
+        other.applyTo(data);
+        mask |= other.mask;
+    }
+
+    /** Read @p size bytes at @p off; caller must check covers() first. */
+    std::uint64_t
+    read(std::uint32_t off, std::uint32_t size) const
+    {
+        std::uint64_t v = 0;
+        std::memcpy(&v, data.bytes.data() + off, size);
+        return v;
+    }
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_MEM_BLOCK_HH

@@ -1,0 +1,157 @@
+#include "mem/cache_array.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace invisifence {
+
+namespace {
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+CacheArray::CacheArray(std::uint64_t size_bytes, std::uint32_t ways,
+                       std::string name)
+    : ways_(ways), name_(std::move(name))
+{
+    if (ways == 0 || size_bytes % (static_cast<std::uint64_t>(ways) *
+                                   kBlockBytes) != 0) {
+        IF_FATAL("cache %s: size %llu not divisible by ways*block",
+                 name_.c_str(), static_cast<unsigned long long>(size_bytes));
+    }
+    const std::uint64_t sets = size_bytes / (ways * kBlockBytes);
+    if (!isPow2(sets))
+        IF_FATAL("cache %s: set count must be a power of two", name_.c_str());
+    num_sets_ = static_cast<std::uint32_t>(sets);
+    lines_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+}
+
+std::uint32_t
+CacheArray::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr >> kBlockShift) &
+                                      (num_sets_ - 1));
+}
+
+CacheLine*
+CacheArray::lookup(Addr addr)
+{
+    const Addr blk = blockAlign(addr);
+    CacheLine* set = &lines_[static_cast<std::size_t>(setIndex(addr)) *
+                             ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid() && set[w].blockAddr == blk)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const CacheLine*
+CacheArray::lookup(Addr addr) const
+{
+    return const_cast<CacheArray*>(this)->lookup(addr);
+}
+
+void
+CacheArray::touch(CacheLine& line)
+{
+    line.lruStamp = ++lruCounter_;
+}
+
+CacheLine&
+CacheArray::findVictim(Addr addr,
+                       const std::function<bool(const CacheLine&)>& avoid,
+                       bool* forced_avoided)
+{
+    CacheLine* set = &lines_[static_cast<std::size_t>(setIndex(addr)) *
+                             ways_];
+    if (forced_avoided)
+        *forced_avoided = false;
+
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!set[w].valid())
+            return set[w];
+    }
+
+    CacheLine* best = nullptr;
+    CacheLine* best_any = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        CacheLine& line = set[w];
+        if (!best_any || line.lruStamp < best_any->lruStamp)
+            best_any = &line;
+        if (avoid && avoid(line))
+            continue;
+        if (!best || line.lruStamp < best->lruStamp)
+            best = &line;
+    }
+    if (best)
+        return *best;
+    if (forced_avoided)
+        *forced_avoided = true;
+    assert(best_any);
+    return *best_any;
+}
+
+CacheLine&
+CacheArray::findVictim(Addr addr)
+{
+    return findVictim(addr, nullptr, nullptr);
+}
+
+void
+CacheArray::flashClearSpecBits(std::uint32_t ctx)
+{
+    assert(ctx < kMaxCheckpoints);
+    for (auto& line : lines_)
+        line.clearSpecBits(ctx);
+}
+
+void
+CacheArray::flashInvalidateSpecWritten(std::uint32_t ctx)
+{
+    assert(ctx < kMaxCheckpoints);
+    for (auto& line : lines_) {
+        if (line.specWritten[ctx])
+            line.invalidate();
+        line.clearSpecBits(ctx);
+    }
+}
+
+std::uint32_t
+CacheArray::countSpeculative(std::uint32_t ctx) const
+{
+    assert(ctx < kMaxCheckpoints);
+    std::uint32_t n = 0;
+    for (const auto& line : lines_) {
+        if (line.valid() && (line.specRead[ctx] || line.specWritten[ctx]))
+            ++n;
+    }
+    return n;
+}
+
+void
+CacheArray::forEachValid(const std::function<void(CacheLine&)>& fn)
+{
+    for (auto& line : lines_) {
+        if (line.valid())
+            fn(line);
+    }
+}
+
+void
+CacheArray::forEachValid(
+    const std::function<void(const CacheLine&)>& fn) const
+{
+    for (const auto& line : lines_) {
+        if (line.valid())
+            fn(line);
+    }
+}
+
+} // namespace invisifence

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Set-associative cache array with LRU replacement and, for the L1D,
+ * InvisiFence's per-block speculatively-read/written bits.
+ *
+ * The array stores tags, MESI-ish state, dirty bits, block data, and up to
+ * two checkpoint contexts of speculative-access bits (Section 3.1 of the
+ * paper; the optional second checkpoint doubles the bit pairs). The flash
+ * operations model the single-cycle SRAM circuits of Figure 3.
+ */
+
+#ifndef INVISIFENCE_MEM_CACHE_ARRAY_HH
+#define INVISIFENCE_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/block.hh"
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** Maximum number of in-flight speculation contexts (checkpoints). */
+constexpr std::uint32_t kMaxCheckpoints = 2;
+
+/** Stable coherence states of a block within a cache level. */
+enum class CoherenceState : std::uint8_t
+{
+    Invalid,
+    Shared,     //!< read-only copy
+    Exclusive,  //!< writable, clean
+    Modified,   //!< writable, dirty
+};
+
+/** True when the state grants write permission. */
+constexpr bool
+isWritable(CoherenceState s)
+{
+    return s == CoherenceState::Exclusive || s == CoherenceState::Modified;
+}
+
+/** True when the state holds a valid copy of the data. */
+constexpr bool
+isValidState(CoherenceState s)
+{
+    return s != CoherenceState::Invalid;
+}
+
+/** One cache line: tag, state, data, and speculative access bits. */
+struct CacheLine
+{
+    Addr blockAddr = 0;
+    CoherenceState state = CoherenceState::Invalid;
+    bool dirty = false;                //!< dirty w.r.t. the next level
+    std::uint64_t lruStamp = 0;
+    bool specRead[kMaxCheckpoints] = {false, false};
+    bool specWritten[kMaxCheckpoints] = {false, false};
+    BlockData data{};
+
+    bool valid() const { return isValidState(state); }
+
+    bool
+    speculative() const
+    {
+        for (std::uint32_t c = 0; c < kMaxCheckpoints; ++c) {
+            if (specRead[c] || specWritten[c])
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    specWrittenAny() const
+    {
+        return specWritten[0] || specWritten[1];
+    }
+
+    bool
+    specReadAny() const
+    {
+        return specRead[0] || specRead[1];
+    }
+
+    void
+    clearSpecBits(std::uint32_t ctx)
+    {
+        specRead[ctx] = false;
+        specWritten[ctx] = false;
+    }
+
+    void
+    invalidate()
+    {
+        state = CoherenceState::Invalid;
+        dirty = false;
+        for (std::uint32_t c = 0; c < kMaxCheckpoints; ++c)
+            clearSpecBits(c);
+    }
+};
+
+/**
+ * Physically indexed, set-associative array with true-LRU replacement.
+ *
+ * Used for both the L1D (with speculative bits) and the private L2.
+ */
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param ways associativity
+     * @param name stat prefix, e.g. "core3.l1d"
+     */
+    CacheArray(std::uint64_t size_bytes, std::uint32_t ways,
+               std::string name);
+
+    /** Line holding @p addr, or nullptr on miss. Does not update LRU. */
+    CacheLine* lookup(Addr addr);
+    const CacheLine* lookup(Addr addr) const;
+
+    /** Mark @p line most recently used. */
+    void touch(CacheLine& line);
+
+    /**
+     * Choose a victim frame in @p addr's set.
+     *
+     * Invalid frames win first; otherwise the LRU frame among those for
+     * which @p avoid returns false; otherwise (all avoided) the overall
+     * LRU frame, with @p forced_avoided set so the caller can handle the
+     * speculative-eviction case (forced commit/abort).
+     */
+    CacheLine& findVictim(Addr addr, const std::function<bool(
+        const CacheLine&)>& avoid, bool* forced_avoided);
+
+    /** Victim selection with no avoidance predicate. */
+    CacheLine& findVictim(Addr addr);
+
+    /**
+     * Flash-clear all speculative read/written bits of context @p ctx
+     * (commit; Figure 3 left/middle cells). Single cycle in hardware.
+     */
+    void flashClearSpecBits(std::uint32_t ctx);
+
+    /**
+     * Conditionally flash-invalidate every block whose speculatively-
+     * written bit of context @p ctx is set, then clear that context's
+     * bits (abort; Figure 3 right cell).
+     */
+    void flashInvalidateSpecWritten(std::uint32_t ctx);
+
+    /** Count of lines with any speculative bit set in context @p ctx. */
+    std::uint32_t countSpeculative(std::uint32_t ctx) const;
+
+    /** Apply @p fn to every valid line. */
+    void forEachValid(const std::function<void(CacheLine&)>& fn);
+    void forEachValid(const std::function<void(const CacheLine&)>& fn) const;
+
+    std::uint32_t numSets() const { return num_sets_; }
+    std::uint32_t numWays() const { return ways_; }
+    const std::string& name() const { return name_; }
+
+    /** Set index for @p addr (exposed for tests). */
+    std::uint32_t setIndex(Addr addr) const;
+
+  private:
+    std::uint32_t num_sets_;
+    std::uint32_t ways_;
+    std::string name_;
+    std::vector<CacheLine> lines_;   //!< num_sets_ * ways_, set-major
+    std::uint64_t lruCounter_ = 0;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_MEM_CACHE_ARRAY_HH

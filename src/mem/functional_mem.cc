@@ -1,0 +1,36 @@
+#include "mem/functional_mem.hh"
+
+#include <cassert>
+
+namespace invisifence {
+
+BlockData
+FunctionalMemory::readBlock(Addr addr) const
+{
+    auto it = blocks_.find(blockAlign(addr));
+    return it == blocks_.end() ? BlockData{} : it->second;
+}
+
+void
+FunctionalMemory::writeBlock(Addr addr, const BlockData& data)
+{
+    blocks_[blockAlign(addr)] = data;
+}
+
+std::uint64_t
+FunctionalMemory::readWord(Addr addr) const
+{
+    assert(addr == wordAlign(addr));
+    return readBlock(addr).readWord(blockOffset(addr));
+}
+
+void
+FunctionalMemory::writeWord(Addr addr, std::uint64_t value)
+{
+    assert(addr == wordAlign(addr));
+    BlockData blk = readBlock(addr);
+    blk.writeWord(blockOffset(addr), value);
+    blocks_[blockAlign(addr)] = blk;
+}
+
+} // namespace invisifence

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Functional backing store for the whole machine.
+ *
+ * Holds the architecturally committed value of every block that has ever
+ * been written. Cache fills on a directory miss read from here; dirty
+ * writebacks write here. Unwritten memory reads as zero.
+ */
+
+#ifndef INVISIFENCE_MEM_FUNCTIONAL_MEM_HH
+#define INVISIFENCE_MEM_FUNCTIONAL_MEM_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/block.hh"
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** Sparse functional memory image, block-granular. */
+class FunctionalMemory
+{
+  public:
+    /** Copy of the block containing @p addr (zero if untouched). */
+    BlockData readBlock(Addr addr) const;
+
+    /** Replace the whole block containing @p addr. */
+    void writeBlock(Addr addr, const BlockData& data);
+
+    /** Read an aligned 64-bit word (convenience for tests/checkers). */
+    std::uint64_t readWord(Addr addr) const;
+
+    /** Write an aligned 64-bit word (convenience for initialization). */
+    void writeWord(Addr addr, std::uint64_t value);
+
+    std::size_t touchedBlocks() const { return blocks_.size(); }
+
+  private:
+    std::unordered_map<Addr, BlockData> blocks_;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_MEM_FUNCTIONAL_MEM_HH

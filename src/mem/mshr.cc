@@ -1,0 +1,58 @@
+#include "mem/mshr.hh"
+
+#include <cassert>
+
+namespace invisifence {
+
+Mshr*
+MshrFile::lookup(Addr addr)
+{
+    const Addr blk = blockAlign(addr);
+    for (auto& m : active_) {
+        if (m.blockAddr == blk)
+            return &m;
+    }
+    return nullptr;
+}
+
+Mshr*
+MshrFile::lookup(Addr addr, Mshr::Kind k)
+{
+    const Addr blk = blockAlign(addr);
+    for (auto& m : active_) {
+        if (m.blockAddr == blk && m.kind == k)
+            return &m;
+    }
+    return nullptr;
+}
+
+Mshr*
+MshrFile::allocate(Addr addr, Mshr::Kind k)
+{
+    if (full()) {
+        ++statFullStalls;
+        return nullptr;
+    }
+    active_.emplace_back();
+    Mshr& m = active_.back();
+    m.blockAddr = blockAlign(addr);
+    m.kind = k;
+    ++count_;
+    ++statAllocations;
+    return &m;
+}
+
+void
+MshrFile::free(Mshr* m)
+{
+    for (auto it = active_.begin(); it != active_.end(); ++it) {
+        if (&*it == m) {
+            active_.erase(it);
+            --count_;
+            return;
+        }
+    }
+    assert(false && "freeing MSHR not in file");
+}
+
+} // namespace invisifence

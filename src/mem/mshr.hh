@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Miss status holding registers (Figure 6: 32 per cache).
+ *
+ * One MSHR tracks one outstanding block-granularity transaction of the
+ * cache agent: a fetch (GetS/GetM) or an eviction writeback awaiting its
+ * acknowledgment. Requests to the same block merge into one MSHR; waiters
+ * are called back when the transaction completes.
+ */
+
+#ifndef INVISIFENCE_MEM_MSHR_HH
+#define INVISIFENCE_MEM_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <vector>
+
+#include "mem/block.hh"
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** One outstanding transaction. */
+struct Mshr
+{
+    enum class Kind { Fetch, Writeback };
+
+    Addr blockAddr = 0;
+    Kind kind = Kind::Fetch;
+
+    // --- Fetch state ---
+    bool wantWrite = false;      //!< some waiter needs write permission
+    bool issuedWrite = false;    //!< the in-flight request is a GetM
+    std::vector<std::function<void()>> readWaiters;
+    std::vector<std::function<void()>> writeWaiters;
+
+    // --- Writeback state: data retained until the home acknowledges so
+    // the agent can still serve crossing forwards (eviction race). ---
+    BlockData wbData{};
+    bool wbDirty = false;
+    bool ownershipLost = false;  //!< a forward consumed the data already
+};
+
+/** Fixed-capacity pool of MSHRs with block-address lookup. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::uint32_t capacity) : capacity_(capacity) {}
+
+    /** MSHR of any kind for @p addr's block, or nullptr. */
+    Mshr* lookup(Addr addr);
+
+    /** MSHR of kind @p k for @p addr's block, or nullptr. */
+    Mshr* lookup(Addr addr, Mshr::Kind k);
+
+    /** Allocate a new MSHR; nullptr when the file is full. */
+    Mshr* allocate(Addr addr, Mshr::Kind k);
+
+    /** Release @p m (must belong to this file). */
+    void free(Mshr* m);
+
+    bool full() const { return count_ >= capacity_; }
+    std::uint32_t inUse() const { return count_; }
+    std::uint32_t capacity() const { return capacity_; }
+
+    std::uint64_t statAllocations = 0;
+    std::uint64_t statFullStalls = 0;
+
+  private:
+    std::uint32_t capacity_;
+    std::uint32_t count_ = 0;
+    std::list<Mshr> active_;   //!< stable addresses for outstanding txns
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_MEM_MSHR_HH

@@ -1,0 +1,137 @@
+#include "mem/store_buffer.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace invisifence {
+
+void
+FifoStoreBuffer::push(Addr addr, std::uint64_t data, InstSeq seq)
+{
+    assert(hasSpace());
+    assert(addr == wordAlign(addr));
+    entries_.push_back(Entry{addr, data, kWordBytes, seq, false});
+    ++statPushes;
+    statPeakOccupancy = std::max<std::uint64_t>(statPeakOccupancy,
+                                                entries_.size());
+}
+
+std::optional<std::uint64_t>
+FifoStoreBuffer::forward(Addr addr) const
+{
+    const Addr word = wordAlign(addr);
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        if (it->addr == word)
+            return it->data;
+    }
+    return std::nullopt;
+}
+
+bool
+FifoStoreBuffer::containsBlock(Addr addr) const
+{
+    const Addr blk = blockAlign(addr);
+    for (const auto& e : entries_) {
+        if (blockAlign(e.addr) == blk)
+            return true;
+    }
+    return false;
+}
+
+CoalescingStoreBuffer::StoreResult
+CoalescingStoreBuffer::store(Addr addr, std::uint32_t size,
+                             std::uint64_t value, bool speculative,
+                             std::uint32_t ctx, InstSeq seq)
+{
+    assert(sameBlock(addr, size));
+    const Addr blk = blockAlign(addr);
+    ++statStores;
+    // Coalesce only when the labels match exactly: a speculative store
+    // must never merge into a non-speculative entry (or vice versa), and
+    // stores from different checkpoints stay separate so abort/commit of
+    // one checkpoint leaves the other's data intact.
+    for (auto& e : entries_) {
+        if (e.blockAddr == blk && e.speculative == speculative &&
+            e.ctx == ctx) {
+            e.data.write(blockOffset(addr), size, value);
+            ++statMerges;
+            return StoreResult::Merged;
+        }
+    }
+    if (entries_.size() >= capacity_)
+        return StoreResult::Full;
+    Entry e;
+    e.blockAddr = blk;
+    e.data.write(blockOffset(addr), size, value);
+    e.speculative = speculative;
+    e.ctx = ctx;
+    e.firstSeq = seq;
+    entries_.push_back(e);
+    statPeakOccupancy = std::max<std::uint64_t>(statPeakOccupancy,
+                                                entries_.size());
+    return StoreResult::NewEntry;
+}
+
+MaskedBlock
+CoalescingStoreBuffer::gatherBlock(Addr addr) const
+{
+    const Addr blk = blockAlign(addr);
+    MaskedBlock out;
+    for (const auto& e : entries_) {
+        if (e.blockAddr == blk)
+            out.merge(e.data);
+    }
+    return out;
+}
+
+std::optional<std::uint64_t>
+CoalescingStoreBuffer::forward(Addr addr) const
+{
+    const MaskedBlock view = gatherBlock(addr);
+    const std::uint32_t off = blockOffset(wordAlign(addr));
+    if (view.covers(off, kWordBytes))
+        return view.read(off, kWordBytes);
+    return std::nullopt;
+}
+
+void
+CoalescingStoreBuffer::flashInvalidate(
+    const std::function<bool(const Entry&)>& pred)
+{
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(), pred),
+                   entries_.end());
+}
+
+void
+CoalescingStoreBuffer::flashInvalidateSpeculative()
+{
+    flashInvalidate([](const Entry& e) { return e.speculative; });
+}
+
+void
+CoalescingStoreBuffer::erase(const Entry& entry)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (&*it == &entry) {
+            entries_.erase(it);
+            return;
+        }
+    }
+    assert(false && "erase of entry not in store buffer");
+}
+
+bool
+CoalescingStoreBuffer::emptyOfSpeculative() const
+{
+    return std::none_of(entries_.begin(), entries_.end(),
+                        [](const Entry& e) { return e.speculative; });
+}
+
+bool
+CoalescingStoreBuffer::emptyOfCtx(std::uint32_t ctx) const
+{
+    return std::none_of(entries_.begin(), entries_.end(),
+                        [ctx](const Entry& e) { return e.ctx == ctx; });
+}
+
+} // namespace invisifence

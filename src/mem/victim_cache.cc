@@ -1,0 +1,67 @@
+#include "mem/victim_cache.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace invisifence {
+
+VictimCache::InsertResult
+VictimCache::insert(const Entry& e)
+{
+    assert(e.state != CoherenceState::Invalid);
+    assert(e.blockAddr == blockAlign(e.blockAddr));
+    InsertResult res;
+    // A re-inserted block replaces its previous incarnation.
+    invalidate(e.blockAddr);
+    if (entries_.size() >= capacity_) {
+        res.displaced = true;
+        res.displacedEntry = entries_.front();
+        entries_.pop_front();
+    }
+    entries_.push_back(e);
+    return res;
+}
+
+bool
+VictimCache::extract(Addr addr, Entry* out)
+{
+    const Addr blk = blockAlign(addr);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->blockAddr == blk) {
+            if (out)
+                *out = *it;
+            entries_.erase(it);
+            ++statHits;
+            return true;
+        }
+    }
+    ++statMisses;
+    return false;
+}
+
+const VictimCache::Entry*
+VictimCache::probe(Addr addr) const
+{
+    const Addr blk = blockAlign(addr);
+    for (const auto& e : entries_) {
+        if (e.blockAddr == blk)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+VictimCache::invalidate(Addr addr)
+{
+    const Addr blk = blockAlign(addr);
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [blk](const Entry& e) {
+                               return e.blockAddr == blk;
+                           });
+    if (it == entries_.end())
+        return false;
+    entries_.erase(it);
+    return true;
+}
+
+} // namespace invisifence

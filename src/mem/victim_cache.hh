@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small fully-associative victim cache (Figure 6: 16 entries next to L1).
+ *
+ * Holds non-speculative blocks evicted from the L1 for capacity/conflict
+ * reasons so a quick re-reference refills without an L2 round trip.
+ * Speculative blocks are never placed here: they must not escape the L1
+ * (Section 3.2, violation detection), so their evictions force a commit
+ * or abort instead.
+ */
+
+#ifndef INVISIFENCE_MEM_VICTIM_CACHE_HH
+#define INVISIFENCE_MEM_VICTIM_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "mem/block.hh"
+#include "mem/cache_array.hh"
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** FIFO-replacement fully-associative victim buffer. */
+class VictimCache
+{
+  public:
+    explicit VictimCache(std::uint32_t entries) : capacity_(entries) {}
+
+    struct Entry
+    {
+        Addr blockAddr = 0;
+        CoherenceState state = CoherenceState::Invalid;
+        bool dirty = false;
+        BlockData data{};
+    };
+
+    /** Insert a victim; evicts the oldest entry if full (returned). */
+    struct InsertResult
+    {
+        bool displaced = false;
+        Entry displacedEntry{};
+    };
+    InsertResult insert(const Entry& e);
+
+    /** Find and remove the entry for @p addr; true when present. */
+    bool extract(Addr addr, Entry* out);
+
+    /** Find without removing (for external probes). */
+    const Entry* probe(Addr addr) const;
+
+    /** Remove the entry for @p addr if present (invalidation). */
+    bool invalidate(Addr addr);
+
+    std::size_t size() const { return entries_.size(); }
+    std::uint32_t capacity() const { return capacity_; }
+
+    std::uint64_t statHits = 0;
+    std::uint64_t statMisses = 0;
+
+  private:
+    std::uint32_t capacity_;
+    std::deque<Entry> entries_;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_MEM_VICTIM_CACHE_HH

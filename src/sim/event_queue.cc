@@ -1,0 +1,32 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+
+namespace invisifence {
+
+void
+EventQueue::advanceTo(Cycle tick)
+{
+    assert(tick >= now_);
+    while (!heap_.empty() && heap_.top().when <= tick) {
+        Event ev = heap_.top();
+        heap_.pop();
+        assert(ev.when >= now_);
+        now_ = ev.when;
+        ev.fn();
+    }
+    now_ = tick;
+}
+
+void
+EventQueue::drain()
+{
+    while (!heap_.empty()) {
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.fn();
+    }
+}
+
+} // namespace invisifence

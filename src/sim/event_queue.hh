@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events scheduled for the same tick execute in insertion order, which keeps
+ * whole-system simulations bit-for-bit reproducible across runs and seeds.
+ */
+
+#ifndef INVISIFENCE_SIM_EVENT_QUEUE_HH
+#define INVISIFENCE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** A single scheduled callback. */
+struct Event
+{
+    Cycle when = 0;
+    std::uint64_t seq = 0;     //!< tie-breaker: insertion order
+    std::function<void()> fn;
+};
+
+/**
+ * Min-heap event queue ordered by (tick, insertion sequence).
+ *
+ * The owning System drives it with advanceTo(now) once per simulated cycle;
+ * components use schedule() for any action with latency.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p fn to run at absolute cycle @p when. */
+    void
+    scheduleAt(Cycle when, std::function<void()> fn)
+    {
+        heap_.push(Event{when, nextSeq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn to run @p delay cycles after the current time. */
+    void
+    schedule(Cycle delay, std::function<void()> fn)
+    {
+        scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Execute every event with when <= @p tick, in deterministic order.
+     * Events scheduled during execution at times <= tick also run.
+     */
+    void advanceTo(Cycle tick);
+
+    /** Run until the queue is empty (used by unit tests). */
+    void drain();
+
+    Cycle now() const { return now_; }
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event; only valid when !empty(). */
+    Cycle nextEventTick() const { return heap_.top().when; }
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+    Cycle now_ = 0;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal leveled logging with panic()/fatal() in the gem5 tradition.
+ *
+ * panic(): a simulator invariant broke — abort with a message.
+ * fatal(): user/configuration error — exit(1) with a message.
+ * Debug tracing compiles to nothing unless INVISIFENCE_TRACE is defined.
+ */
+
+#ifndef INVISIFENCE_SIM_LOG_HH
+#define INVISIFENCE_SIM_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace invisifence {
+
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+[[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
+void warnImpl(const std::string& msg);
+
+/** Printf-style formatting into a std::string. */
+std::string strformat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace invisifence
+
+#define IF_PANIC(...) \
+    ::invisifence::panicImpl(__FILE__, __LINE__, \
+                             ::invisifence::strformat(__VA_ARGS__))
+#define IF_FATAL(...) \
+    ::invisifence::fatalImpl(__FILE__, __LINE__, \
+                             ::invisifence::strformat(__VA_ARGS__))
+#define IF_WARN(...) \
+    ::invisifence::warnImpl(::invisifence::strformat(__VA_ARGS__))
+
+#ifdef INVISIFENCE_TRACE
+#define IF_TRACE(...) \
+    do { \
+        std::fprintf(stderr, "trace: %s\n", \
+                     ::invisifence::strformat(__VA_ARGS__).c_str()); \
+    } while (0)
+#else
+#define IF_TRACE(...) do { } while (0)
+#endif
+
+#endif // INVISIFENCE_SIM_LOG_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Small, fast, deterministic PRNG (xoroshiro128++) with value-copy state.
+ *
+ * Thread programs embed an Rng by value so snapshot/restore of a program
+ * (used for squash replay and speculation abort) also rewinds its random
+ * stream, keeping re-executed instruction sequences identical.
+ */
+
+#ifndef INVISIFENCE_SIM_RNG_HH
+#define INVISIFENCE_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace invisifence {
+
+/** splitmix64, used to expand seeds. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** xoroshiro128++ generator; trivially copyable for cheap snapshots. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1)
+    {
+        std::uint64_t x = seed;
+        s0_ = splitmix64(x);
+        s1_ = splitmix64(x);
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t r =
+            rotl(s0_ + s1_, 17) + s0_;
+        const std::uint64_t t = s1_ ^ s0_;
+        s0_ = rotl(s0_, 49) ^ t ^ (t << 21);
+        s1_ = rotl(t, 28);
+        return r;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw: true with probability @p permille / 1000. */
+    bool
+    chancePermille(std::uint32_t permille)
+    {
+        return below(1000) < permille;
+    }
+
+    /** Bernoulli draw with per-65536 resolution, for rare events. */
+    bool
+    chance64k(std::uint32_t per64k)
+    {
+        return below(65536) < per64k;
+    }
+
+    bool operator==(const Rng&) const = default;
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_SIM_RNG_HH

@@ -1,0 +1,80 @@
+#include "sim/stats.hh"
+
+#include <cassert>
+
+namespace invisifence {
+
+void
+StatRegistry::registerStat(const std::string& name, const std::uint64_t* value)
+{
+    assert(value != nullptr);
+    stats_[name] = Entry{value, nullptr};
+}
+
+void
+StatRegistry::registerStat(const std::string& name, const double* value)
+{
+    assert(value != nullptr);
+    stats_[name] = Entry{nullptr, value};
+}
+
+double
+StatRegistry::value(const Entry& e) const
+{
+    if (e.u64)
+        return static_cast<double>(*e.u64);
+    if (e.f64)
+        return *e.f64;
+    return 0.0;
+}
+
+double
+StatRegistry::get(const std::string& name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0.0 : value(it->second);
+}
+
+bool
+StatRegistry::has(const std::string& name) const
+{
+    return stats_.count(name) != 0;
+}
+
+double
+StatRegistry::sumMatching(const std::string& prefix,
+                          const std::string& suffix) const
+{
+    double sum = 0.0;
+    for (const auto& [name, entry] : stats_) {
+        if (name.size() < prefix.size() + suffix.size())
+            continue;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+            continue;
+        }
+        sum += value(entry);
+    }
+    return sum;
+}
+
+std::vector<std::pair<std::string, double>>
+StatRegistry::snapshot() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(stats_.size());
+    for (const auto& [name, entry] : stats_)
+        out.emplace_back(name, value(entry));
+    return out;
+}
+
+void
+StatRegistry::dump(std::ostream& os) const
+{
+    for (const auto& [name, entry] : stats_)
+        os << name << " " << value(entry) << "\n";
+}
+
+} // namespace invisifence

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components own plain uint64_t/double members and register them by name;
+ * the harness walks the registry to print per-run statistics and to build
+ * the paper's tables.
+ */
+
+#ifndef INVISIFENCE_SIM_STATS_HH
+#define INVISIFENCE_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace invisifence {
+
+/**
+ * Registry of named scalar statistics.
+ *
+ * Registration stores a pointer to the component-owned counter; reading the
+ * registry always reflects current values. Names are hierarchical by
+ * convention, e.g. "core03.cycles.sb_drain".
+ */
+class StatRegistry
+{
+  public:
+    void registerStat(const std::string& name, const std::uint64_t* value);
+    void registerStat(const std::string& name, const double* value);
+
+    /** Look up one stat by exact name; returns 0 if absent. */
+    double get(const std::string& name) const;
+
+    /** True when a stat of this exact name is registered. */
+    bool has(const std::string& name) const;
+
+    /** Sum of all stats whose name matches prefix*suffix. */
+    double sumMatching(const std::string& prefix,
+                       const std::string& suffix) const;
+
+    /** All (name, value) pairs in name order. */
+    std::vector<std::pair<std::string, double>> snapshot() const;
+
+    /** Dump "name value" lines. */
+    void dump(std::ostream& os) const;
+
+  private:
+    struct Entry
+    {
+        const std::uint64_t* u64 = nullptr;
+        const double* f64 = nullptr;
+    };
+
+    double value(const Entry& e) const;
+
+    std::map<std::string, Entry> stats_;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_SIM_STATS_HH

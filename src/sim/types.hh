@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fundamental scalar types and address helpers shared by every module.
+ */
+
+#ifndef INVISIFENCE_SIM_TYPES_HH
+#define INVISIFENCE_SIM_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace invisifence {
+
+/** Simulation time in processor clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Identifier of a node (core + private cache hierarchy + home slice). */
+using NodeId = std::uint32_t;
+
+/** Monotonic per-core instruction sequence number. */
+using InstSeq = std::uint64_t;
+
+/** Cache block geometry used throughout the system (Figure 6: 64 bytes). */
+constexpr std::uint32_t kBlockBytes = 64;
+constexpr std::uint32_t kBlockShift = 6;
+
+/** Word size used by the FIFO store buffers of SC/TSO (Figure 6: 8 bytes). */
+constexpr std::uint32_t kWordBytes = 8;
+
+/** Align @p a down to its containing block address. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kBlockBytes - 1);
+}
+
+/** Byte offset of @p a within its block. */
+constexpr std::uint32_t
+blockOffset(Addr a)
+{
+    return static_cast<std::uint32_t>(a & (kBlockBytes - 1));
+}
+
+/** Align @p a down to its containing 8-byte word address. */
+constexpr Addr
+wordAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kWordBytes - 1);
+}
+
+/** True when the byte range [a, a+size) stays inside one block. */
+constexpr bool
+sameBlock(Addr a, std::uint32_t size)
+{
+    return blockAlign(a) == blockAlign(a + size - 1);
+}
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_SIM_TYPES_HH

@@ -1,0 +1,255 @@
+#include "workload/litmus.hh"
+
+#include <cassert>
+
+namespace invisifence {
+
+ScriptOp
+opAlu(std::uint8_t latency)
+{
+    ScriptOp s;
+    s.inst.type = OpType::Alu;
+    s.inst.latency = latency;
+    return s;
+}
+
+ScriptOp
+opLoad(Addr a)
+{
+    ScriptOp s;
+    s.inst.type = OpType::Load;
+    s.inst.addr = wordAlign(a);
+    return s;
+}
+
+ScriptOp
+opStore(Addr a, std::uint64_t v)
+{
+    ScriptOp s;
+    s.inst.type = OpType::Store;
+    s.inst.addr = wordAlign(a);
+    s.inst.value = v;
+    return s;
+}
+
+ScriptOp
+opCas(Addr a, std::uint64_t expect, std::uint64_t value)
+{
+    ScriptOp s;
+    s.inst.type = OpType::Cas;
+    s.inst.addr = wordAlign(a);
+    s.inst.expect = expect;
+    s.inst.value = value;
+    return s;
+}
+
+ScriptOp
+opCasLoop(Addr a, std::uint64_t expect, std::uint64_t value)
+{
+    ScriptOp s = opCas(a, expect, value);
+    s.kind = ScriptOp::Kind::CasUntilSuccess;
+    s.until = expect;
+    return s;
+}
+
+ScriptOp
+opFetchAdd(Addr a, std::uint64_t delta)
+{
+    ScriptOp s;
+    s.inst.type = OpType::FetchAdd;
+    s.inst.addr = wordAlign(a);
+    s.inst.value = delta;
+    return s;
+}
+
+ScriptOp
+opFence()
+{
+    ScriptOp s;
+    s.inst.type = OpType::Fence;
+    s.inst.fullFence = true;
+    return s;
+}
+
+ScriptOp
+opSpinUntilEq(Addr a, std::uint64_t until)
+{
+    ScriptOp s;
+    s.kind = ScriptOp::Kind::SpinUntilEq;
+    s.inst.type = OpType::Load;
+    s.inst.addr = wordAlign(a);
+    s.until = until;
+    return s;
+}
+
+ScriptedProgram::ScriptedProgram(std::vector<ScriptOp> script)
+    : script_(std::move(script))
+{
+}
+
+void
+ScriptedProgram::snapshotTo(ProgSnapshot& out) const
+{
+    podSnapshot(state_, out);
+}
+
+void
+ScriptedProgram::restoreFrom(const ProgSnapshot& in)
+{
+    podRestore(state_, in);
+}
+
+void
+ScriptedProgram::setLastResult(std::uint64_t value)
+{
+    state_.lastResult = value;
+}
+
+Instruction
+ScriptedProgram::fetchNext()
+{
+    if (state_.checkingSpin) {
+        state_.checkingSpin = 0;
+        assert(state_.pc < script_.size());
+        if (state_.lastResult == script_[state_.pc].until)
+            ++state_.pc;    // spin satisfied; fall through to next op
+    }
+    if (state_.pc >= script_.size()) {
+        Instruction halt;
+        halt.type = OpType::Halt;
+        return halt;
+    }
+    const ScriptOp& op = script_[state_.pc];
+    if (op.kind == ScriptOp::Kind::SpinUntilEq ||
+        op.kind == ScriptOp::Kind::CasUntilSuccess) {
+        state_.checkingSpin = 1;
+        state_.lastResult = op.until;   // predict: loop exits
+        Instruction i = op.inst;
+        i.feedsBack = true;
+        i.predictedResult = op.until;
+        return i;
+    }
+    ++state_.pc;
+    return op.inst;
+}
+
+// ---------------------------------------------------------------------
+// Litmus test definitions. Addresses sit in distinct blocks of a
+// dedicated region to avoid false sharing.
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr Addr kLitmusBase = 0x0800'0000;
+
+constexpr Addr
+litAddr(std::uint32_t i)
+{
+    return kLitmusBase + static_cast<Addr>(i) * kBlockBytes;
+}
+
+} // namespace
+
+LitmusTest
+litmusSb()
+{
+    const Addr x = litAddr(0), y = litAddr(1);
+    LitmusTest t;
+    t.name = "SB";
+    t.threads = {
+        {opStore(x, 1), opLoad(y)},
+        {opStore(y, 1), opLoad(x)},
+    };
+    t.probes = {{0, y}, {1, x}};
+    return t;
+}
+
+LitmusTest
+litmusSbFenced()
+{
+    const Addr x = litAddr(0), y = litAddr(1);
+    LitmusTest t;
+    t.name = "SB+fences";
+    t.threads = {
+        {opStore(x, 1), opFence(), opLoad(y)},
+        {opStore(y, 1), opFence(), opLoad(x)},
+    };
+    t.probes = {{0, y}, {1, x}};
+    return t;
+}
+
+LitmusTest
+litmusMp()
+{
+    const Addr d = litAddr(2), f = litAddr(3);
+    LitmusTest t;
+    t.name = "MP";
+    t.threads = {
+        {opStore(d, 1), opStore(f, 1)},
+        {opLoad(f), opLoad(d)},
+    };
+    t.probes = {{1, f}, {1, d}};
+    return t;
+}
+
+LitmusTest
+litmusMpFenced()
+{
+    const Addr d = litAddr(2), f = litAddr(3);
+    LitmusTest t;
+    t.name = "MP+fences";
+    t.threads = {
+        {opStore(d, 1), opFence(), opStore(f, 1)},
+        {opSpinUntilEq(f, 1), opFence(), opLoad(d)},
+    };
+    t.probes = {{1, d}};
+    return t;
+}
+
+LitmusTest
+litmusLb()
+{
+    const Addr x = litAddr(4), y = litAddr(5);
+    LitmusTest t;
+    t.name = "LB";
+    t.threads = {
+        {opLoad(x), opStore(y, 1)},
+        {opLoad(y), opStore(x, 1)},
+    };
+    t.probes = {{0, x}, {1, y}};
+    return t;
+}
+
+LitmusTest
+litmusIriw()
+{
+    const Addr x = litAddr(6), y = litAddr(7);
+    LitmusTest t;
+    t.name = "IRIW";
+    t.threads = {
+        {opStore(x, 1)},
+        {opStore(y, 1)},
+        {opLoad(x), opFence(), opLoad(y)},
+        {opLoad(y), opFence(), opLoad(x)},
+    };
+    t.probes = {{2, x}, {2, y}, {3, y}, {3, x}};
+    return t;
+}
+
+LitmusTest
+litmusCoRR()
+{
+    const Addr x = litAddr(8);
+    LitmusTest t;
+    t.name = "CoRR";
+    t.threads = {
+        {opStore(x, 1)},
+        {opLoad(x), opLoad(x)},
+    };
+    // Both probes read x; the runner distinguishes them by order, so we
+    // expose the journal directly for this test (see tests).
+    t.probes = {{1, x}};
+    return t;
+}
+
+} // namespace invisifence

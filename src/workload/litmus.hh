@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Scripted programs and classic litmus tests.
+ *
+ * ScriptedProgram replays a fixed list of operations (with optional
+ * spin-until-equal loops) and then halts; the harness inspects each
+ * core's committed-retirement journal for the observed values. The tests
+ * verify that every implementation enforces exactly its memory model:
+ * forbidden outcomes must never appear under any interleaving the
+ * simulator produces.
+ */
+
+#ifndef INVISIFENCE_WORKLOAD_LITMUS_HH
+#define INVISIFENCE_WORKLOAD_LITMUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/program.hh"
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** One step of a scripted thread. */
+struct ScriptOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Plain,          //!< execute inst once
+        SpinUntilEq,    //!< repeat load of inst.addr until result == until
+        CasUntilSuccess,//!< repeat the CAS until it succeeds
+    };
+    Kind kind = Kind::Plain;
+    Instruction inst{};
+    std::uint64_t until = 0;
+};
+
+/** Builders for script steps. */
+ScriptOp opAlu(std::uint8_t latency);
+ScriptOp opLoad(Addr a);
+ScriptOp opStore(Addr a, std::uint64_t v);
+ScriptOp opCas(Addr a, std::uint64_t expect, std::uint64_t value);
+/** Spin-CAS: retries until mem == expect was observed and swapped. */
+ScriptOp opCasLoop(Addr a, std::uint64_t expect, std::uint64_t value);
+ScriptOp opFetchAdd(Addr a, std::uint64_t delta);
+ScriptOp opFence();
+ScriptOp opSpinUntilEq(Addr a, std::uint64_t until);
+
+/** Finite scripted thread with POD control state. */
+class ScriptedProgram : public ThreadProgram
+{
+  public:
+    explicit ScriptedProgram(std::vector<ScriptOp> script);
+
+    Instruction fetchNext() override;
+    void snapshotTo(ProgSnapshot& out) const override;
+    void restoreFrom(const ProgSnapshot& in) override;
+    void setLastResult(std::uint64_t value) override;
+
+  private:
+    struct State
+    {
+        std::uint32_t pc = 0;
+        std::uint8_t checkingSpin = 0;
+        std::uint64_t lastResult = 0;
+    };
+
+    std::vector<ScriptOp> script_;
+    State state_;
+};
+
+/** A multi-threaded litmus test definition. */
+struct LitmusTest
+{
+    std::string name;
+    std::vector<std::vector<ScriptOp>> threads;
+
+    /**
+     * Outcome extraction: for each (thread, addr) probe, the result of
+     * the last committed load of that address in that thread's journal.
+     */
+    struct Probe
+    {
+        std::uint32_t thread;
+        Addr addr;
+    };
+    std::vector<Probe> probes;
+};
+
+/** @{ Classic litmus tests (addresses in the shared region). */
+LitmusTest litmusSb();            //!< store buffering / Dekker
+LitmusTest litmusSbFenced();      //!< SB with full fences
+LitmusTest litmusMp();            //!< message passing, no fences
+LitmusTest litmusMpFenced();      //!< MP with fences and a spin
+LitmusTest litmusLb();            //!< load buffering
+LitmusTest litmusIriw();          //!< independent reads, independent writes
+LitmusTest litmusCoRR();          //!< coherence: read-read same location
+/** @} */
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_WORKLOAD_LITMUS_HH

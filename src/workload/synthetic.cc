@@ -1,0 +1,250 @@
+#include "workload/synthetic.hh"
+
+#include <cassert>
+
+namespace invisifence {
+
+SyntheticProgram::SyntheticProgram(const SyntheticParams& params,
+                                   std::uint32_t tid, std::uint64_t seed)
+    : params_(params), tid_(tid)
+{
+    state_ = State{};
+    state_.rng = Rng(seed * 7919 + tid * 104729 + 1);
+    // Stagger private cursors so threads do not start in lockstep.
+    state_.privCursor = state_.rng.next();
+}
+
+void
+SyntheticProgram::snapshotTo(ProgSnapshot& out) const
+{
+    podSnapshot(state_, out);
+}
+
+void
+SyntheticProgram::restoreFrom(const ProgSnapshot& in)
+{
+    podRestore(state_, in);
+}
+
+void
+SyntheticProgram::setLastResult(std::uint64_t value)
+{
+    state_.lastResult = value;
+}
+
+Instruction
+SyntheticProgram::makeLoad(Addr a) const
+{
+    Instruction i;
+    i.type = OpType::Load;
+    i.addr = wordAlign(a);
+    return i;
+}
+
+Instruction
+SyntheticProgram::makeStore(Addr a, std::uint64_t v) const
+{
+    Instruction i;
+    i.type = OpType::Store;
+    i.addr = wordAlign(a);
+    i.value = v;
+    return i;
+}
+
+Addr
+SyntheticProgram::randomPrivateAddr()
+{
+    const Addr base = kPrivateRegion + tid_ * kPrivateStride;
+    // A strided walk with occasional random jumps: mostly spatial
+    // locality (hits), with capacity misses proportional to footprint.
+    state_.privCursor += state_.rng.below(16) == 0
+                             ? state_.rng.below(params_.privateBlocks) *
+                                   kBlockBytes
+                             : kWordBytes;
+    const Addr span =
+        static_cast<Addr>(params_.privateBlocks) * kBlockBytes;
+    return base + (state_.privCursor % span);
+}
+
+Addr
+SyntheticProgram::randomSharedAddr()
+{
+    const Addr span =
+        static_cast<Addr>(params_.sharedBlocks) * kBlockBytes;
+    return kSharedRegion + (state_.rng.next() % span);
+}
+
+Addr
+SyntheticProgram::randomLockDataAddr() const
+{
+    // Deterministic function of the rng-free fields so it can be called
+    // from const context; variation comes from csRemaining.
+    const Addr base = kLockDataRegion +
+                      static_cast<Addr>(state_.lockIdx) *
+                          params_.lockDataBlocks * kBlockBytes;
+    const Addr off = (static_cast<Addr>(state_.csRemaining) * 72) %
+                     (params_.lockDataBlocks * kBlockBytes);
+    return base + off;
+}
+
+Instruction
+SyntheticProgram::normalInstruction()
+{
+    // Store bursts model the write streaks of OLTP-style workloads.
+    if (state_.burstRemaining > 0) {
+        --state_.burstRemaining;
+        return makeStore(randomPrivateAddr(), state_.rng.next());
+    }
+
+    if (state_.rng.chance64k(params_.lockPer64k)) {
+        // Begin a lock acquire: CAS(lock, 0 -> tid+1), predict success.
+        state_.lockIdx = static_cast<std::uint16_t>(
+            state_.rng.below(params_.numLocks));
+        state_.phase = static_cast<std::uint8_t>(Phase::AfterAcquireCas);
+        state_.lastResult = 0;   // predicted: lock was free
+        Instruction i;
+        i.type = OpType::Cas;
+        i.addr = lockAddr(state_.lockIdx);
+        i.expect = 0;
+        i.value = tid_ + 1;
+        i.feedsBack = true;
+        i.predictedResult = 0;
+        return i;
+    }
+
+    if (state_.rng.chance64k(params_.fencePer64k)) {
+        // Standalone fences model lock-free algorithms' StoreLoad
+        // barriers: full fences that even TSO must honor.
+        Instruction i;
+        i.type = OpType::Fence;
+        i.fullFence = true;
+        return i;
+    }
+
+    if (state_.rng.chance64k(params_.atomicPer64k)) {
+        // Lock-free shared counter increment.
+        Instruction i;
+        i.type = OpType::FetchAdd;
+        i.addr = wordAlign(randomSharedAddr());
+        i.value = 1;
+        return i;
+    }
+
+    const std::uint64_t mix = state_.rng.below(1000);
+    if (mix < params_.aluPermille) {
+        Instruction i;
+        i.type = OpType::Alu;
+        i.latency = params_.aluLatency;
+        return i;
+    }
+
+    const bool is_load =
+        mix < params_.aluPermille + params_.loadPermille;
+    if (is_load) {
+        // Loads are mostly local (they hit); the ordering penalty the
+        // paper studies comes from loads waiting on *store* misses.
+        const bool shared =
+            state_.rng.chancePermille(params_.sharedPermille / 4);
+        return makeLoad(shared ? randomSharedAddr()
+                               : randomPrivateAddr());
+    }
+    // Stores carry the sharing: migratory writes miss and dwell in the
+    // store buffer, creating the SB-drain/SB-full pressure of Figure 1.
+    const bool shared = state_.rng.chancePermille(params_.sharedPermille);
+    if (shared)
+        return makeStore(randomSharedAddr(), state_.rng.next());
+    if (params_.storeBurst > 1) {
+        state_.burstRemaining =
+            static_cast<std::uint8_t>(params_.storeBurst - 1);
+    }
+    return makeStore(randomPrivateAddr(), state_.rng.next());
+}
+
+Instruction
+SyntheticProgram::fetchNext()
+{
+    switch (static_cast<Phase>(state_.phase)) {
+      case Phase::Normal:
+        return normalInstruction();
+
+      case Phase::AfterAcquireCas: {
+        if (state_.lastResult == 0) {
+            // Acquired: emit the acquire barrier, then the body.
+            state_.phase = static_cast<std::uint8_t>(Phase::CritBody);
+            state_.csRemaining =
+                static_cast<std::uint8_t>(params_.csLength);
+            Instruction i;
+            i.type = OpType::Fence;
+            return i;
+        }
+        // Contended: back off, then spin on the lock word.
+        state_.phase = static_cast<std::uint8_t>(Phase::SpinLoad);
+        Instruction i;
+        i.type = OpType::Alu;
+        i.latency = params_.backoffLatency;
+        return i;
+      }
+
+      case Phase::SpinLoad: {
+        state_.phase = static_cast<std::uint8_t>(Phase::AfterSpinLoad);
+        state_.lastResult = 0;   // predicted: lock looks free
+        Instruction i = makeLoad(lockAddr(state_.lockIdx));
+        i.feedsBack = true;
+        i.predictedResult = 0;
+        return i;
+      }
+
+      case Phase::AfterSpinLoad: {
+        if (state_.lastResult == 0) {
+            // Looks free: retry the CAS.
+            state_.phase =
+                static_cast<std::uint8_t>(Phase::AfterAcquireCas);
+            state_.lastResult = 0;
+            Instruction i;
+            i.type = OpType::Cas;
+            i.addr = lockAddr(state_.lockIdx);
+            i.expect = 0;
+            i.value = tid_ + 1;
+            i.feedsBack = true;
+            i.predictedResult = 0;
+            return i;
+        }
+        // Still held: back off and spin again.
+        state_.phase = static_cast<std::uint8_t>(Phase::SpinLoad);
+        Instruction i;
+        i.type = OpType::Alu;
+        i.latency = params_.backoffLatency;
+        return i;
+      }
+
+      case Phase::CritBody: {
+        if (state_.csRemaining == 0) {
+            // No release fence: the paper's RMO methodology inserts
+            // fences at lock acquires only (Section 6.1), conservatively
+            // overestimating conventional RMO. We mirror that.
+            state_.phase = static_cast<std::uint8_t>(Phase::Normal);
+            return makeStore(lockAddr(state_.lockIdx), 0);
+        }
+        --state_.csRemaining;
+        const Addr a = randomLockDataAddr();
+        // Critical sections touch migratory data; sharedWritePermille
+        // controls how write-heavy they are.
+        if (state_.rng.chancePermille(params_.sharedWritePermille))
+            return makeStore(a, state_.rng.next());
+        return makeLoad(a);
+      }
+
+      case Phase::ReleaseStore: {
+        state_.phase = static_cast<std::uint8_t>(Phase::Normal);
+        return makeStore(lockAddr(state_.lockIdx), 0);
+      }
+
+      case Phase::AcquiredFence:
+      case Phase::ReleaseFence:
+        break;   // folded into the transitions above
+    }
+    state_.phase = static_cast<std::uint8_t>(Phase::Normal);
+    return normalInstruction();
+}
+
+} // namespace invisifence

@@ -1,0 +1,184 @@
+#include "workload/workloads.hh"
+
+#include "sim/log.hh"
+
+namespace invisifence {
+
+namespace {
+
+Workload
+apache()
+{
+    Workload w;
+    w.name = "Apache";
+    SyntheticParams& p = w.params;
+    p.aluPermille = 520;
+    p.loadPermille = 300;
+    p.lockPer64k = 250;       // fine-grained locking everywhere
+    p.fencePer64k = 300;      // lock-free queues, many fences
+    p.atomicPer64k = 90;
+    p.privateBlocks = 1536;
+    p.sharedBlocks = 4096;
+    p.numLocks = 384;
+    p.lockDataBlocks = 4;
+    p.sharedPermille = 60;
+    p.sharedWritePermille = 550;
+    p.csLength = 4;
+    return w;
+}
+
+Workload
+zeus()
+{
+    Workload w;
+    w.name = "Zeus";
+    SyntheticParams& p = w.params;
+    p.aluPermille = 540;
+    p.loadPermille = 290;
+    p.lockPer64k = 220;
+    p.fencePer64k = 380;      // even more fence-heavy than Apache
+    p.atomicPer64k = 70;
+    p.privateBlocks = 1280;
+    p.sharedBlocks = 3584;
+    p.numLocks = 320;
+    p.lockDataBlocks = 4;
+    p.sharedPermille = 55;
+    p.sharedWritePermille = 500;
+    p.csLength = 4;
+    return w;
+}
+
+Workload
+oltpOracle()
+{
+    Workload w;
+    w.name = "OLTP-Oracle";
+    SyntheticParams& p = w.params;
+    p.aluPermille = 500;
+    p.loadPermille = 320;
+    p.lockPer64k = 240;
+    p.fencePer64k = 130;
+    p.atomicPer64k = 60;
+    p.privateBlocks = 4096;    // 512 KB: misses the L1 often
+    p.sharedBlocks = 5120;
+    p.numLocks = 768;
+    p.lockDataBlocks = 4;
+    p.sharedPermille = 80;
+    p.sharedWritePermille = 600;
+    p.csLength = 5;
+    p.storeBurst = 3;          // log-record style write streaks
+    return w;
+}
+
+Workload
+oltpDb2()
+{
+    Workload w;
+    w.name = "OLTP-DB2";
+    SyntheticParams& p = w.params;
+    p.aluPermille = 490;
+    p.loadPermille = 320;
+    p.lockPer64k = 260;
+    p.fencePer64k = 110;
+    p.atomicPer64k = 70;
+    p.privateBlocks = 4096;
+    p.sharedBlocks = 6144;
+    p.numLocks = 896;
+    p.lockDataBlocks = 4;
+    p.sharedPermille = 90;
+    p.sharedWritePermille = 620;
+    p.csLength = 5;
+    p.storeBurst = 3;
+    return w;
+}
+
+Workload
+dssDb2()
+{
+    Workload w;
+    w.name = "DSS-DB2";
+    SyntheticParams& p = w.params;
+    p.aluPermille = 450;
+    p.loadPermille = 430;      // scan-dominated
+    p.lockPer64k = 30;
+    p.fencePer64k = 25;
+    p.atomicPer64k = 15;
+    p.privateBlocks = 8192;   // 1 MB scans
+    p.sharedBlocks = 2048;
+    p.numLocks = 128;
+    p.lockDataBlocks = 4;
+    p.sharedPermille = 20;
+    p.sharedWritePermille = 300;
+    p.csLength = 4;
+    p.storeBurst = 2;
+    return w;
+}
+
+Workload
+barnes()
+{
+    Workload w;
+    w.name = "Barnes";
+    SyntheticParams& p = w.params;
+    p.aluPermille = 620;       // compute-bound tree walks
+    p.loadPermille = 280;
+    p.lockPer64k = 60;         // per-body locks, rarely contended
+    p.fencePer64k = 5;
+    p.atomicPer64k = 12;
+    p.privateBlocks = 768;
+    p.sharedBlocks = 3072;
+    p.numLocks = 768;          // many locks: little contention
+    p.lockDataBlocks = 2;
+    p.sharedPermille = 30;
+    p.sharedWritePermille = 400;
+    p.csLength = 3;
+    p.aluLatency = 2;
+    return w;
+}
+
+Workload
+ocean()
+{
+    Workload w;
+    w.name = "Ocean";
+    SyntheticParams& p = w.params;
+    p.aluPermille = 540;
+    p.loadPermille = 320;      // stencil loads + store sweeps
+    p.lockPer64k = 6;         // barrier-style sync only
+    p.fencePer64k = 8;
+    p.atomicPer64k = 5;
+    p.privateBlocks = 4096;   // 768 KB grid partition
+    p.sharedBlocks = 3072;      // boundary rows
+    p.numLocks = 64;
+    p.lockDataBlocks = 2;
+    p.csLength = 3;
+    p.sharedPermille = 8;
+    p.sharedWritePermille = 700;
+    p.csLength = 3;
+    p.storeBurst = 3;          // row-sweep store streaks
+    return w;
+}
+
+} // namespace
+
+const std::vector<Workload>&
+workloadSuite()
+{
+    static const std::vector<Workload> suite = {
+        apache(), zeus(), oltpOracle(), oltpDb2(), dssDb2(), barnes(),
+        ocean(),
+    };
+    return suite;
+}
+
+const Workload&
+workloadByName(const std::string& name)
+{
+    for (const auto& w : workloadSuite()) {
+        if (w.name == name)
+            return w;
+    }
+    IF_FATAL("unknown workload '%s'", name.c_str());
+}
+
+} // namespace invisifence

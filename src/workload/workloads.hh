@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The seven named workloads of Figure 7, as synthetic-parameter presets.
+ *
+ * The presets are tuned so the conventional-implementation stall
+ * taxonomy matches Figure 1's shape: web servers (Apache, Zeus) are
+ * synchronization-heavy (fences dominate under RMO); OLTP workloads have
+ * large footprints, heavy locking, and store bursts (TSO SB-full, SC
+ * SB-drain); DSS is scan-dominated with little synchronization; the
+ * scientific codes (Barnes, Ocean) synchronize rarely, so conventional
+ * RMO shows essentially no ordering stalls.
+ */
+
+#ifndef INVISIFENCE_WORKLOAD_WORKLOADS_HH
+#define INVISIFENCE_WORKLOAD_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace invisifence {
+
+/** A named workload preset. */
+struct Workload
+{
+    std::string name;
+    SyntheticParams params;
+};
+
+/** The paper's workload suite, in Figure 7 order. */
+const std::vector<Workload>& workloadSuite();
+
+/** Look up one workload by name (fatal if unknown). */
+const Workload& workloadByName(const std::string& name);
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_WORKLOAD_WORKLOADS_HH

@@ -1,0 +1,300 @@
+/** @file Litmus tests: every implementation must enforce exactly its
+ *  memory model. Forbidden outcomes must never appear under any timing
+ *  the simulator produces; relaxed implementations must be able to show
+ *  the relaxed outcomes. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_util.hh"
+
+using namespace invisifence;
+using namespace invisifence::test;
+
+namespace {
+
+/** Run @p test under @p kind with timing perturbation @p jitter. */
+std::unique_ptr<System>
+runLitmus(const LitmusTest& test, ImplKind kind, std::uint32_t jitter)
+{
+    std::vector<std::vector<ScriptOp>> scripts;
+    std::uint32_t t = 0;
+    for (const auto& thread : test.threads) {
+        std::vector<ScriptOp> s;
+        // Warm every address the test touches so the body runs against
+        // hit-latency caches (the interesting orderings need fast loads
+        // against slow store upgrades), then stagger thread starts per
+        // iteration to explore interleavings deterministically.
+        for (const auto& th : test.threads)
+            for (const auto& op : th)
+                if (isMemOp(op.inst.type))
+                    s.push_back(opLoad(op.inst.addr));
+        s.push_back(opAlu(200));
+        const std::uint32_t delay = (jitter * (t + 3) * 7) % 40;
+        for (std::uint32_t d = 0; d < delay; ++d)
+            s.push_back(opAlu(1));
+        for (const auto& op : thread)
+            s.push_back(op);
+        scripts.push_back(std::move(s));
+        ++t;
+    }
+    auto sys = makeScripted(std::move(scripts), kind);
+    EXPECT_TRUE(sys->runUntilDone(500000));
+    return sys;
+}
+
+/** Observed probe values for one run. */
+std::vector<std::uint64_t>
+observe(System& sys, const LitmusTest& test)
+{
+    std::vector<std::uint64_t> out;
+    for (const auto& p : test.probes)
+        out.push_back(lastLoadOf(sys, p.thread, p.addr));
+    return out;
+}
+
+constexpr std::uint32_t kIterations = 12;
+
+struct LitmusParam
+{
+    ImplKind kind;
+};
+
+std::string
+paramName(const ::testing::TestParamInfo<LitmusParam>& info)
+{
+    std::string n = implKindName(info.param.kind);
+    for (auto& c : n)
+        if (c == '-')
+            c = '_';
+    return n;
+}
+
+class LitmusAllImpls : public ::testing::TestWithParam<LitmusParam>
+{
+};
+
+class LitmusTsoPlus : public ::testing::TestWithParam<LitmusParam>
+{
+};
+
+class LitmusScOnly : public ::testing::TestWithParam<LitmusParam>
+{
+};
+
+} // namespace
+
+// ---- properties that hold under EVERY model ----------------------------
+
+TEST_P(LitmusAllImpls, SbWithFencesForbidsBothZero)
+{
+    const LitmusTest t = litmusSbFenced();
+    for (std::uint32_t i = 0; i < kIterations; ++i) {
+        auto sys = runLitmus(t, GetParam().kind, i);
+        const auto r = observe(*sys, t);
+        EXPECT_FALSE(r[0] == 0 && r[1] == 0)
+            << "Dekker failure with full fences, iteration " << i;
+    }
+}
+
+TEST_P(LitmusAllImpls, MpWithFencesAlwaysSeesData)
+{
+    const LitmusTest t = litmusMpFenced();
+    for (std::uint32_t i = 0; i < kIterations; ++i) {
+        auto sys = runLitmus(t, GetParam().kind, i);
+        EXPECT_EQ(observe(*sys, t)[0], 1u) << "iteration " << i;
+    }
+}
+
+TEST_P(LitmusAllImpls, CoherenceReadReadNeverGoesBackwards)
+{
+    const LitmusTest t = litmusCoRR();
+    for (std::uint32_t i = 0; i < kIterations; ++i) {
+        auto sys = runLitmus(t, GetParam().kind, i);
+        const auto& j = sys->core(1).journal();
+        std::vector<std::uint64_t> loads;
+        for (const auto& rec : j)
+            if (rec.type == OpType::Load)
+                loads.push_back(rec.result);
+        // The last two loads are the litmus body (earlier ones warmed
+        // the caches).
+        ASSERT_GE(loads.size(), 2u);
+        const auto r0 = loads[loads.size() - 2];
+        const auto r1 = loads[loads.size() - 1];
+        EXPECT_FALSE(r0 == 1 && r1 == 0)
+            << "CoRR violated, iteration " << i;
+    }
+}
+
+TEST_P(LitmusAllImpls, LoadBufferingOutcomeNeverAppears)
+{
+    // No implementation performs value speculation, so LB's cyclic
+    // outcome must be unobservable everywhere.
+    const LitmusTest t = litmusLb();
+    for (std::uint32_t i = 0; i < kIterations; ++i) {
+        auto sys = runLitmus(t, GetParam().kind, i);
+        const auto r = observe(*sys, t);
+        EXPECT_FALSE(r[0] == 1 && r[1] == 1) << "iteration " << i;
+    }
+}
+
+TEST_P(LitmusAllImpls, AtomicIncrementsNeverLost)
+{
+    // 4 threads x 20 fetch-and-adds on one counter.
+    std::vector<std::vector<ScriptOp>> scripts;
+    for (int t = 0; t < 4; ++t) {
+        std::vector<ScriptOp> s;
+        for (int i = 0; i < 20; ++i) {
+            s.push_back(opFetchAdd(taddr(20), 1));
+            s.push_back(opAlu(static_cast<std::uint8_t>(1 + (t + i) % 5)));
+        }
+        scripts.push_back(std::move(s));
+    }
+    auto sys = makeScripted(std::move(scripts), GetParam().kind);
+    ASSERT_TRUE(sys->runUntilDone(2000000));
+    // Read back through any agent's committed view via a fresh probe:
+    // all caches have drained, so functional memory + owner agree; use
+    // a one-op reader program instead of trusting internals.
+    std::uint64_t final_value = 0;
+    for (std::uint32_t n = 0; n < sys->numCores(); ++n) {
+        if (sys->agent(n).l1Readable(taddr(20)))
+            final_value = sys->agent(n).readWordL1(taddr(20));
+    }
+    if (final_value == 0)
+        final_value = sys->memory().readWord(taddr(20));
+    EXPECT_EQ(final_value, 80u);
+}
+
+TEST_P(LitmusAllImpls, SpinlockProvidesMutualExclusion)
+{
+    // Each thread: acquire -> write OWNER=tid -> delay -> read OWNER
+    // (must still be tid) -> release. A broken atomic/ordering path
+    // shows up as a foreign owner observed inside the critical section.
+    const Addr lock = taddr(21), owner = taddr(22);
+    constexpr int kRounds = 6;
+    std::vector<std::vector<ScriptOp>> scripts;
+    for (std::uint32_t t = 0; t < 4; ++t) {
+        std::vector<ScriptOp> s;
+        for (int r = 0; r < kRounds; ++r) {
+            // Spin-CAS acquire: retries until the swap wins.
+            s.push_back(opCasLoop(lock, 0, t + 1));
+            s.push_back(opFence());
+            s.push_back(opStore(owner, t + 1));
+            s.push_back(opAlu(5));
+            s.push_back(opLoad(owner));
+            s.push_back(opFence());
+            s.push_back(opStore(lock, 0));
+        }
+        scripts.push_back(std::move(s));
+    }
+    auto sys = makeScripted(std::move(scripts), GetParam().kind);
+    ASSERT_TRUE(sys->runUntilDone(4000000));
+    for (std::uint32_t t = 0; t < 4; ++t) {
+        const auto& j = sys->core(t).journal();
+        for (const auto& rec : j) {
+            if (rec.type == OpType::Load &&
+                wordAlign(rec.addr) == wordAlign(owner)) {
+                EXPECT_EQ(rec.result, t + 1)
+                    << "mutual exclusion violated in thread " << t;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, LitmusAllImpls,
+                         ::testing::ValuesIn([] {
+                             std::vector<LitmusParam> v;
+                             for (auto k : allImplKinds())
+                                 v.push_back({k});
+                             return v;
+                         }()),
+                         paramName);
+
+// ---- properties of TSO and stronger -------------------------------------
+
+TEST_P(LitmusTsoPlus, MessagePassingForbiddenWithoutFences)
+{
+    // MP's relaxed outcome (flag seen, data stale) violates TSO.
+    const LitmusTest t = litmusMp();
+    for (std::uint32_t i = 0; i < kIterations; ++i) {
+        auto sys = runLitmus(t, GetParam().kind, i);
+        const auto r = observe(*sys, t);
+        EXPECT_FALSE(r[0] == 1 && r[1] == 0)
+            << implKindName(GetParam().kind) << " iteration " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TsoPlus, LitmusTsoPlus,
+                         ::testing::ValuesIn([] {
+                             std::vector<LitmusParam> v;
+                             for (auto k : tsoOrStrongerKinds())
+                                 v.push_back({k});
+                             return v;
+                         }()),
+                         paramName);
+
+// ---- properties of SC only ----------------------------------------------
+
+TEST_P(LitmusScOnly, StoreBufferingForbidden)
+{
+    // Dekker without fences: r0 == r1 == 0 violates SC.
+    const LitmusTest t = litmusSb();
+    for (std::uint32_t i = 0; i < kIterations; ++i) {
+        auto sys = runLitmus(t, GetParam().kind, i);
+        const auto r = observe(*sys, t);
+        EXPECT_FALSE(r[0] == 0 && r[1] == 0)
+            << implKindName(GetParam().kind) << " iteration " << i;
+    }
+}
+
+TEST_P(LitmusScOnly, IriwObserversAgreeOnWriteOrder)
+{
+    const LitmusTest t = litmusIriw();
+    for (std::uint32_t i = 0; i < kIterations; ++i) {
+        auto sys = runLitmus(t, GetParam().kind, i);
+        const auto r = observe(*sys, t);
+        // forbidden: T2 sees X=1,Y=0 while T3 sees Y=1,X=0.
+        EXPECT_FALSE(r[0] == 1 && r[1] == 0 && r[2] == 1 && r[3] == 0)
+            << implKindName(GetParam().kind) << " iteration " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScOnly, LitmusScOnly,
+                         ::testing::ValuesIn([] {
+                             std::vector<LitmusParam> v;
+                             for (auto k : scKinds())
+                                 v.push_back({k});
+                             return v;
+                         }()),
+                         paramName);
+
+// ---- relaxed implementations can actually relax -------------------------
+
+TEST(LitmusRelaxation, ConventionalTsoShowsStoreBuffering)
+{
+    // Under TSO, both loads retiring past the buffered stores is the
+    // expected behavior; with simultaneous starts it shows immediately.
+    const LitmusTest t = litmusSb();
+    bool saw_relaxed = false;
+    for (std::uint32_t i = 0; i < kIterations && !saw_relaxed; ++i) {
+        auto sys = runLitmus(t, ImplKind::ConvTSO, i);
+        const auto r = observe(*sys, t);
+        saw_relaxed = (r[0] == 0 && r[1] == 0);
+    }
+    EXPECT_TRUE(saw_relaxed)
+        << "TSO never exhibited store buffering; the store buffer is "
+           "not doing its job";
+}
+
+TEST(LitmusRelaxation, InvisiTsoShowsStoreBufferingToo)
+{
+    const LitmusTest t = litmusSb();
+    bool saw_relaxed = false;
+    for (std::uint32_t i = 0; i < kIterations && !saw_relaxed; ++i) {
+        auto sys = runLitmus(t, ImplKind::InvisiTSO, i);
+        const auto r = observe(*sys, t);
+        saw_relaxed = (r[0] == 0 && r[1] == 0);
+    }
+    EXPECT_TRUE(saw_relaxed);
+}

@@ -1,0 +1,511 @@
+/** @file Unit tests for memory structures: blocks, cache array, victim
+ *  cache, MSHRs, store buffers, functional memory. */
+
+#include <gtest/gtest.h>
+
+#include "mem/block.hh"
+#include "mem/cache_array.hh"
+#include "mem/functional_mem.hh"
+#include "mem/mshr.hh"
+#include "mem/store_buffer.hh"
+#include "mem/victim_cache.hh"
+
+using namespace invisifence;
+
+// ---------------------------------------------------------------- block
+
+TEST(Block, WordReadWriteRoundTrip)
+{
+    BlockData b;
+    b.writeWord(8, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(b.readWord(8), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(b.readWord(0), 0u);
+}
+
+TEST(Block, ByteMaskCoversRange)
+{
+    EXPECT_EQ(byteMaskFor(0, 8), 0xffull);
+    EXPECT_EQ(byteMaskFor(8, 8), 0xff00ull);
+    EXPECT_EQ(byteMaskFor(0, 64), ~ByteMask{0});
+}
+
+TEST(MaskedBlock, CoversAndRead)
+{
+    MaskedBlock m;
+    EXPECT_TRUE(m.empty());
+    m.write(16, 8, 0x1122334455667788ull);
+    EXPECT_TRUE(m.covers(16, 8));
+    EXPECT_FALSE(m.covers(8, 8));
+    EXPECT_FALSE(m.covers(20, 8));
+    EXPECT_EQ(m.read(16, 8), 0x1122334455667788ull);
+}
+
+TEST(MaskedBlock, ApplyOverlaysOnlyDefinedBytes)
+{
+    BlockData base;
+    base.writeWord(0, 0xaaaaaaaaaaaaaaaaull);
+    base.writeWord(8, 0xbbbbbbbbbbbbbbbbull);
+    MaskedBlock m;
+    m.write(8, 8, 0x1ull);
+    m.applyTo(base);
+    EXPECT_EQ(base.readWord(0), 0xaaaaaaaaaaaaaaaaull);
+    EXPECT_EQ(base.readWord(8), 0x1ull);
+}
+
+TEST(MaskedBlock, MergeYoungerWins)
+{
+    MaskedBlock older, younger;
+    older.write(0, 8, 111);
+    younger.write(0, 8, 222);
+    older.merge(younger);
+    EXPECT_EQ(older.read(0, 8), 222u);
+}
+
+TEST(MaskedBlock, FullAfterWholeBlockWrite)
+{
+    MaskedBlock m;
+    for (std::uint32_t off = 0; off < kBlockBytes; off += 8)
+        m.write(off, 8, off);
+    EXPECT_TRUE(m.full());
+}
+
+// ----------------------------------------------------------- cache array
+
+TEST(CacheArray, MissThenInsertHits)
+{
+    CacheArray c(4096, 2, "t");
+    EXPECT_EQ(c.lookup(0x1000), nullptr);
+    CacheLine& v = c.findVictim(0x1000);
+    v.blockAddr = blockAlign(0x1000);
+    v.state = CoherenceState::Exclusive;
+    c.touch(v);
+    ASSERT_NE(c.lookup(0x1000), nullptr);
+    EXPECT_EQ(c.lookup(0x1010), c.lookup(0x1000));   // same block
+}
+
+TEST(CacheArray, SetIndexWrapsOnSets)
+{
+    CacheArray c(4096, 2, "t");   // 32 sets
+    EXPECT_EQ(c.numSets(), 32u);
+    EXPECT_EQ(c.setIndex(0), c.setIndex(32ull * kBlockBytes));
+    EXPECT_NE(c.setIndex(0), c.setIndex(kBlockBytes));
+}
+
+TEST(CacheArray, LruVictimIsLeastRecentlyTouched)
+{
+    CacheArray c(4096, 2, "t");
+    const Addr a = 0;
+    const Addr b = 32ull * kBlockBytes;    // same set as a
+    for (Addr addr : {a, b}) {
+        CacheLine& v = c.findVictim(addr);
+        v.blockAddr = addr;
+        v.state = CoherenceState::Shared;
+        c.touch(v);
+    }
+    c.touch(*c.lookup(a));   // b becomes LRU
+    CacheLine& victim = c.findVictim(64ull * kBlockBytes);
+    EXPECT_EQ(victim.blockAddr, b);
+}
+
+TEST(CacheArray, VictimAvoidsPredicate)
+{
+    CacheArray c(4096, 2, "t");
+    const Addr a = 0, b = 32ull * kBlockBytes;
+    for (Addr addr : {a, b}) {
+        CacheLine& v = c.findVictim(addr);
+        v.blockAddr = addr;
+        v.state = CoherenceState::Shared;
+        c.touch(v);
+    }
+    c.lookup(b)->specRead[0] = true;
+    c.touch(*c.lookup(b));
+    c.touch(*c.lookup(a));   // a is MRU; b is LRU but speculative
+    bool forced = false;
+    CacheLine& victim = c.findVictim(
+        64ull * kBlockBytes,
+        [](const CacheLine& l) { return l.speculative(); }, &forced);
+    EXPECT_FALSE(forced);
+    EXPECT_EQ(victim.blockAddr, a);
+}
+
+TEST(CacheArray, ForcedWhenAllWaysAvoided)
+{
+    CacheArray c(4096, 2, "t");
+    const Addr a = 0, b = 32ull * kBlockBytes;
+    for (Addr addr : {a, b}) {
+        CacheLine& v = c.findVictim(addr);
+        v.blockAddr = addr;
+        v.state = CoherenceState::Shared;
+        v.specWritten[0] = true;
+        c.touch(v);
+    }
+    bool forced = false;
+    c.findVictim(64ull * kBlockBytes,
+                 [](const CacheLine& l) { return l.speculative(); },
+                 &forced);
+    EXPECT_TRUE(forced);
+}
+
+TEST(CacheArray, FlashClearSpecBits)
+{
+    CacheArray c(4096, 2, "t");
+    CacheLine& v = c.findVictim(0);
+    v.blockAddr = 0;
+    v.state = CoherenceState::Modified;
+    v.specRead[0] = v.specWritten[0] = true;
+    v.specRead[1] = true;
+    c.flashClearSpecBits(0);
+    EXPECT_FALSE(v.specRead[0]);
+    EXPECT_FALSE(v.specWritten[0]);
+    EXPECT_TRUE(v.specRead[1]);    // other context untouched
+    EXPECT_TRUE(v.valid());        // commit does not invalidate
+}
+
+TEST(CacheArray, FlashInvalidateOnlySpecWritten)
+{
+    CacheArray c(4096, 2, "t");
+    CacheLine& w = c.findVictim(0);
+    w.blockAddr = 0;
+    w.state = CoherenceState::Modified;
+    w.specWritten[0] = true;
+    CacheLine& r = c.findVictim(kBlockBytes);
+    r.blockAddr = kBlockBytes;
+    r.state = CoherenceState::Shared;
+    r.specRead[0] = true;
+
+    c.flashInvalidateSpecWritten(0);
+    EXPECT_FALSE(c.lookup(0));              // written block invalidated
+    ASSERT_TRUE(c.lookup(kBlockBytes));     // read block survives...
+    EXPECT_FALSE(c.lookup(kBlockBytes)->specRead[0]);   // ...bit cleared
+}
+
+TEST(CacheArray, CountSpeculative)
+{
+    CacheArray c(4096, 2, "t");
+    for (int i = 0; i < 4; ++i) {
+        CacheLine& v = c.findVictim(static_cast<Addr>(i) * kBlockBytes);
+        v.blockAddr = static_cast<Addr>(i) * kBlockBytes;
+        v.state = CoherenceState::Shared;
+        if (i < 3)
+            v.specRead[0] = true;
+    }
+    EXPECT_EQ(c.countSpeculative(0), 3u);
+    EXPECT_EQ(c.countSpeculative(1), 0u);
+}
+
+TEST(CacheArray, InvalidateClearsEverything)
+{
+    CacheLine l;
+    l.state = CoherenceState::Modified;
+    l.dirty = true;
+    l.specRead[0] = l.specWritten[1] = true;
+    l.invalidate();
+    EXPECT_FALSE(l.valid());
+    EXPECT_FALSE(l.dirty);
+    EXPECT_FALSE(l.speculative());
+}
+
+// ---------------------------------------------------------- victim cache
+
+TEST(VictimCache, InsertExtractRoundTrip)
+{
+    VictimCache vc(4);
+    VictimCache::Entry e;
+    e.blockAddr = 0x4000;
+    e.state = CoherenceState::Shared;
+    vc.insert(e);
+    VictimCache::Entry out;
+    EXPECT_TRUE(vc.extract(0x4000, &out));
+    EXPECT_EQ(out.blockAddr, 0x4000u);
+    EXPECT_FALSE(vc.extract(0x4000, &out));   // removed on extract
+}
+
+TEST(VictimCache, FifoDisplacement)
+{
+    VictimCache vc(2);
+    for (Addr a : {Addr{0x100 * 64}, Addr{0x200 * 64}, Addr{0x300 * 64}}) {
+        VictimCache::Entry e;
+        e.blockAddr = a;
+        e.state = CoherenceState::Shared;
+        vc.insert(e);
+    }
+    EXPECT_EQ(vc.size(), 2u);
+    EXPECT_EQ(vc.probe(0x100 * 64), nullptr);    // oldest displaced
+    EXPECT_NE(vc.probe(0x200 * 64), nullptr);
+    EXPECT_NE(vc.probe(0x300 * 64), nullptr);
+}
+
+TEST(VictimCache, ReinsertReplaces)
+{
+    VictimCache vc(4);
+    VictimCache::Entry e;
+    e.blockAddr = 0x40;
+    e.state = CoherenceState::Shared;
+    e.data.writeWord(0, 1);
+    vc.insert(e);
+    e.data.writeWord(0, 2);
+    vc.insert(e);
+    EXPECT_EQ(vc.size(), 1u);
+    EXPECT_EQ(vc.probe(0x40)->data.readWord(0), 2u);
+}
+
+TEST(VictimCache, InvalidateRemoves)
+{
+    VictimCache vc(4);
+    VictimCache::Entry e;
+    e.blockAddr = 0x80;
+    e.state = CoherenceState::Exclusive;
+    vc.insert(e);
+    EXPECT_TRUE(vc.invalidate(0x80));
+    EXPECT_FALSE(vc.invalidate(0x80));
+    EXPECT_EQ(vc.probe(0x80), nullptr);
+}
+
+TEST(VictimCache, HitMissStats)
+{
+    VictimCache vc(4);
+    VictimCache::Entry e;
+    e.blockAddr = 0xc0;
+    e.state = CoherenceState::Shared;
+    vc.insert(e);
+    vc.extract(0xc0, nullptr);
+    vc.extract(0xc0, nullptr);
+    EXPECT_EQ(vc.statHits, 1u);
+    EXPECT_EQ(vc.statMisses, 1u);
+}
+
+// ------------------------------------------------------------------ mshr
+
+TEST(Mshr, AllocateLookupFree)
+{
+    MshrFile f(2);
+    Mshr* a = f.allocate(0x1000, Mshr::Kind::Fetch);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(f.lookup(0x1008), a);   // same block
+    EXPECT_EQ(f.lookup(0x2000), nullptr);
+    f.free(a);
+    EXPECT_EQ(f.lookup(0x1000), nullptr);
+    EXPECT_EQ(f.inUse(), 0u);
+}
+
+TEST(Mshr, CapacityEnforced)
+{
+    MshrFile f(2);
+    EXPECT_NE(f.allocate(0x0, Mshr::Kind::Fetch), nullptr);
+    EXPECT_NE(f.allocate(0x40, Mshr::Kind::Fetch), nullptr);
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.allocate(0x80, Mshr::Kind::Fetch), nullptr);
+    EXPECT_EQ(f.statFullStalls, 1u);
+}
+
+TEST(Mshr, KindsCoexistPerBlock)
+{
+    MshrFile f(4);
+    Mshr* fetch = f.allocate(0x100, Mshr::Kind::Fetch);
+    Mshr* wb = f.allocate(0x100, Mshr::Kind::Writeback);
+    EXPECT_EQ(f.lookup(0x100, Mshr::Kind::Fetch), fetch);
+    EXPECT_EQ(f.lookup(0x100, Mshr::Kind::Writeback), wb);
+}
+
+TEST(Mshr, WaitersAccumulate)
+{
+    MshrFile f(4);
+    Mshr* m = f.allocate(0x100, Mshr::Kind::Fetch);
+    int fired = 0;
+    m->readWaiters.push_back([&]() { ++fired; });
+    m->readWaiters.push_back([&]() { ++fired; });
+    for (auto& fn : m->readWaiters)
+        fn();
+    EXPECT_EQ(fired, 2);
+}
+
+// -------------------------------------------------------- FIFO store buf
+
+TEST(FifoSb, PushPopInOrder)
+{
+    FifoStoreBuffer sb(4);
+    sb.push(0x1000, 1, 1);
+    sb.push(0x2000, 2, 2);
+    EXPECT_EQ(sb.front().addr, 0x1000u);
+    sb.popFront();
+    EXPECT_EQ(sb.front().addr, 0x2000u);
+}
+
+TEST(FifoSb, CapacityAndSpace)
+{
+    FifoStoreBuffer sb(2);
+    EXPECT_TRUE(sb.hasSpace());
+    sb.push(0x0, 1, 1);
+    sb.push(0x8, 2, 2);
+    EXPECT_TRUE(sb.full());
+    EXPECT_FALSE(sb.hasSpace());
+}
+
+TEST(FifoSb, ForwardYoungestMatch)
+{
+    FifoStoreBuffer sb(8);
+    sb.push(0x1000, 11, 1);
+    sb.push(0x2000, 22, 2);
+    sb.push(0x1000, 33, 3);    // younger store to same word
+    const auto v = sb.forward(0x1000);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 33u);
+    EXPECT_FALSE(sb.forward(0x3000).has_value());
+}
+
+TEST(FifoSb, ForwardIsWordGranular)
+{
+    FifoStoreBuffer sb(8);
+    sb.push(0x1000, 11, 1);
+    EXPECT_FALSE(sb.forward(0x1008).has_value());   // next word
+    EXPECT_TRUE(sb.forward(0x1004).has_value());    // same word
+}
+
+TEST(FifoSb, ContainsBlock)
+{
+    FifoStoreBuffer sb(8);
+    sb.push(0x1008, 1, 1);
+    EXPECT_TRUE(sb.containsBlock(0x1000));
+    EXPECT_TRUE(sb.containsBlock(0x1038));
+    EXPECT_FALSE(sb.containsBlock(0x1040));
+}
+
+TEST(FifoSb, PeakOccupancyTracked)
+{
+    FifoStoreBuffer sb(8);
+    for (int i = 0; i < 5; ++i)
+        sb.push(static_cast<Addr>(i) * 8, 0, static_cast<InstSeq>(i));
+    sb.popFront();
+    EXPECT_EQ(sb.statPeakOccupancy, 5u);
+    EXPECT_EQ(sb.size(), 4u);
+}
+
+// -------------------------------------------------- coalescing store buf
+
+TEST(CoalSb, MergesSameBlockSameLabel)
+{
+    CoalescingStoreBuffer sb(4);
+    EXPECT_EQ(sb.store(0x1000, 8, 1, false, kNonSpecCtx, 1),
+              CoalescingStoreBuffer::StoreResult::NewEntry);
+    EXPECT_EQ(sb.store(0x1008, 8, 2, false, kNonSpecCtx, 2),
+              CoalescingStoreBuffer::StoreResult::Merged);
+    EXPECT_EQ(sb.size(), 1u);
+}
+
+TEST(CoalSb, NoCoalesceAcrossSpecBoundary)
+{
+    // Section 3.1: "the store buffer does not perform coalescing between
+    // speculative and non-speculative stores for a given block."
+    CoalescingStoreBuffer sb(4);
+    sb.store(0x1000, 8, 1, false, kNonSpecCtx, 1);
+    EXPECT_EQ(sb.store(0x1008, 8, 2, true, 0, 2),
+              CoalescingStoreBuffer::StoreResult::NewEntry);
+    EXPECT_EQ(sb.size(), 2u);
+}
+
+TEST(CoalSb, NoCoalesceAcrossCheckpoints)
+{
+    CoalescingStoreBuffer sb(4);
+    sb.store(0x1000, 8, 1, true, 0, 1);
+    EXPECT_EQ(sb.store(0x1008, 8, 2, true, 1, 2),
+              CoalescingStoreBuffer::StoreResult::NewEntry);
+    EXPECT_EQ(sb.size(), 2u);
+}
+
+TEST(CoalSb, FullWhenNoCompatibleEntry)
+{
+    CoalescingStoreBuffer sb(1);
+    sb.store(0x1000, 8, 1, false, kNonSpecCtx, 1);
+    EXPECT_EQ(sb.store(0x2000, 8, 2, false, kNonSpecCtx, 2),
+              CoalescingStoreBuffer::StoreResult::Full);
+    // ...but a merge into the existing entry still succeeds.
+    EXPECT_EQ(sb.store(0x1010, 8, 3, false, kNonSpecCtx, 3),
+              CoalescingStoreBuffer::StoreResult::Merged);
+}
+
+TEST(CoalSb, GatherOverlaysOldestToYoungest)
+{
+    CoalescingStoreBuffer sb(4);
+    sb.store(0x1000, 8, 1, false, kNonSpecCtx, 1);
+    sb.store(0x1000, 8, 2, true, 0, 2);   // younger spec entry, same word
+    const MaskedBlock view = sb.gatherBlock(0x1000);
+    EXPECT_EQ(view.read(0, 8), 2u);       // younger wins
+}
+
+TEST(CoalSb, ForwardRequiresFullCoverage)
+{
+    CoalescingStoreBuffer sb(4);
+    sb.store(0x1000, 4, 0xabcd, false, kNonSpecCtx, 1);   // half a word
+    EXPECT_FALSE(sb.forward(0x1000).has_value());
+    sb.store(0x1004, 4, 0x1234, false, kNonSpecCtx, 2);
+    EXPECT_TRUE(sb.forward(0x1000).has_value());
+}
+
+TEST(CoalSb, FlashInvalidateSpeculativeOnly)
+{
+    CoalescingStoreBuffer sb(8);
+    sb.store(0x1000, 8, 1, false, kNonSpecCtx, 1);
+    sb.store(0x2000, 8, 2, true, 0, 2);
+    sb.store(0x3000, 8, 3, true, 1, 3);
+    sb.flashInvalidateSpeculative();
+    EXPECT_EQ(sb.size(), 1u);
+    EXPECT_FALSE(sb.emptyOfCtx(kNonSpecCtx));
+    EXPECT_TRUE(sb.emptyOfCtx(0));
+    EXPECT_TRUE(sb.emptyOfCtx(1));
+}
+
+TEST(CoalSb, EmptyOfSpeculative)
+{
+    CoalescingStoreBuffer sb(8);
+    sb.store(0x1000, 8, 1, false, kNonSpecCtx, 1);
+    EXPECT_TRUE(sb.emptyOfSpeculative());
+    sb.store(0x2000, 8, 2, true, 0, 2);
+    EXPECT_FALSE(sb.emptyOfSpeculative());
+}
+
+TEST(CoalSb, EraseSpecificEntry)
+{
+    CoalescingStoreBuffer sb(8);
+    sb.store(0x1000, 8, 1, false, kNonSpecCtx, 1);
+    sb.store(0x2000, 8, 2, false, kNonSpecCtx, 2);
+    sb.erase(sb.entries()[0]);
+    ASSERT_EQ(sb.size(), 1u);
+    EXPECT_EQ(sb.entries()[0].blockAddr, 0x2000u);
+}
+
+TEST(CoalSb, MergeStats)
+{
+    CoalescingStoreBuffer sb(8);
+    sb.store(0x1000, 8, 1, false, kNonSpecCtx, 1);
+    sb.store(0x1008, 8, 2, false, kNonSpecCtx, 2);
+    sb.store(0x1010, 8, 3, false, kNonSpecCtx, 3);
+    EXPECT_EQ(sb.statStores, 3u);
+    EXPECT_EQ(sb.statMerges, 2u);
+}
+
+// ------------------------------------------------------ functional mem
+
+TEST(FunctionalMem, ZeroFillDefault)
+{
+    FunctionalMemory m;
+    EXPECT_EQ(m.readWord(0x123456789abcull & ~7ull), 0u);
+    EXPECT_EQ(m.touchedBlocks(), 0u);
+}
+
+TEST(FunctionalMem, WordRoundTrip)
+{
+    FunctionalMemory m;
+    m.writeWord(0x1008, 77);
+    EXPECT_EQ(m.readWord(0x1008), 77u);
+    EXPECT_EQ(m.readWord(0x1000), 0u);
+    EXPECT_EQ(m.touchedBlocks(), 1u);
+}
+
+TEST(FunctionalMem, BlockRoundTrip)
+{
+    FunctionalMemory m;
+    BlockData b;
+    b.writeWord(24, 0x55);
+    m.writeBlock(0x2000, b);
+    EXPECT_EQ(m.readBlock(0x2010).readWord(24), 0x55u);
+}

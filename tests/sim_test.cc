@@ -1,0 +1,185 @@
+/** @file Unit tests for the simulation kernel (event queue, RNG, stats). */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/log.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace invisifence;
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&]() { order.push_back(3); });
+    eq.scheduleAt(10, [&]() { order.push_back(1); });
+    eq.scheduleAt(20, [&]() { order.push_back(2); });
+    eq.advanceTo(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, SameTickPreservesInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.scheduleAt(5, [&order, i]() { order.push_back(i); });
+    eq.advanceTo(5);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, AdvanceStopsAtRequestedTick)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(10, [&]() { ++fired; });
+    eq.scheduleAt(11, [&]() { ++fired; });
+    eq.advanceTo(10);
+    EXPECT_EQ(fired, 1);
+    eq.advanceTo(11);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsScheduledDuringExecutionRun)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(5, [&]() {
+        eq.schedule(0, [&]() { ++fired; });   // lands at tick 5 too
+        eq.schedule(100, [&]() { ++fired; });
+    });
+    eq.advanceTo(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.size(), 1u);
+    EXPECT_EQ(eq.nextEventTick(), 105u);
+}
+
+TEST(EventQueue, RelativeScheduleUsesCurrentTime)
+{
+    EventQueue eq;
+    Cycle seen = 0;
+    eq.advanceTo(50);
+    eq.schedule(7, [&]() { seen = eq.now(); });
+    eq.drain();
+    EXPECT_EQ(seen, 57u);
+}
+
+TEST(EventQueue, DrainEmptiesEverything)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (Cycle t = 1; t <= 64; ++t)
+        eq.scheduleAt(t * 3, [&]() { ++fired; });
+    eq.drain();
+    EXPECT_EQ(fired, 64);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(37), 37u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.range(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, CopyReplaysIdentically)
+{
+    Rng a(123);
+    a.next();
+    a.next();
+    Rng b = a;   // value-copy snapshot
+    std::vector<std::uint64_t> va, vb;
+    for (int i = 0; i < 50; ++i)
+        va.push_back(a.next());
+    for (int i = 0; i < 50; ++i)
+        vb.push_back(b.next());
+    EXPECT_EQ(va, vb);
+}
+
+TEST(Rng, ChancePermilleRoughlyCalibrated)
+{
+    Rng r(5);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.chancePermille(250);
+    EXPECT_NEAR(hits, 25000, 1500);
+}
+
+TEST(Stats, RegisterAndRead)
+{
+    StatRegistry reg;
+    std::uint64_t counter = 41;
+    reg.registerStat("a.counter", &counter);
+    ++counter;
+    EXPECT_DOUBLE_EQ(reg.get("a.counter"), 42.0);
+    EXPECT_TRUE(reg.has("a.counter"));
+    EXPECT_FALSE(reg.has("missing"));
+    EXPECT_DOUBLE_EQ(reg.get("missing"), 0.0);
+}
+
+TEST(Stats, SumMatching)
+{
+    StatRegistry reg;
+    std::uint64_t a = 1, b = 2, c = 4;
+    reg.registerStat("core0.cycles.busy", &a);
+    reg.registerStat("core1.cycles.busy", &b);
+    reg.registerStat("core1.cycles.other", &c);
+    EXPECT_DOUBLE_EQ(reg.sumMatching("core", ".busy"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.sumMatching("core1", ""), 6.0);
+}
+
+TEST(Stats, SnapshotSortedByName)
+{
+    StatRegistry reg;
+    std::uint64_t x = 1;
+    double y = 2.5;
+    reg.registerStat("zz", &x);
+    reg.registerStat("aa", &y);
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].first, "aa");
+    EXPECT_DOUBLE_EQ(snap[0].second, 2.5);
+}
+
+TEST(Log, StrformatFormats)
+{
+    EXPECT_EQ(strformat("x=%d y=%s", 7, "ok"), "x=7 y=ok");
+    EXPECT_EQ(strformat("plain"), "plain");
+}
