@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Tier-1 verification: Release, Debug+ASan/UBSan, and a format check.
+#
+#   ./ci.sh            run everything
+#   ./ci.sh release    Release build + full ctest suite
+#   ./ci.sh asan       Debug ASan/UBSan build + unit suites
+#   ./ci.sh format     clang-format check (skipped when not installed)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+STAGE="${1:-all}"
+
+run_release() {
+    echo "== Release build + full test pyramid =="
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-release -j "$JOBS"
+    ctest --test-dir build-release --output-on-failure -j "$JOBS"
+}
+
+run_asan() {
+    echo "== Debug + ASan/UBSan build + unit suites =="
+    cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+        -DINVISIFENCE_SANITIZE=ON
+    cmake --build build-asan -j "$JOBS"
+    # Unit tier only: the bench/example smoke tests re-run identical code
+    # paths and triple CI time under sanitizers.
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L unit
+}
+
+run_format() {
+    echo "== clang-format check =="
+    if ! command -v clang-format >/dev/null 2>&1; then
+        echo "clang-format not installed; skipping format check"
+        return 0
+    fi
+    local files
+    files=$(git ls-files '*.cc' '*.hh' '*.cpp' '*.h')
+    # shellcheck disable=SC2086
+    if ! clang-format --dry-run --Werror $files; then
+        echo "format check failed; run: clang-format -i <files>"
+        return 1
+    fi
+}
+
+case "$STAGE" in
+  release) run_release ;;
+  asan)    run_asan ;;
+  format)  run_format ;;
+  all)     run_format; run_release; run_asan ;;
+  *) echo "usage: $0 [all|release|asan|format]" >&2; exit 2 ;;
+esac
+echo "ci.sh: $STAGE OK"

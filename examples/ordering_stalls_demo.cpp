@@ -28,11 +28,11 @@ main()
          {ImplKind::ConvSC, ImplKind::ConvTSO, ImplKind::ConvRMO,
           ImplKind::InvisiSC}) {
         std::vector<ScriptOp> s;
-        for (int b = 0; b < 4; ++b)
+        for (std::uint32_t b = 0; b < 4; ++b)
             s.push_back(opLoad(0x0900'0000 + 0x800 + b * kBlockBytes));
         s.push_back(opAlu(250));
         s.push_back(opStore(0x0900'0041 * kBlockBytes, 1));  // remote
-        for (int i = 0; i < 24; ++i)
+        for (std::uint32_t i = 0; i < 24; ++i)
             s.push_back(opLoad(0x0900'0000 + 0x800 +
                                (i % 4) * kBlockBytes));
         std::vector<std::unique_ptr<ThreadProgram>> programs;

@@ -53,7 +53,7 @@ TEST(ConvTso, FifoCapacityCausesSbFull)
     // More distinct-block stores than the FIFO holds, all behind one
     // slow head miss.
     std::vector<ScriptOp> s;
-    for (int i = 0; i < 80; ++i)
+    for (std::uint32_t i = 0; i < 80; ++i)
         s.push_back(opStore(taddr(74) + i * kBlockBytes,
                             static_cast<std::uint64_t>(i)));
     auto sys = makeScripted({s}, ImplKind::ConvTSO,

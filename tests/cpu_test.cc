@@ -145,7 +145,7 @@ TEST(CorePipeline, DeterministicAcrossIdenticalRuns)
 {
     const auto run = []() {
         std::vector<ScriptOp> t0, t1;
-        for (int i = 0; i < 50; ++i) {
+        for (std::uint32_t i = 0; i < 50; ++i) {
             t0.push_back(opStore(taddr(11) + (i % 7) * kBlockBytes,
                                  static_cast<std::uint64_t>(i)));
             t1.push_back(opLoad(taddr(11) + (i % 5) * kBlockBytes));

@@ -31,14 +31,14 @@ slowMem(std::uint32_t cores)
 
 /** Warm blocks, then a long store miss followed by dependent work. */
 std::vector<ScriptOp>
-missThenWork(Addr missAddr, int work)
+missThenWork(Addr missAddr, std::uint32_t work)
 {
     std::vector<ScriptOp> s;
-    for (int b = 0; b < 4; ++b)
+    for (std::uint32_t b = 0; b < 4; ++b)
         s.push_back(opLoad(taddr(30) + b * kBlockBytes));
     s.push_back(opAlu(250));
     s.push_back(opStore(missAddr, 1));
-    for (int i = 0; i < work; ++i) {
+    for (std::uint32_t i = 0; i < work; ++i) {
         s.push_back(opLoad(taddr(30) + (i % 4) * kBlockBytes));
         s.push_back(opAlu(1));
     }
@@ -169,8 +169,9 @@ TEST(SelectiveSc, ViolationCyclesAppearOnAbort)
     std::vector<ScriptOp> t1 = {opAlu(120), opStore(taddr(48), 5)};
     auto sys = makeScripted({t0, t1}, ImplKind::InvisiSC);
     ASSERT_TRUE(sys->runUntilDone(400000));
-    if (spec(*sys, 0).statAborts > 0)
+    if (spec(*sys, 0).statAborts > 0) {
         EXPECT_GT(sys->core(0).breakdown().violation, 0u);
+    }
 }
 
 TEST(Cleaning, DirtyBlockPreservedAcrossAbort)
@@ -209,7 +210,7 @@ TEST(ForwardProgress, RepeatedConflictsStillComplete)
     for (std::uint32_t t = 0; t < 2; ++t) {
         std::vector<ScriptOp> s;
         for (int i = 0; i < 30; ++i) {
-            s.push_back(opStore(taddr(52), t * 100 + i));
+            s.push_back(opStore(taddr(52), t * 100 + static_cast<std::uint32_t>(i)));
             s.push_back(opStore(taddr(53 + t), 1));
             s.push_back(opLoad(taddr(52)));
         }
@@ -235,8 +236,9 @@ TEST(CommitOnViolate, DeferredRequestEventuallyServed)
     // The external read conflicted with a speculatively-written block:
     // with CoV it must have been deferred, and the system still finished
     // with the reader seeing a committed value.
-    if (s0.statConflicts > 0)
+    if (s0.statConflicts > 0) {
         EXPECT_GE(s0.statCovDeferrals, 1u);
+    }
     const std::uint64_t seen = lastLoadOf(*sys, 1, taddr(54));
     EXPECT_TRUE(seen == 0 || seen == 9) << seen;
 }
@@ -252,7 +254,7 @@ TEST(CommitOnViolate, TimeoutBoundsDeferral)
     t0.push_back(opStore(taddr(56), 9));
     // Keep the speculation alive with a continuous store-miss stream so
     // it cannot commit before the timeout.
-    for (int i = 0; i < 60; ++i)
+    for (std::uint32_t i = 0; i < 60; ++i)
         t0.push_back(opStore(taddr(58) + (i % 6) * kBlockBytes,
                              static_cast<std::uint64_t>(i)));
     std::vector<ScriptOp> t1 = {opAlu(150), opLoad(taddr(56))};
@@ -300,11 +302,11 @@ TEST(TwoCheckpoints, SelectiveUsesBoth)
     SystemParams params = slowMem(2);
     params.minChunkSize = 20;
     std::vector<ScriptOp> s;
-    for (int b = 0; b < 3; ++b)
+    for (std::uint32_t b = 0; b < 3; ++b)
         s.push_back(opLoad(taddr(61) + b * kBlockBytes));
     s.push_back(opAlu(250));
     s.push_back(opStore(taddr(60), 1));   // miss: speculate
-    for (int i = 0; i < 120; ++i) {
+    for (std::uint32_t i = 0; i < 120; ++i) {
         s.push_back(opLoad(taddr(61) + (i % 3) * kBlockBytes));
         s.push_back(opAlu(1));
     }
@@ -349,11 +351,11 @@ TEST(SpecOverflow, TinyL1ForcesResolutionWithoutHanging)
     SystemParams params = slowMem(2);
     params.agent.l1Size = 1024;
     std::vector<ScriptOp> s;
-    for (int i = 0; i < 48; ++i)
+    for (std::uint32_t i = 0; i < 48; ++i)
         s.push_back(opLoad(taddr(66) + i * kBlockBytes));   // warm L2
     s.push_back(opAlu(250));
     s.push_back(opStore(taddr(65), 1));   // miss: speculate
-    for (int i = 0; i < 48; ++i)
+    for (std::uint32_t i = 0; i < 48; ++i)
         s.push_back(opLoad(taddr(66) + i * kBlockBytes));
     auto sys = makeScripted({s}, ImplKind::InvisiSC, params);
     ASSERT_TRUE(sys->runUntilDone(2000000));

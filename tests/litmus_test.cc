@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
+#include <utility>
 
 #include "test_util.hh"
 
@@ -298,3 +300,210 @@ TEST(LitmusRelaxation, InvisiTsoShowsStoreBufferingToo)
     }
     EXPECT_TRUE(saw_relaxed);
 }
+
+// ---- the classic four-litmus matrix, WiredTiger-style -------------------
+//
+// One table drives SB, MP, LB, and IRIW under EVERY implementation kind.
+// Each row names the litmus, the predicate recognizing its relaxed
+// outcome, and the weakest model class that may legally exhibit it.
+// Forbidden outcomes must never appear under any timing jitter; relaxed
+// outcomes must be reachable on the conventional implementation of the
+// weakest model (speculative Invisi* variants may legitimately mask
+// them, so reachability is only demanded where the hardware has no
+// speculation to hide behind).
+
+namespace {
+
+/** The consistency model an implementation kind enforces (reuses the
+ *  library's Model enum, whose SC < TSO < RMO order is weakest-last). */
+Model
+modelOf(ImplKind k)
+{
+    switch (k) {
+      case ImplKind::ConvTSO:
+      case ImplKind::InvisiTSO:
+        return Model::TSO;
+      case ImplKind::ConvRMO:
+      case ImplKind::InvisiRMO:
+        return Model::RMO;
+      default:
+        return Model::SC;   // every other kind enforces SC
+    }
+}
+
+using RelaxedPredicate = bool (*)(const std::vector<std::uint64_t>&);
+
+struct MatrixRow
+{
+    const char* name;
+    LitmusTest (*make)();
+    RelaxedPredicate relaxed;
+    /** Weakest model that may exhibit the relaxed outcome, or nullopt
+     *  when it is forbidden under every model (no value speculation). */
+    std::optional<Model> weakestAllowing;
+    /** Whether the shared uniform-warming harness can demonstrate the
+     *  relaxed outcome (MP needs the clogged-SB scenario below). */
+    bool harnessReachable = true;
+};
+
+const std::vector<MatrixRow>&
+litmusMatrix()
+{
+    static const std::vector<MatrixRow> rows = {
+        {"SB", litmusSb,
+         [](const std::vector<std::uint64_t>& r) {
+             return r[0] == 0 && r[1] == 0;
+         },
+         Model::TSO},
+        {"MP", litmusMp,
+         [](const std::vector<std::uint64_t>& r) {
+             return r[0] == 1 && r[1] == 0;
+         },
+         Model::RMO, /*harnessReachable=*/false},
+        {"LB", litmusLb,
+         [](const std::vector<std::uint64_t>& r) {
+             return r[0] == 1 && r[1] == 1;
+         },
+         std::nullopt},
+        // IRIW's readers are fenced, so with a write-atomic directory
+        // protocol the split outcome is forbidden under every model.
+        {"IRIW", litmusIriw,
+         [](const std::vector<std::uint64_t>& r) {
+             return r[0] == 1 && r[1] == 0 && r[2] == 1 && r[3] == 0;
+         },
+         std::nullopt},
+    };
+    return rows;
+}
+
+/** True when @p model may exhibit an outcome allowed from @p weakest. */
+bool
+modelAllows(Model model, std::optional<Model> weakest)
+{
+    if (!weakest)
+        return false;
+    return static_cast<int>(model) >= static_cast<int>(*weakest);
+}
+
+class LitmusMatrix : public ::testing::TestWithParam<LitmusParam>
+{
+};
+
+} // namespace
+
+TEST_P(LitmusMatrix, ForbiddenOutcomesNeverAppear)
+{
+    const ImplKind kind = GetParam().kind;
+    const Model model = modelOf(kind);
+    for (const MatrixRow& row : litmusMatrix()) {
+        if (modelAllows(model, row.weakestAllowing))
+            continue;   // relaxed outcome is legal for this kind
+        SCOPED_TRACE(row.name);
+        const LitmusTest t = row.make();
+        for (std::uint32_t i = 0; i < kIterations; ++i) {
+            auto sys = runLitmus(t, kind, i);
+            EXPECT_FALSE(row.relaxed(observe(*sys, t)))
+                << row.name << " forbidden outcome under "
+                << implKindName(kind) << ", iteration " << i;
+        }
+    }
+}
+
+TEST_P(LitmusMatrix, RelaxedOutcomesReachableOnConventionalHardware)
+{
+    // Only the conventional (non-speculative) weak implementations are
+    // required to exhibit their model's relaxed outcomes via the shared
+    // harness: ConvTSO and ConvRMO must both show SB. MP's relaxed
+    // outcome needs a cache-ownership setup the uniform-warming harness
+    // cannot express (see MpRelaxation below), so it is excluded here.
+    const ImplKind kind = GetParam().kind;
+    if (kind != ImplKind::ConvTSO && kind != ImplKind::ConvRMO)
+        GTEST_SKIP() << "reachability only demanded of conventional "
+                        "relaxed hardware";
+    const Model model = modelOf(kind);
+    for (const MatrixRow& row : litmusMatrix()) {
+        if (!modelAllows(model, row.weakestAllowing))
+            continue;
+        if (!row.harnessReachable)
+            continue;
+        SCOPED_TRACE(row.name);
+        const LitmusTest t = row.make();
+        bool reached = false;
+        for (std::uint32_t i = 0; i < 2 * kIterations && !reached; ++i) {
+            auto sys = runLitmus(t, kind, i);
+            reached = row.relaxed(observe(*sys, t));
+        }
+        EXPECT_TRUE(reached)
+            << row.name << " relaxed outcome unreachable under "
+            << implKindName(kind);
+    }
+}
+
+namespace {
+
+/**
+ * MP with the store buffer clogged: the writer owns the flag block
+ * exclusively (so its flag store direct-hits the L1 and is visible at
+ * once) while the data store is buried in the coalescing store buffer
+ * behind @p clog dummy store misses fighting over two MSHRs. Under RMO
+ * the flag becomes visible long before the data drains; any model that
+ * orders stores must make the (flag=1, data=0) outcome unobservable.
+ * Returns the (flag, data) values the reader committed.
+ */
+std::pair<std::uint64_t, std::uint64_t>
+runCloggedMp(ImplKind kind, std::uint32_t readerDelay)
+{
+    auto params = SystemParams::small(2);
+    params.agent.mshrs = 2;
+    const Addr d = taddr(80), f = taddr(81), dummy = taddr(90);
+    std::vector<ScriptOp> writer = {opStore(f, 0), opFence(), opAlu(250)};
+    for (std::uint32_t k = 0; k < 4; ++k)
+        writer.push_back(opStore(dummy + k * kBlockBytes, 7));
+    writer.push_back(opStore(d, 1));
+    writer.push_back(opStore(f, 1));
+    std::vector<ScriptOp> reader = {opLoad(d), opAlu(250)};
+    for (std::uint32_t k = 0; k < readerDelay; ++k)
+        reader.push_back(opAlu(1));
+    reader.push_back(opLoad(f));
+    reader.push_back(opLoad(d));
+    auto sys = makeScripted({std::move(writer), std::move(reader)}, kind,
+                            params);
+    EXPECT_TRUE(sys->runUntilDone(800000));
+    return {lastLoadOf(*sys, 1, f), lastLoadOf(*sys, 1, d)};
+}
+
+} // namespace
+
+TEST(LitmusRelaxation, ConvRmoShowsMessagePassingWithCloggedSb)
+{
+    bool saw_relaxed = false;
+    for (std::uint32_t delay = 60; delay <= 240 && !saw_relaxed;
+         delay += 6) {
+        const auto [rf, rd] = runCloggedMp(ImplKind::ConvRMO, delay);
+        saw_relaxed = (rf == 1 && rd == 0);
+    }
+    EXPECT_TRUE(saw_relaxed)
+        << "RMO never exhibited MP's relaxed outcome; the coalescing "
+           "store buffer is not draining out of order";
+}
+
+TEST(LitmusRelaxation, CloggedMpStaysForbiddenUnderTsoAndStronger)
+{
+    for (const ImplKind kind : tsoOrStrongerKinds()) {
+        SCOPED_TRACE(implKindName(kind));
+        for (std::uint32_t delay = 60; delay <= 240; delay += 18) {
+            const auto [rf, rd] = runCloggedMp(kind, delay);
+            EXPECT_FALSE(rf == 1 && rd == 0)
+                << implKindName(kind) << " delay " << delay;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, LitmusMatrix,
+                         ::testing::ValuesIn([] {
+                             std::vector<LitmusParam> v;
+                             for (auto k : allImplKinds())
+                                 v.push_back({k});
+                             return v;
+                         }()),
+                         paramName);
