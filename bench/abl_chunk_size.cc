@@ -16,19 +16,19 @@ main()
     Table table("Ablation: continuous-mode minimum chunk size "
                 "(throughput relative to 100 instructions)");
     table.setHeader({"workload", "25", "50", "100", "200", "400"});
-    for (const char* name : {"Apache", "Barnes", "Ocean"}) {
-        const Workload& wl = workloadByName(name);
-        std::map<std::uint32_t, double> thr;
-        for (const std::uint32_t size : {25u, 50u, 100u, 200u, 400u}) {
-            RunConfig cfg = base;
+    const std::vector<const char*> names = {"Apache", "Barnes", "Ocean"};
+    const std::vector<std::uint32_t> sizes = {25, 50, 100, 200, 400};
+    const auto thr = runAblation(
+        names, sizes, ImplKind::Continuous, base,
+        [](RunConfig& cfg, std::uint32_t size) {
             cfg.system.minChunkSize = size;
-            thr[size] = runExperiment(wl, ImplKind::Continuous,
-                                      cfg).throughput();
-        }
-        table.addRow({name, Table::num(thr[25] / thr[100], 3),
-                      Table::num(thr[50] / thr[100], 3), "1.000",
-                      Table::num(thr[200] / thr[100], 3),
-                      Table::num(thr[400] / thr[100], 3)});
+        });
+    for (const char* name : names) {
+        const std::vector<double>& t = thr.at(name);
+        table.addRow({name, Table::num(t[0] / t[2], 3),
+                      Table::num(t[1] / t[2], 3), "1.000",
+                      Table::num(t[3] / t[2], 3),
+                      Table::num(t[4] / t[2], 3)});
     }
     table.print(std::cout);
     std::cout << "Tradeoff: small chunks checkpoint too often; large\n"

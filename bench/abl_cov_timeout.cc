@@ -16,18 +16,19 @@ main()
     Table table("Ablation: CoV timeout (Invisi_cont_CoV throughput "
                 "relative to the paper's 4000 cycles)");
     table.setHeader({"workload", "250", "1000", "4000", "16000"});
-    for (const char* name : {"Apache", "OLTP-DB2", "Ocean"}) {
-        const Workload& wl = workloadByName(name);
-        std::map<Cycle, double> thr;
-        for (const Cycle timeout : {250u, 1000u, 4000u, 16000u}) {
-            RunConfig cfg = base;
+    const std::vector<const char*> names = {"Apache", "OLTP-DB2",
+                                            "Ocean"};
+    const std::vector<Cycle> timeouts = {250, 1000, 4000, 16000};
+    const auto thr = runAblation(
+        names, timeouts, ImplKind::ContinuousCoV, base,
+        [](RunConfig& cfg, Cycle timeout) {
             cfg.system.covTimeout = timeout;
-            thr[timeout] = runExperiment(wl, ImplKind::ContinuousCoV,
-                                         cfg).throughput();
-        }
-        table.addRow({name, Table::num(thr[250] / thr[4000], 3),
-                      Table::num(thr[1000] / thr[4000], 3), "1.000",
-                      Table::num(thr[16000] / thr[4000], 3)});
+        });
+    for (const char* name : names) {
+        const std::vector<double>& t = thr.at(name);
+        table.addRow({name, Table::num(t[0] / t[2], 3),
+                      Table::num(t[1] / t[2], 3), "1.000",
+                      Table::num(t[3] / t[2], 3)});
     }
     table.print(std::cout);
     return 0;

@@ -19,20 +19,21 @@ main()
                 "(throughput relative to the default cap of 320 lines)");
     table.setHeader({"workload", "cap=64", "cap=160", "cap=320",
                      "cap=640"});
-    for (const char* name : {"Apache", "OLTP-DB2", "Ocean"}) {
-        const Workload& wl = workloadByName(name);
-        std::map<std::uint32_t, double> thr;
-        for (const std::uint32_t cap : {64u, 160u, 320u, 640u}) {
-            RunConfig cfg = base;
+    const std::vector<const char*> names = {"Apache", "OLTP-DB2",
+                                            "Ocean"};
+    const std::vector<std::uint32_t> caps = {64, 160, 320, 640};
+    const auto thr = runAblation(
+        names, caps, ImplKind::InvisiSC, base,
+        [](RunConfig& cfg, std::uint32_t cap) {
             // The cap rides on SpecConfig; expose it via the shared
             // override used by makeImpl.
             cfg.system.specFootprintCap = cap;
-            thr[cap] = runExperiment(wl, ImplKind::InvisiSC,
-                                     cfg).throughput();
-        }
-        table.addRow({name, Table::num(thr[64] / thr[320], 3),
-                      Table::num(thr[160] / thr[320], 3), "1.000",
-                      Table::num(thr[640] / thr[320], 3)});
+        });
+    for (const char* name : names) {
+        const std::vector<double>& t = thr.at(name);
+        table.addRow({name, Table::num(t[0] / t[2], 3),
+                      Table::num(t[1] / t[2], 3), "1.000",
+                      Table::num(t[3] / t[2], 3)});
     }
     table.print(std::cout);
     std::cout << "Small caps commit too eagerly (drain stalls); large\n"

@@ -23,7 +23,8 @@ main()
                      "total_ordering"});
     for (const auto& wl : workloadSuite()) {
         for (const ImplKind k : kinds) {
-            const RunResult& r = matrix.at(wl.name).at(implKindName(k));
+            const RunResult& r =
+                matrix.at(wl.name).at(implKindName(k)).primary();
             const BreakdownShares s = shares(r);
             table.addRow({wl.name, r.impl, Table::pct(s.sbDrain),
                           Table::pct(s.sbFull),

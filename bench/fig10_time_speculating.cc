@@ -22,10 +22,11 @@ main()
                      "Invisi_rmo"});
     for (const auto& wl : workloadSuite()) {
         const ResultRow& row = matrix.at(wl.name);
-        table.addRow({wl.name,
-                      Table::pct(row.at("Invisi_sc").specFraction()),
-                      Table::pct(row.at("Invisi_tso").specFraction()),
-                      Table::pct(row.at("Invisi_rmo").specFraction())});
+        table.addRow(
+            {wl.name,
+             Table::pct(row.at("Invisi_sc").specFraction().mean),
+             Table::pct(row.at("Invisi_tso").specFraction().mean),
+             Table::pct(row.at("Invisi_rmo").specFraction().mean)});
     }
     table.print(std::cout);
     std::cout << "Paper shape (Figure 4): Invisi_rmo speculates the\n"

@@ -3,7 +3,8 @@
 #
 #   ./ci.sh            run everything
 #   ./ci.sh release    Release build + full ctest suite
-#   ./ci.sh asan       Debug ASan/UBSan build + unit suites
+#   ./ci.sh asan       Debug ASan/UBSan build + unit + stress suites
+#   ./ci.sh tsan       TSan build + sweep/fuzz suites (if supported)
 #   ./ci.sh format     clang-format check (skipped when not installed)
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -19,13 +20,37 @@ run_release() {
 }
 
 run_asan() {
-    echo "== Debug + ASan/UBSan build + unit suites =="
+    echo "== Debug + ASan/UBSan build + unit and stress suites =="
     cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
         -DINVISIFENCE_SANITIZE=ON
     cmake --build build-asan -j "$JOBS"
-    # Unit tier only: the bench/example smoke tests re-run identical code
-    # paths and triple CI time under sanitizers.
+    # Unit tier (the bench/example smoke tests re-run identical code
+    # paths and triple CI time under sanitizers), then the stress tier:
+    # the full-size litmus fuzzer and the heavy 8-worker sweep
+    # equivalence run, where sanitizers watch the sharded path.
     ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L unit
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L stress
+}
+
+run_tsan() {
+    echo "== ThreadSanitizer build + sweep/fuzz suites (best effort) =="
+    # Probe the same compiler CMake will use, or the probe can disagree
+    # with the build.
+    local cxx="${CXX:-c++}"
+    if ! echo 'int main(){}' | "$cxx" -fsanitize=thread -x c++ - \
+            -o /tmp/tsan_probe 2>/dev/null; then
+        echo "compiler lacks -fsanitize=thread; skipping tsan stage"
+        return 0
+    fi
+    rm -f /tmp/tsan_probe
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_CXX_COMPILER="$cxx" \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+    cmake --build build-tsan -j "$JOBS" --target sweep_test \
+        fuzz_litmus_test
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+        -R '(sweep_test|stress_sweep|fuzz_litmus_test)'
 }
 
 run_format() {
@@ -46,8 +71,9 @@ run_format() {
 case "$STAGE" in
   release) run_release ;;
   asan)    run_asan ;;
+  tsan)    run_tsan ;;
   format)  run_format ;;
   all)     run_format; run_release; run_asan ;;
-  *) echo "usage: $0 [all|release|asan|format]" >&2; exit 2 ;;
+  *) echo "usage: $0 [all|release|asan|tsan|format]" >&2; exit 2 ;;
 esac
 echo "ci.sh: $STAGE OK"

@@ -1,30 +1,84 @@
 #include "harness/runner.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <memory>
 
 #include "core/invisifence.hh"
+#include "sim/log.hh"
 #include "workload/synthetic.hh"
 
 namespace invisifence {
 
+namespace {
+
+/** Strictly parse @p text as an integer in [lo, hi]; fatal otherwise. */
+std::uint64_t
+parseEnvInt(const char* name, const char* text, std::uint64_t lo,
+            std::uint64_t hi)
+{
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    // Demand a bare digit up front: strtoull itself would skip leading
+    // whitespace and wrap a '-' sign to a huge unsigned value.
+    if (text[0] < '0' || text[0] > '9' || end == text ||
+        *end != '\0' || errno == ERANGE || v < lo || v > hi) {
+        IF_FATAL("%s='%s' is not an integer in [%llu, %llu]", name, text,
+                 static_cast<unsigned long long>(lo),
+                 static_cast<unsigned long long>(hi));
+    }
+    return v;
+}
+
+/** Value of env var @p name, or @p unset when absent. */
+std::uint64_t
+envOr(const char* name, std::uint64_t unset, std::uint64_t lo,
+      std::uint64_t hi)
+{
+    const char* text = std::getenv(name);
+    return text ? parseEnvInt(name, text, lo, hi) : unset;
+}
+
+BenchEnv
+parseBenchEnv()
+{
+    BenchEnv e;
+    e.measureCycles = static_cast<Cycle>(
+        envOr("INVISIFENCE_BENCH_CYCLES", 0, 1, 100'000'000'000ull));
+    e.seed = envOr("INVISIFENCE_BENCH_SEED", 0, 1, ~0ull);
+    e.seeds = static_cast<std::uint32_t>(
+        envOr("INVISIFENCE_BENCH_SEEDS", 1, 1, 10'000));
+    e.jobs = static_cast<std::uint32_t>(
+        envOr("INVISIFENCE_JOBS", 0, 1, 4096));
+    e.fuzzPrograms = static_cast<std::uint32_t>(
+        envOr("INVISIFENCE_FUZZ_PROGRAMS", 200, 1, 1'000'000));
+    if (const char* path = std::getenv("INVISIFENCE_BENCH_JSON"))
+        e.jsonPath = path;
+    return e;
+}
+
+} // namespace
+
+const BenchEnv&
+benchEnv()
+{
+    static const BenchEnv env = parseBenchEnv();
+    return env;
+}
+
 RunConfig
 RunConfig::fromEnv()
 {
+    const BenchEnv& env = benchEnv();
     RunConfig cfg;
-    if (const char* env = std::getenv("INVISIFENCE_BENCH_CYCLES")) {
-        const long long v = std::atoll(env);
-        if (v > 0) {
-            cfg.measureCycles = static_cast<Cycle>(v);
-            cfg.warmupCycles = static_cast<Cycle>(v) / 6;
-        }
+    if (env.measureCycles > 0) {
+        cfg.measureCycles = env.measureCycles;
+        cfg.warmupCycles = env.measureCycles / 6;
     }
-    if (const char* env = std::getenv("INVISIFENCE_BENCH_SEED")) {
-        const long long v = std::atoll(env);
-        if (v > 0)
-            cfg.seed = static_cast<std::uint64_t>(v);
-    }
+    if (env.seed > 0)
+        cfg.seed = env.seed;
     return cfg;
 }
 
@@ -161,6 +215,7 @@ runExperiment(const Workload& workload, ImplKind kind,
     RunResult r;
     r.workload = workload.name;
     r.impl = implKindName(kind);
+    r.seed = cfg.seed;
     // Committed instructions only: retirements discarded by an abort are
     // re-executed and would otherwise be double counted. Clamp: an abort
     // right after the sample can discard work retired before it.

@@ -25,6 +25,25 @@
 
 namespace invisifence {
 
+/**
+ * Process-wide benchmark environment. Parsed exactly once per process
+ * (thread-safe magic static, so sweep workers never touch getenv) and
+ * validated strictly: a malformed or out-of-range value is a fatal
+ * configuration error, not a silent fallback.
+ */
+struct BenchEnv
+{
+    Cycle measureCycles = 0;   //!< INVISIFENCE_BENCH_CYCLES (0 = unset)
+    std::uint64_t seed = 0;    //!< INVISIFENCE_BENCH_SEED (0 = unset)
+    std::uint32_t seeds = 1;   //!< INVISIFENCE_BENCH_SEEDS per point
+    std::uint32_t jobs = 0;    //!< INVISIFENCE_JOBS (0 = hw concurrency)
+    std::uint32_t fuzzPrograms = 200;   //!< INVISIFENCE_FUZZ_PROGRAMS
+    std::string jsonPath;      //!< INVISIFENCE_BENCH_JSON (empty = off)
+};
+
+/** The parsed environment (first call parses; later calls are free). */
+const BenchEnv& benchEnv();
+
 /** Measurement knobs. */
 struct RunConfig
 {
@@ -34,7 +53,7 @@ struct RunConfig
     bool warmStart = true;   //!< prime caches/directory (warm sampling)
     SystemParams system = SystemParams::bench();
 
-    /** Environment override: INVISIFENCE_BENCH_CYCLES scales runs. */
+    /** Defaults with the benchEnv() cycle/seed overrides applied. */
     static RunConfig fromEnv();
 };
 
@@ -51,6 +70,7 @@ struct RunResult
 {
     std::string workload;
     std::string impl;
+    std::uint64_t seed = 0;            //!< RunConfig::seed of this run
     std::uint64_t retired = 0;         //!< instructions in the window
     std::uint64_t coreCycles = 0;      //!< cores * measured cycles
     Breakdown breakdown{};             //!< measured-window breakdown

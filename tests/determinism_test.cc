@@ -27,22 +27,7 @@ smallConfig(std::uint64_t seed)
     return cfg;
 }
 
-void
-expectIdentical(const RunResult& a, const RunResult& b)
-{
-    EXPECT_EQ(a.workload, b.workload);
-    EXPECT_EQ(a.impl, b.impl);
-    EXPECT_EQ(a.retired, b.retired);
-    EXPECT_EQ(a.coreCycles, b.coreCycles);
-    EXPECT_EQ(a.speculatingCycles, b.speculatingCycles);
-    EXPECT_EQ(a.aborts, b.aborts);
-    EXPECT_EQ(a.commits, b.commits);
-    EXPECT_EQ(a.breakdown.busy, b.breakdown.busy);
-    EXPECT_EQ(a.breakdown.other, b.breakdown.other);
-    EXPECT_EQ(a.breakdown.sbFull, b.breakdown.sbFull);
-    EXPECT_EQ(a.breakdown.sbDrain, b.breakdown.sbDrain);
-    EXPECT_EQ(a.breakdown.violation, b.breakdown.violation);
-}
+using test::expectIdenticalResults;
 
 TEST(Determinism, SameSeedBitIdenticalAcrossAllImplKinds)
 {
@@ -51,7 +36,7 @@ TEST(Determinism, SameSeedBitIdenticalAcrossAllImplKinds)
         SCOPED_TRACE(implKindName(kind));
         const RunResult a = runExperiment(wl, kind, smallConfig(42));
         const RunResult b = runExperiment(wl, kind, smallConfig(42));
-        expectIdentical(a, b);
+        expectIdenticalResults(a, b);
     }
 }
 
@@ -63,7 +48,7 @@ TEST(Determinism, SameSeedBitIdenticalAcrossWorkloads)
             runExperiment(wl, ImplKind::InvisiSC, smallConfig(7));
         const RunResult b =
             runExperiment(wl, ImplKind::InvisiSC, smallConfig(7));
-        expectIdentical(a, b);
+        expectIdenticalResults(a, b);
     }
 }
 

@@ -1,0 +1,565 @@
+/** @file Litmus fuzzer: randomized model-strength monotonicity testing
+ *  in the mongo/WiredTiger randomized-testing tradition.
+ *
+ *  A seeded RNG generates small straight-line multi-threaded programs
+ *  (2-4 threads, 3-6 ops each, loads/stores/fences/CAS over 2-3 shared
+ *  words, every written value globally unique). Each program runs under
+ *  all 10 implementation kinds across several deterministic timing
+ *  jitters, sharded over the SweepRunner pool, and every observed
+ *  outcome is checked against an exhaustive oracle of the kind's model:
+ *
+ *   - SC-enforcing kinds: outcome must be in the exhaustively
+ *     enumerated set of interleaving (SC) outcomes.
+ *   - TSO kinds: outcome must be in the operational-TSO set (FIFO store
+ *     buffer with forwarding, fences/atomics drain). SC ⊆ TSO by
+ *     construction, which the suite also asserts — so outcomes observed
+ *     under a stronger model are reachable under every weaker one.
+ *   - RMO kinds: every loaded value must have provenance (initial zero
+ *     or some value actually written to that address).
+ *   - All kinds: single-location coherence — with unique store values a
+ *     thread that loads v1, then v2 != v1, can never load v1 again
+ *     (CoRR would require the coherence order to cycle).
+ *
+ *  INVISIFENCE_FUZZ_PROGRAMS scales the program count (default 200;
+ *  the unit tier runs a reduced count, the stress tier the full one).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "harness/sweep.hh"
+#include "sim/rng.hh"
+#include "test_util.hh"
+
+namespace invisifence {
+namespace {
+
+using test::allImplKinds;
+using test::makeScripted;
+using test::modelOf;
+using test::taddr;
+
+constexpr std::uint32_t kJitters = 4;
+
+// ---- random program generation -----------------------------------------
+
+/** Oracle-friendly op mirror (Alu ops are timing-only, omitted). */
+struct FuzzOp
+{
+    OpType type = OpType::Nop;
+    std::uint8_t addr = 0;     //!< shared-address index
+    std::uint8_t value = 0;    //!< store / CAS-new value id
+    std::uint8_t expect = 0;   //!< CAS comparand value id
+};
+
+struct FuzzProgram
+{
+    std::uint64_t seed = 0;
+    std::uint32_t numThreads = 0;
+    std::uint32_t numAddrs = 0;
+    std::vector<std::vector<FuzzOp>> body;        //!< oracle view
+    std::vector<std::vector<ScriptOp>> scripts;   //!< simulator view
+    /** (thread, addr-index) pairs probed via the thread's last load. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> probes;
+    /** Value ids ever written (by store or CAS) per address index. */
+    std::vector<std::vector<std::uint8_t>> written;
+};
+
+Addr
+fuzzAddr(std::uint32_t i)
+{
+    return taddr(100 + i);
+}
+
+FuzzProgram
+generateProgram(std::uint64_t seed)
+{
+    Rng rng(seed);
+    FuzzProgram p;
+    p.seed = seed;
+    p.numThreads = 2 + static_cast<std::uint32_t>(rng.below(3));
+    p.numAddrs = 2 + static_cast<std::uint32_t>(rng.below(2));
+    p.written.assign(p.numAddrs, {});
+    std::uint8_t next_value = 1;
+    for (std::uint32_t t = 0; t < p.numThreads; ++t) {
+        std::vector<FuzzOp> body;
+        std::vector<ScriptOp> script;
+        const std::uint32_t ops =
+            3 + static_cast<std::uint32_t>(rng.below(4));
+        for (std::uint32_t o = 0; o < ops; ++o) {
+            const std::uint64_t roll = rng.below(100);
+            const std::uint8_t a =
+                static_cast<std::uint8_t>(rng.below(p.numAddrs));
+            FuzzOp op;
+            op.addr = a;
+            if (roll < 35) {
+                op.type = OpType::Load;
+                script.push_back(opLoad(fuzzAddr(a)));
+            } else if (roll < 70) {
+                op.type = OpType::Store;
+                op.value = next_value++;
+                p.written[a].push_back(op.value);
+                script.push_back(opStore(fuzzAddr(a), op.value));
+            } else if (roll < 80) {
+                op.type = OpType::Fence;
+                script.push_back(opFence());
+            } else if (roll < 90) {
+                op.type = OpType::Cas;
+                // Comparand: zero or a value some op writes to this
+                // address, so the CAS plausibly succeeds in some runs.
+                const std::vector<std::uint8_t>& w = p.written[a];
+                op.expect = w.empty()
+                                ? 0
+                                : (rng.chancePermille(300)
+                                       ? 0
+                                       : w[rng.below(w.size())]);
+                op.value = next_value++;
+                p.written[a].push_back(op.value);
+                script.push_back(
+                    opCas(fuzzAddr(a), op.expect, op.value));
+            } else {
+                // Timing-only ALU work; invisible to the oracle.
+                script.push_back(opAlu(
+                    static_cast<std::uint8_t>(1 + rng.below(8))));
+                continue;
+            }
+            body.push_back(op);
+        }
+        p.body.push_back(std::move(body));
+        p.scripts.push_back(std::move(script));
+    }
+    for (std::uint32_t t = 0; t < p.numThreads; ++t) {
+        for (std::uint32_t a = 0; a < p.numAddrs; ++a) {
+            const bool has_load = std::any_of(
+                p.body[t].begin(), p.body[t].end(),
+                [&](const FuzzOp& op) {
+                    return op.type == OpType::Load && op.addr == a;
+                });
+            if (has_load)
+                p.probes.emplace_back(t, a);
+        }
+    }
+    return p;
+}
+
+// ---- exhaustive SC / operational-TSO oracle ----------------------------
+
+using Outcome = std::vector<std::uint64_t>;
+
+/**
+ * Exhaustive reachable-outcome enumeration. SC mode interleaves whole
+ * ops; TSO mode adds a per-thread FIFO store buffer (loads forward from
+ * the youngest matching entry, fences and CAS require an empty buffer,
+ * drains interleave as separate transitions). States are memoized on
+ * (pc, drained-count, memory, probe results), which is exact because
+ * programs are straight-line.
+ */
+class OutcomeEnumerator
+{
+  public:
+    OutcomeEnumerator(const FuzzProgram& p, bool tso)
+        : p_(p), tso_(tso)
+    {
+        for (std::uint32_t t = 0; t < p.numThreads; ++t) {
+            stores_.emplace_back();
+            for (const FuzzOp& op : p.body[t])
+                if (op.type == OpType::Store)
+                    stores_[t].push_back(op);
+        }
+        // Index of each probe's last matching load per thread.
+        for (const auto& [t, a] : p.probes) {
+            std::size_t last = 0;
+            for (std::size_t i = 0; i < p.body[t].size(); ++i)
+                if (p.body[t][i].type == OpType::Load &&
+                    p.body[t][i].addr == a)
+                    last = i;
+            probe_op_.emplace_back(t, last);
+        }
+    }
+
+    std::set<Outcome>
+    enumerate()
+    {
+        State s;
+        s.pc.assign(p_.numThreads, 0);
+        s.drained.assign(p_.numThreads, 0);
+        s.mem.assign(p_.numAddrs, 0);
+        s.probe.assign(p_.probes.size(), kUnset);
+        dfs(s);
+        return std::move(outcomes_);
+    }
+
+  private:
+    static constexpr std::uint8_t kUnset = 0xFF;
+
+    struct State
+    {
+        std::vector<std::uint8_t> pc;
+        std::vector<std::uint8_t> drained;   //!< SB entries written back
+        std::vector<std::uint8_t> mem;
+        std::vector<std::uint8_t> probe;
+    };
+
+    std::string
+    key(const State& s) const
+    {
+        std::string k;
+        k.reserve(s.pc.size() + s.drained.size() + s.mem.size() +
+                  s.probe.size());
+        k.append(s.pc.begin(), s.pc.end());
+        k.append(s.drained.begin(), s.drained.end());
+        k.append(s.mem.begin(), s.mem.end());
+        k.append(s.probe.begin(), s.probe.end());
+        return k;
+    }
+
+    /** Number of plain stores thread @p t has executed before @p pc. */
+    std::uint8_t
+    storesBefore(std::uint32_t t, std::uint8_t pc) const
+    {
+        std::uint8_t n = 0;
+        for (std::uint8_t i = 0; i < pc; ++i)
+            if (p_.body[t][i].type == OpType::Store)
+                ++n;
+        return n;
+    }
+
+    bool
+    sbEmpty(const State& s, std::uint32_t t) const
+    {
+        return s.drained[t] == storesBefore(t, s.pc[t]);
+    }
+
+    /** TSO load value: youngest SB entry for @p addr, else memory. */
+    std::uint8_t
+    loadValue(const State& s, std::uint32_t t, std::uint8_t addr) const
+    {
+        if (tso_) {
+            const std::uint8_t hi = storesBefore(t, s.pc[t]);
+            for (std::uint8_t i = hi; i > s.drained[t]; --i) {
+                const FuzzOp& st = stores_[t][i - 1];
+                if (st.addr == addr)
+                    return st.value;
+            }
+        }
+        return s.mem[addr];
+    }
+
+    void
+    recordLoad(State& s, std::uint32_t t, std::uint8_t value) const
+    {
+        for (std::size_t i = 0; i < probe_op_.size(); ++i)
+            if (probe_op_[i].first == t &&
+                probe_op_[i].second == s.pc[t])
+                s.probe[i] = value;
+    }
+
+    void
+    dfs(const State& s)
+    {
+        if (!visited_.insert(key(s)).second)
+            return;
+        bool terminal = true;
+        for (std::uint32_t t = 0; t < p_.numThreads; ++t) {
+            // Drain transition: oldest SB entry becomes visible.
+            if (tso_ && !sbEmpty(s, t)) {
+                terminal = false;
+                State n = s;
+                const FuzzOp& st = stores_[t][n.drained[t]];
+                n.mem[st.addr] = st.value;
+                ++n.drained[t];
+                dfs(n);
+            }
+            if (s.pc[t] >= p_.body[t].size())
+                continue;
+            const FuzzOp& op = p_.body[t][s.pc[t]];
+            if ((op.type == OpType::Fence || op.type == OpType::Cas) &&
+                tso_ && !sbEmpty(s, t))
+                continue;   // must drain first
+            terminal = false;
+            State n = s;
+            switch (op.type) {
+              case OpType::Load:
+                recordLoad(n, t, loadValue(s, t, op.addr));
+                break;
+              case OpType::Store:
+                if (!tso_)
+                    n.mem[op.addr] = op.value;
+                break;
+              case OpType::Cas:
+                if (n.mem[op.addr] == op.expect)
+                    n.mem[op.addr] = op.value;
+                break;
+              case OpType::Fence:
+                break;
+              default:
+                break;
+            }
+            ++n.pc[t];
+            dfs(n);
+        }
+        if (terminal) {
+            Outcome o;
+            o.reserve(s.probe.size());
+            for (const std::uint8_t v : s.probe)
+                o.push_back(v);
+            outcomes_.insert(std::move(o));
+        }
+    }
+
+    const FuzzProgram& p_;
+    const bool tso_;
+    std::vector<std::vector<FuzzOp>> stores_;
+    std::vector<std::pair<std::uint32_t, std::size_t>> probe_op_;
+    std::unordered_set<std::string> visited_;
+    std::set<Outcome> outcomes_;
+};
+
+// ---- simulator side ----------------------------------------------------
+
+/** Warm shared addresses, stagger starts, run the body (litmus-style). */
+std::unique_ptr<System>
+runFuzz(const FuzzProgram& p, ImplKind kind, std::uint32_t jitter)
+{
+    std::vector<std::vector<ScriptOp>> scripts;
+    for (std::uint32_t t = 0; t < p.numThreads; ++t) {
+        std::vector<ScriptOp> s;
+        for (std::uint32_t a = 0; a < p.numAddrs; ++a)
+            s.push_back(opLoad(fuzzAddr(a)));
+        s.push_back(opAlu(200));
+        const std::uint32_t delay = (jitter * (t + 3) * 7) % 40;
+        for (std::uint32_t d = 0; d < delay; ++d)
+            s.push_back(opAlu(1));
+        for (const ScriptOp& op : p.scripts[t])
+            s.push_back(op);
+        scripts.push_back(std::move(s));
+    }
+    auto sys = makeScripted(std::move(scripts), kind);
+    EXPECT_TRUE(sys->runUntilDone(500000))
+        << "fuzz program " << p.seed << " did not drain";
+    return sys;
+}
+
+/** Last committed plain load (CAS results are not oracle probes). */
+std::uint64_t
+lastPlainLoadOf(System& sys, std::uint32_t t, Addr addr)
+{
+    const auto& j = sys.core(t).journal();
+    for (auto it = j.rbegin(); it != j.rend(); ++it) {
+        if (it->type == OpType::Load &&
+            wordAlign(it->addr) == wordAlign(addr))
+            return it->result;
+    }
+    return ~0ull;
+}
+
+Outcome
+observe(System& sys, const FuzzProgram& p)
+{
+    Outcome o;
+    for (const auto& [t, a] : p.probes)
+        o.push_back(lastPlainLoadOf(sys, t, fuzzAddr(a)));
+    return o;
+}
+
+std::string
+describeOutcome(const Outcome& o)
+{
+    std::ostringstream os;
+    os << "(";
+    for (std::size_t i = 0; i < o.size(); ++i)
+        os << (i ? "," : "") << o[i];
+    os << ")";
+    return os.str();
+}
+
+/**
+ * Coherence check: with globally unique store values, a thread's load
+ * sequence on one location may never return to an earlier value after
+ * observing a different one.
+ */
+std::string
+checkCoRR(System& sys, const FuzzProgram& p)
+{
+    for (std::uint32_t t = 0; t < p.numThreads; ++t) {
+        std::map<Addr, std::vector<std::uint64_t>> seq;
+        for (const auto& rec : sys.core(t).journal())
+            if (rec.type == OpType::Load)
+                seq[wordAlign(rec.addr)].push_back(rec.result);
+        for (const auto& [addr, vals] : seq) {
+            std::set<std::uint64_t> left;
+            std::uint64_t cur = vals.empty() ? 0 : vals.front();
+            for (const std::uint64_t v : vals) {
+                if (v == cur)
+                    continue;
+                left.insert(cur);
+                cur = v;
+                if (left.count(v)) {
+                    std::ostringstream os;
+                    os << "CoRR violation: thread " << t << " addr 0x"
+                       << std::hex << addr << std::dec
+                       << " revisited value " << v;
+                    return os.str();
+                }
+            }
+        }
+    }
+    return {};
+}
+
+/** Every loaded value must be the initial zero or actually written. */
+std::string
+checkProvenance(const FuzzProgram& p, const Outcome& o)
+{
+    for (std::size_t i = 0; i < o.size(); ++i) {
+        const std::uint32_t a = p.probes[i].second;
+        if (o[i] == 0)
+            continue;
+        const std::vector<std::uint8_t>& w = p.written[a];
+        if (std::find(w.begin(), w.end(), o[i]) == w.end()) {
+            std::ostringstream os;
+            os << "no-provenance value " << o[i] << " at probe " << i;
+            return os.str();
+        }
+    }
+    return {};
+}
+
+/** Run one program under every kind; returns failure descriptions. */
+std::vector<std::string>
+fuzzOne(std::uint64_t seed)
+{
+    std::vector<std::string> failures;
+    const FuzzProgram p = generateProgram(seed);
+    const std::set<Outcome> sc_set =
+        OutcomeEnumerator(p, /*tso=*/false).enumerate();
+    const std::set<Outcome> tso_set =
+        OutcomeEnumerator(p, /*tso=*/true).enumerate();
+
+    // Oracle self-check: strengthening the model can only shrink the
+    // reachable set, so SC outcomes must all be TSO-reachable.
+    for (const Outcome& o : sc_set) {
+        if (!tso_set.count(o))
+            failures.push_back(
+                "oracle: SC outcome " + describeOutcome(o) +
+                " missing from TSO set, program seed " +
+                std::to_string(seed));
+    }
+
+    for (const ImplKind kind : allImplKinds()) {
+        const Model model = modelOf(kind);
+        for (std::uint32_t jitter = 0; jitter < kJitters; ++jitter) {
+            auto sys = runFuzz(p, kind, jitter);
+            const Outcome o = observe(*sys, p);
+            std::string err;
+            if (model == Model::SC && !sc_set.count(o)) {
+                err = "outcome " + describeOutcome(o) +
+                      " outside the SC-reachable set";
+            } else if (model == Model::TSO && !tso_set.count(o)) {
+                err = "outcome " + describeOutcome(o) +
+                      " outside the TSO-reachable set";
+            } else {
+                err = checkProvenance(p, o);
+            }
+            if (err.empty())
+                err = checkCoRR(*sys, p);
+            if (!err.empty()) {
+                failures.push_back(
+                    err + " under " + implKindName(kind) + ", jitter " +
+                    std::to_string(jitter) + ", program seed " +
+                    std::to_string(seed));
+            }
+        }
+    }
+    return failures;
+}
+
+TEST(FuzzLitmus, RandomProgramsRespectModelStrengthMonotonicity)
+{
+    const std::uint32_t programs = benchEnv().fuzzPrograms;
+    const SweepRunner runner;
+    const std::vector<std::vector<std::string>> reports =
+        runner.map(programs, [](std::size_t i) {
+            return fuzzOne(0xF022'0000 + i);
+        });
+    std::size_t shown = 0;
+    for (const auto& program_failures : reports) {
+        for (const std::string& f : program_failures) {
+            ADD_FAILURE() << f;
+            if (++shown >= 20) {
+                FAIL() << "more than 20 fuzz failures; stopping report";
+                return;
+            }
+        }
+    }
+}
+
+/** The generator must actually produce the advertised op diversity. */
+TEST(FuzzLitmus, GeneratorCoversShapesAndUniqueValues)
+{
+    bool saw_cas = false, saw_fence = false;
+    std::size_t total_loads = 0, total_stores = 0;
+    std::set<std::uint32_t> thread_counts;
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        const FuzzProgram p = generateProgram(seed);
+        thread_counts.insert(p.numThreads);
+        std::set<std::uint8_t> values;
+        for (const auto& body : p.body) {
+            for (const FuzzOp& op : body) {
+                if (op.type == OpType::Load)
+                    ++total_loads;
+                if (op.type == OpType::Cas)
+                    saw_cas = true;
+                if (op.type == OpType::Fence)
+                    saw_fence = true;
+                if (op.type == OpType::Store ||
+                    op.type == OpType::Cas) {
+                    ++total_stores;
+                    EXPECT_TRUE(values.insert(op.value).second)
+                        << "duplicate store value in program " << seed;
+                }
+            }
+        }
+        EXPECT_LE(p.numThreads, 4u);
+        EXPECT_GE(p.numThreads, 2u);
+    }
+    EXPECT_TRUE(saw_cas);
+    EXPECT_TRUE(saw_fence);
+    // The generator must keep the fuzzer fed with memory traffic, not
+    // degenerate into ALU-only programs.
+    EXPECT_GT(total_loads, 100u);
+    EXPECT_GT(total_stores, 100u);
+    EXPECT_GE(thread_counts.size(), 2u);
+}
+
+/** Pin the oracle itself on the classic SB litmus shape. */
+TEST(FuzzLitmus, OracleMatchesKnownStoreBufferingSets)
+{
+    // T0: st x=1; ld y   T1: st y=2; ld x
+    FuzzProgram p;
+    p.seed = 0;
+    p.numThreads = 2;
+    p.numAddrs = 2;
+    p.written = {{1}, {2}};
+    p.body = {{{OpType::Store, 0, 1, 0}, {OpType::Load, 1, 0, 0}},
+              {{OpType::Store, 1, 2, 0}, {OpType::Load, 0, 0, 0}}};
+    p.probes = {{0, 1}, {1, 0}};
+    const auto sc = OutcomeEnumerator(p, false).enumerate();
+    const auto tso = OutcomeEnumerator(p, true).enumerate();
+    // Both-zero is the store-buffering outcome: TSO-only.
+    EXPECT_FALSE(sc.count({0, 0}));
+    EXPECT_TRUE(tso.count({0, 0}));
+    for (const Outcome& o : sc)
+        EXPECT_TRUE(tso.count(o));
+    EXPECT_EQ(sc.size() + 1, tso.size());
+}
+
+} // namespace
+} // namespace invisifence

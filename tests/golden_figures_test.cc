@@ -1,0 +1,144 @@
+/** @file Golden-figure regression: a fixed small-cycle-budget sweep over
+ *  the Figure 8/9 configuration grid must (a) reproduce the committed
+ *  golden JSON byte-for-byte — the simulator is a pure function of the
+ *  seed, so any diff is a behavioral change that needs review — and
+ *  (b) keep the paper's headline invariants: InvisiFence-SC at least
+ *  matches conventional SC, conventional RMO at least matches
+ *  conventional SC, and the cycle-breakdown categories account for
+ *  roughly all measured cycles.
+ *
+ *  The config here deliberately ignores the INVISIFENCE_BENCH_* env
+ *  overrides so the golden bytes cannot depend on the tier running the
+ *  suite. Regenerate after an intentional change with:
+ *      INVISIFENCE_REGOLD=1 ./golden_figures_test
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+#include "workload/workloads.hh"
+
+namespace invisifence {
+namespace {
+
+constexpr std::uint32_t kSeeds = 2;
+
+std::string
+goldenPath()
+{
+    return std::string(INVISIFENCE_GOLDEN_DIR) + "/fig0809_small.json";
+}
+
+RunConfig
+goldenConfig()
+{
+    RunConfig cfg;
+    cfg.warmupCycles = 250;
+    cfg.measureCycles = 1500;
+    cfg.seed = 20090620;   // ISCA'09 vintage; never overridden by env
+    cfg.system = SystemParams::bench();
+    return cfg;
+}
+
+const std::vector<ImplKind>&
+goldenKinds()
+{
+    static const std::vector<ImplKind> kinds = {
+        ImplKind::ConvSC,   ImplKind::ConvTSO,   ImplKind::ConvRMO,
+        ImplKind::InvisiSC, ImplKind::InvisiTSO, ImplKind::InvisiRMO};
+    return kinds;
+}
+
+/** The sweep is deterministic; run it once and share across tests. */
+const std::vector<SweepStats>&
+goldenStats()
+{
+    static const std::vector<SweepStats> stats = SweepRunner().runStats(
+        workloadSuite(), goldenKinds(), goldenConfig(), kSeeds);
+    return stats;
+}
+
+std::string
+renderJson()
+{
+    std::ostringstream os;
+    writeSweepJson(os, goldenStats(), goldenConfig(), kSeeds);
+    return os.str();
+}
+
+double
+geomeanSpeedup(const std::string& impl, const std::string& baseline)
+{
+    std::vector<double> thr_impl, thr_base;
+    for (const SweepStats& s : goldenStats()) {
+        if (s.impl == impl)
+            thr_impl.push_back(s.primary().throughput());
+        if (s.impl == baseline)
+            thr_base.push_back(s.primary().throughput());
+    }
+    EXPECT_EQ(thr_impl.size(), workloadSuite().size());
+    EXPECT_EQ(thr_impl.size(), thr_base.size());
+    double log_sum = 0;
+    for (std::size_t i = 0; i < thr_impl.size(); ++i)
+        log_sum += std::log(thr_impl[i] / thr_base[i]);
+    return std::exp(log_sum / static_cast<double>(thr_impl.size()));
+}
+
+TEST(GoldenFigures, JsonMatchesCommittedGolden)
+{
+    const std::string json = renderJson();
+    if (std::getenv("INVISIFENCE_REGOLD") != nullptr) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << json;
+        std::cout << "regenerated " << goldenPath() << std::endl;
+        return;
+    }
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                    << "; create it with INVISIFENCE_REGOLD=1";
+    std::stringstream committed;
+    committed << in.rdbuf();
+    EXPECT_EQ(json, committed.str())
+        << "sweep output diverged from the committed golden; if the "
+           "change is intentional, rerun with INVISIFENCE_REGOLD=1 and "
+           "commit the new golden";
+}
+
+TEST(GoldenFigures, InvisiScAtLeastMatchesConventionalSc)
+{
+    EXPECT_GE(geomeanSpeedup("Invisi_sc", "sc"), 1.0);
+}
+
+TEST(GoldenFigures, ConventionalRmoAtLeastMatchesConventionalSc)
+{
+    EXPECT_GE(geomeanSpeedup("rmo", "sc"), 1.0);
+}
+
+TEST(GoldenFigures, BreakdownSharesAccountForMeasuredCycles)
+{
+    for (const SweepStats& s : goldenStats()) {
+        SCOPED_TRACE(s.workload + "/" + s.impl);
+        for (const RunResult& r : s.runs) {
+            const BreakdownShares sh = shares(r);
+            const double sum =
+                sh.busy + sh.other + sh.sbFull + sh.sbDrain + sh.violation;
+            // In-flight speculation cycles are attributed only at
+            // commit/abort, so a window boundary mid-episode can shift
+            // a sliver of cycles across windows; at this budget the
+            // clamps cancel and the sum is 1 to within rounding.
+            EXPECT_GE(sum, 0.98);
+            EXPECT_LE(sum, 1.02);
+        }
+    }
+}
+
+} // namespace
+} // namespace invisifence

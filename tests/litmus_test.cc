@@ -314,23 +314,6 @@ TEST(LitmusRelaxation, InvisiTsoShowsStoreBufferingToo)
 
 namespace {
 
-/** The consistency model an implementation kind enforces (reuses the
- *  library's Model enum, whose SC < TSO < RMO order is weakest-last). */
-Model
-modelOf(ImplKind k)
-{
-    switch (k) {
-      case ImplKind::ConvTSO:
-      case ImplKind::InvisiTSO:
-        return Model::TSO;
-      case ImplKind::ConvRMO:
-      case ImplKind::InvisiRMO:
-        return Model::RMO;
-      default:
-        return Model::SC;   // every other kind enforces SC
-    }
-}
-
 using RelaxedPredicate = bool (*)(const std::vector<std::uint64_t>&);
 
 struct MatrixRow

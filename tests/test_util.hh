@@ -7,9 +7,12 @@
 #ifndef INVISIFENCE_TESTS_TEST_UTIL_HH
 #define INVISIFENCE_TESTS_TEST_UTIL_HH
 
+#include <gtest/gtest.h>
+
 #include <memory>
 #include <vector>
 
+#include "harness/runner.hh"
 #include "harness/system.hh"
 #include "workload/litmus.hh"
 
@@ -86,6 +89,42 @@ scKinds()
     return {ImplKind::ConvSC, ImplKind::InvisiSC,
             ImplKind::InvisiSC2Ckpt, ImplKind::Continuous,
             ImplKind::ContinuousCoV, ImplKind::Aso};
+}
+
+/** The consistency model an implementation kind enforces (the
+ *  library's Model enum orders SC < TSO < RMO, weakest-last). */
+inline Model
+modelOf(ImplKind k)
+{
+    switch (k) {
+      case ImplKind::ConvTSO:
+      case ImplKind::InvisiTSO:
+        return Model::TSO;
+      case ImplKind::ConvRMO:
+      case ImplKind::InvisiRMO:
+        return Model::RMO;
+      default:
+        return Model::SC;   // every other kind enforces SC
+    }
+}
+
+/** Expect two RunResults to be bit-identical, field by field. */
+inline void
+expectIdenticalResults(const RunResult& a, const RunResult& b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.impl, b.impl);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.coreCycles, b.coreCycles);
+    EXPECT_EQ(a.speculatingCycles, b.speculatingCycles);
+    EXPECT_EQ(a.aborts, b.aborts);
+    EXPECT_EQ(a.commits, b.commits);
+    EXPECT_EQ(a.breakdown.busy, b.breakdown.busy);
+    EXPECT_EQ(a.breakdown.other, b.breakdown.other);
+    EXPECT_EQ(a.breakdown.sbFull, b.breakdown.sbFull);
+    EXPECT_EQ(a.breakdown.sbDrain, b.breakdown.sbDrain);
+    EXPECT_EQ(a.breakdown.violation, b.breakdown.violation);
 }
 
 } // namespace invisifence::test
