@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Simulator-throughput tracker: simulated kilocycles per wall-clock
+ * second, per implementation kind, with the quiescence-aware
+ * fast-forward scheduler off (legacy per-cycle loop) and on.
+ *
+ * Run via the `bench_wallclock` binary; the `bench_wallclock_json`
+ * CMake target regenerates the committed BENCH_wallclock.json so the
+ * perf trajectory is tracked PR-over-PR, the same flow as
+ * BENCH_baseline.json. Two figure configurations are measured: the
+ * gentler interconnect used by the fig08/fig09 benches ("bench") and
+ * the paper's Figure 6 parameters ("paper"), where 100-cycle hops make
+ * stall windows long and the event-driven scheduler shines.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace invisifence;
+using namespace invisifence::bench;
+
+namespace {
+
+struct Point
+{
+    std::string config;
+    std::string impl;
+    double kcpsLegacy = 0;    //!< sim kilocycles / wall second, legacy
+    double kcpsFastfwd = 0;   //!< same with INVISIFENCE_FASTFWD on
+    double speedup = 0;
+    double dormantFrac = 0;   //!< core cycles skipped while dormant
+};
+
+/** Wall-time one full run (warmup + measure) and return kcycles/s. */
+double
+timedRun(const Workload& wl, ImplKind kind, const RunConfig& cfg,
+         int fast_forward, double* dormant_frac)
+{
+    RunConfig run_cfg = cfg;
+    run_cfg.system.fastForward = fast_forward;
+    std::vector<std::unique_ptr<ThreadProgram>> programs;
+    for (std::uint32_t t = 0; t < run_cfg.system.numCores; ++t) {
+        programs.push_back(std::make_unique<SyntheticProgram>(
+            wl.params, t, run_cfg.seed));
+    }
+    System sys(run_cfg.system, std::move(programs), kind);
+    warmSystem(sys, wl.params);
+    const Cycle cycles = run_cfg.warmupCycles + run_cfg.measureCycles;
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.run(cycles);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (dormant_frac) {
+        const double total = static_cast<double>(sys.totalCoreCycles());
+        *dormant_frac =
+            total > 0
+                ? static_cast<double>(sys.statFastForwardedCycles) / total
+                : 0.0;
+    }
+    return secs > 0 ? static_cast<double>(cycles) / secs / 1000.0 : 0.0;
+}
+
+void
+writeJson(std::ostream& os, const std::vector<Point>& points, Cycle cycles)
+{
+    os << "{\n  \"schema\": \"invisifence-wallclock-v1\",\n";
+    os << "  \"cycles\": " << cycles << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point& p = points[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"config\": \"%s\", \"impl\": \"%s\", "
+                      "\"kcps_legacy\": %.1f, \"kcps_fastfwd\": %.1f, "
+                      "\"speedup\": %.2f, \"dormant_frac\": %.3f}%s\n",
+                      p.config.c_str(), p.impl.c_str(), p.kcpsLegacy,
+                      p.kcpsFastfwd, p.speedup, p.dormantFrac,
+                      i + 1 < points.size() ? "," : "");
+        os << buf;
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const RunConfig base = RunConfig::fromEnv();
+    const Workload& wl = workloadByName("Apache");
+    const Cycle cycles = base.warmupCycles + base.measureCycles;
+
+    struct Config
+    {
+        const char* name;
+        SystemParams params;
+    };
+    const std::vector<Config> configs = {
+        {"bench", SystemParams::bench()},
+        {"paper", SystemParams::paper()},
+    };
+
+    std::vector<Point> points;
+    Table table("Simulator wall-clock throughput (Apache, " +
+                std::to_string(cycles) + " cycles)");
+    table.setHeader({"config", "impl", "kcyc/s legacy", "kcyc/s fastfwd",
+                     "speedup", "dormant"});
+    for (const Config& config : configs) {
+        for (const ImplKind kind : {
+                 ImplKind::ConvSC, ImplKind::ConvTSO, ImplKind::ConvRMO,
+                 ImplKind::InvisiSC, ImplKind::InvisiTSO,
+                 ImplKind::InvisiRMO, ImplKind::InvisiSC2Ckpt,
+                 ImplKind::Continuous, ImplKind::ContinuousCoV,
+                 ImplKind::Aso}) {
+            RunConfig cfg = base;
+            cfg.system = config.params;
+            Point p;
+            p.config = config.name;
+            p.impl = implKindName(kind);
+            p.kcpsLegacy = timedRun(wl, kind, cfg, 0, nullptr);
+            p.kcpsFastfwd = timedRun(wl, kind, cfg, 1, &p.dormantFrac);
+            p.speedup =
+                p.kcpsLegacy > 0 ? p.kcpsFastfwd / p.kcpsLegacy : 0.0;
+            table.addRow({p.config, p.impl, Table::num(p.kcpsLegacy, 1),
+                          Table::num(p.kcpsFastfwd, 1),
+                          Table::num(p.speedup, 2) + "x",
+                          Table::pct(p.dormantFrac)});
+            points.push_back(std::move(p));
+        }
+    }
+    table.print(std::cout);
+
+    if (argc > 1) {
+        std::ofstream os(argv[1]);
+        if (!os)
+            IF_FATAL("cannot write '%s'", argv[1]);
+        writeJson(os, points, cycles);
+        std::cerr << "  wrote wall-clock JSON to " << argv[1]
+                  << std::endl;
+    }
+    return 0;
+}

@@ -30,6 +30,11 @@ run_asan() {
     # equivalence run, where sanitizers watch the sharded path.
     ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L unit
     ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L stress
+    # Fast-forward equivalence: with the event-driven scheduler forced
+    # OFF, the committed golden figures must still be byte-identical and
+    # the on/off equivalence suite must pass under sanitizers.
+    INVISIFENCE_FASTFWD=0 ctest --test-dir build-asan \
+        --output-on-failure -R '(golden_figures_test|fastforward_test)'
 }
 
 run_tsan() {

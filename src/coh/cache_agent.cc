@@ -103,7 +103,7 @@ CacheAgent::request(Addr addr, bool write, std::function<void()> cb)
                 vc_.extract(block, nullptr);
             eq_.schedule(lat, [this, block, cb = std::move(cb)]() {
                 completeLocalFill(block, cb, 0);
-            });
+            }, node_);
             return true;
         }
         // Upgrade: data present (Shared) but write permission missing.
@@ -200,7 +200,7 @@ CacheAgent::cleanWriteback(Addr addr, std::function<void()> cb)
         if (line && line->dirty && !line->specWrittenAny())
             syncL2FromL1(block);
         cb();
-    });
+    }, node_);
     return true;
 }
 
@@ -292,7 +292,7 @@ CacheAgent::completeLocalFill(Addr block, std::function<void()> cb,
             eq_.schedule(10, [this, block, cb = std::move(cb),
                               attempt]() {
                 completeLocalFill(block, cb, attempt + 1);
-            });
+            }, node_);
             return;
         }
         ++statL1FillsLocal;
@@ -346,7 +346,7 @@ CacheAgent::finishFill(Addr block, int attempt)
             listener_->resolveSpecEvictionHard(block);
         eq_.schedule(10, [this, block, attempt]() {
             finishFill(block, attempt + 1);
-        });
+        }, node_);
         return;
     }
 

@@ -61,8 +61,14 @@ Network::send(const Msg& msg)
     IF_TRACE("net: %s blk=%llx %u->%u", msgTypeName(msg.type).data(),
              static_cast<unsigned long long>(msg.blockAddr), msg.src,
              msg.dst);
+    // Deliveries to a cache agent can synchronously touch its core
+    // (fill callbacks, invalidation snoops, speculation aborts), so they
+    // carry the destination node as a wake tag; directory-bound messages
+    // only mutate directory state and send further (tagged) messages.
+    const std::uint32_t wake =
+        msg.dstUnit == Unit::Agent ? msg.dst : kNoWakeNode;
     eq_.schedule(delay(msg.src, msg.dst),
-                 [this, idx, msg]() { sinks_[idx](msg); });
+                 [this, idx, msg]() { sinks_[idx](msg); }, wake);
 }
 
 } // namespace invisifence

@@ -110,6 +110,7 @@ SpeculativeImpl::openCkpt()
     k.startedAt = core_.now();
     order_.push_back(c);
     ++statSpeculations;
+    core_.noteWork();
 }
 
 void
@@ -476,19 +477,49 @@ SpeculativeImpl::onLoadExecuted(RobEntry& entry)
 }
 
 bool
-SpeculativeImpl::routeCycle(StallKind kind)
+SpeculativeImpl::routeCycles(StallKind kind, std::uint64_t n)
 {
     if (!speculating())
         return false;
-    ckpts_[order_.back()].pendingAcct.add(kind);
+    ckpts_[order_.back()].pendingAcct.add(kind, n);
     return true;
 }
 
 void
 SpeculativeImpl::onIdle()
 {
-    for (const std::uint32_t c : order_)
-        ckpts_[c].closed = true;
+    for (const std::uint32_t c : order_) {
+        if (!ckpts_[c].closed) {
+            ckpts_[c].closed = true;
+            core_.noteWork();
+        }
+    }
+}
+
+Cycle
+SpeculativeImpl::nextWorkAt() const
+{
+    // A CoV deferral window re-probes the deferred external requests
+    // (bumping conflict/deferral counters) every cycle: never skip while
+    // armed. Everything else is either event-driven or waits on the ASO
+    // commit-drain deadline.
+    if (covArmed_)
+        return core_.now() + 1;
+    if (!order_.empty()) {
+        const Ckpt& k = ckpts_[order_.front()];
+        if (k.committing) {
+            return k.commitDoneAt <= core_.now() ? core_.now() + 1
+                                                 : k.commitDoneAt;
+        }
+    }
+    return kNeverCycle;
+}
+
+void
+SpeculativeImpl::accrueQuiescentCycles(std::uint64_t n)
+{
+    if (speculating())
+        statCyclesSpeculating += n;
 }
 
 bool
@@ -565,6 +596,7 @@ SpeculativeImpl::tryCommitOldest(bool force_close)
         k.commitDoneAt =
             core_.now() + k.storeCount * cfg_.commitDrainPerStore;
         agent_.setExternalBlocked(true);
+        core_.noteWork();
         return false;
     }
 
@@ -586,6 +618,7 @@ SpeculativeImpl::finishCommit(std::uint32_t ctx)
     order_.erase(order_.begin());
     for (auto& e : sb_.entries())
         e.held = false;
+    core_.noteWork();
 }
 
 void
@@ -637,8 +670,10 @@ SpeculativeImpl::drainStoreBuffer()
             // permission before this entry drained.
             if (!e.fillRequested ||
                 !agent_.fetchOutstanding(e.blockAddr)) {
-                if (agent_.request(e.blockAddr, true, []() {}))
+                if (agent_.request(e.blockAddr, true, []() {})) {
                     e.fillRequested = true;
+                    core_.noteWork();
+                }
             }
             ++i;
             continue;
@@ -651,6 +686,7 @@ SpeculativeImpl::drainStoreBuffer()
                 if (!cleaningPending_.count(e.blockAddr)) {
                     cleaningPending_.insert(e.blockAddr);
                     ++statCleanings;
+                    core_.noteWork();
                     const Addr blk = e.blockAddr;
                     agent_.cleanWriteback(blk, [this, blk]() {
                         cleaningPending_.erase(blk);
@@ -672,6 +708,7 @@ SpeculativeImpl::drainStoreBuffer()
                              e.speculative ? e.ctx : 0);
         entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
         ++drained;
+        core_.noteWork();
     }
 }
 
@@ -696,8 +733,12 @@ SpeculativeImpl::tick()
 
     while (speculating() && tryCommitOldest(covArmed_ || commitPressure_)) {
     }
-    if (commitPressure_ && !speculating())
+    if (commitPressure_ && !speculating()) {
+        // Behavior-relevant transition (continuous mode may open chunks
+        // again): visible to the fast-forward quiescence detector.
         commitPressure_ = false;
+        core_.noteWork();
+    }
 
     if (covArmed_) {
         agent_.serveDeferred();
@@ -753,6 +794,7 @@ SpeculativeImpl::resolveSpecEviction(Addr block)
         commitPressure_ = true;
         for (const std::uint32_t c : order_)
             ckpts_[c].closed = true;
+        core_.noteWork();
         return false;
     }
     while (speculating())

@@ -91,9 +91,11 @@ class SpeculativeImpl : public ConsistencyImpl
     std::optional<std::uint64_t> forwardStore(Addr addr) const override;
     bool speculating() const override { return !order_.empty(); }
     void onLoadExecuted(RobEntry& entry) override;
-    bool routeCycle(StallKind kind) override;
+    bool routeCycles(StallKind kind, std::uint64_t n) override;
     void onIdle() override;
     bool quiesced() const override;
+    Cycle nextWorkAt() const override;
+    void accrueQuiescentCycles(std::uint64_t n) override;
 
     ExtAction onSpecConflict(Addr block, bool wants_write) override;
     bool resolveSpecEviction(Addr block) override;

@@ -37,13 +37,13 @@ struct Breakdown
     std::uint64_t violation = 0;
 
     void
-    add(StallKind kind)
+    add(StallKind kind, std::uint64_t n = 1)
     {
         switch (kind) {
-          case StallKind::None: ++busy; break;
-          case StallKind::SbFull: ++sbFull; break;
-          case StallKind::SbDrain: ++sbDrain; break;
-          case StallKind::Other: ++other; break;
+          case StallKind::None: busy += n; break;
+          case StallKind::SbFull: sbFull += n; break;
+          case StallKind::SbDrain: sbDrain += n; break;
+          case StallKind::Other: other += n; break;
         }
     }
 

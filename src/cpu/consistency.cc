@@ -137,14 +137,17 @@ ConventionalFifoImpl::tick()
             agent_.writeWordL1(head.addr, head.data, false, 0);
             sb_.popFront();
             ++statDrained;
+            core_.noteWork();
             continue;
         }
         ++statHeadBlocked;
         // Issue (or re-issue, if another core stole the permission
         // before the entry drained) the write fetch for the head.
         if (!agent_.fetchOutstanding(head.addr)) {
-            if (agent_.request(head.addr, true, []() {}))
+            if (agent_.request(head.addr, true, []() {})) {
                 head.issued = true;
+                core_.noteWork();
+            }
         } else {
             ++statHeadIssuedWait;
         }
@@ -162,11 +165,27 @@ ConventionalFifoImpl::tick()
             if (agent_.request(e.addr, true, []() {})) {
                 e.issued = true;
                 ++prefetches;
+                core_.noteWork();
             } else {
                 break;   // MSHRs exhausted
             }
         }
     }
+}
+
+void
+ConventionalFifoImpl::accrueQuiescentCycles(std::uint64_t n)
+{
+    // Replicate tick()'s per-cycle counters for a no-progress cycle: a
+    // writable head would have drained (and broken quiescence), so the
+    // head is blocked; the issued-wait counter bumps only while its
+    // write fetch is actually outstanding (an MSHR-exhausted head
+    // retries silently).
+    if (sb_.empty())
+        return;
+    statHeadBlocked += n;
+    if (agent_.fetchOutstanding(sb_.front().addr))
+        statHeadIssuedWait += n;
 }
 
 // ---------------------------------------------------------------------
@@ -272,14 +291,17 @@ ConventionalRmoImpl::tick()
                 agent_.writeMaskedL1(e.blockAddr, e.data, false, 0);
                 ++statDrained;
                 ++drained;
+                core_.noteWork();
                 entries.erase(entries.begin() +
                               static_cast<std::ptrdiff_t>(i));
                 continue;
             }
         } else if (!e.fillRequested ||
                    !agent_.fetchOutstanding(e.blockAddr)) {
-            if (agent_.request(e.blockAddr, true, []() {}))
+            if (agent_.request(e.blockAddr, true, []() {})) {
                 e.fillRequested = true;
+                core_.noteWork();
+            }
         }
         ++i;
     }

@@ -87,13 +87,16 @@ class ConsistencyImpl : public CoherenceListener
     virtual void onLoadExecuted(RobEntry& entry) { (void)entry; }
 
     /**
-     * Route one retirement-slot cycle. Returns true when the cycle was
-     * absorbed into a pending speculative breakdown; false means the core
-     * adds it to the committed breakdown directly.
+     * Route @p n retirement-slot cycles of kind @p kind. Returns true
+     * when the cycles were absorbed into a pending speculative breakdown;
+     * false means the core adds them to the committed breakdown directly.
+     * Called with n == 1 every normally-ticked stall cycle, and with the
+     * bulk count when the System fast-forwards over quiescent cycles.
      */
-    virtual bool routeCycle(StallKind kind)
+    virtual bool routeCycles(StallKind kind, std::uint64_t n)
     {
         (void)kind;
+        (void)n;
         return false;
     }
 
@@ -102,6 +105,25 @@ class ConsistencyImpl : public CoherenceListener
 
     /** True when no buffered or speculative state remains. */
     virtual bool quiesced() const = 0;
+
+    /**
+     * Earliest future cycle at which this implementation's tick() could
+     * do more than repeat the previous cycle's stall accounting, assuming
+     * no external event fires first. kNeverCycle when only an external
+     * event (cache fill, coherence message) can unblock it. Only
+     * consulted after a cycle in which the whole system made no progress,
+     * so purely state-dependent conditions cannot change in the gap; the
+     * predicate needs to cover time-triggered work only.
+     */
+    virtual Cycle nextWorkAt() const { return kNeverCycle; }
+
+    /**
+     * Bulk-accrue the per-cycle counters tick() would have bumped over
+     * @p n externally-quiescent cycles (cycles proven to make no state
+     * change). Must leave every statistic exactly as n no-progress
+     * tick() calls would have.
+     */
+    virtual void accrueQuiescentCycles(std::uint64_t n) { (void)n; }
 
     // --- CoherenceListener defaults for non-speculative impls ---
     ExtAction onSpecConflict(Addr block, bool wants_write) override;
@@ -127,6 +149,7 @@ class ConventionalFifoImpl : public ConsistencyImpl
     void onRetire(RobEntry& entry) override;
     std::optional<std::uint64_t> forwardStore(Addr addr) const override;
     bool quiesced() const override { return sb_.empty(); }
+    void accrueQuiescentCycles(std::uint64_t n) override;
 
     const FifoStoreBuffer& storeBuffer() const { return sb_; }
 

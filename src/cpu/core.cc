@@ -104,10 +104,14 @@ Core::retireStage()
             break;
     }
 
+    if (retired > 0)
+        noteWork();
+
     const StallKind kind =
         retired > 0 ? StallKind::None
                     : (rob_.empty() && halted_ ? StallKind::Other : stall);
-    if (!impl_->routeCycle(kind))
+    lastStallKind_ = kind;
+    if (!impl_->routeCycles(kind, 1))
         breakdown_.add(kind);
 }
 
@@ -120,14 +124,17 @@ Core::executeStage()
         if (e.status == RobEntry::Status::Issued && e.valueBound &&
             e.readyAt <= now_) {
             e.status = RobEntry::Status::Done;
+            noteWork();
             if (isLoadLike(e.inst.type))
                 impl_->onLoadExecuted(e);
             continue;
         }
         if (e.status == RobEntry::Status::Dispatched &&
             isLoadLike(e.inst.type) && issued < params_.l1Ports) {
-            if (tryIssueLoad(i))
+            if (tryIssueLoad(i)) {
                 ++issued;
+                noteWork();
+            }
         }
     }
 }
@@ -241,6 +248,7 @@ Core::tryIssueLoad(std::size_t idx)
             RobEntry& e2 = rob_.at(static_cast<std::size_t>(i));
             if (e2.status != RobEntry::Status::Issued || e2.valueBound)
                 return;
+            noteWork();
             if (!agent_.l1Readable(addr)) {
                 // The block was stolen before the (possibly deferred)
                 // fill completed: replay the issue.
@@ -272,8 +280,10 @@ Core::dispatchStage()
         const Instruction inst = program_.fetchNext();
         if (inst.type == OpType::Halt) {
             halted_ = true;
+            noteWork();
             return;
         }
+        noteWork();
         RobEntry& e = rob_.push();
         e = RobEntry{};
         e.inst = inst;
@@ -317,6 +327,7 @@ Core::rollbackTo(const ProgSnapshot& snap, InstSeq last_valid_seq)
     rob_.clear();
     halted_ = false;
     ++flushEpoch_;
+    noteWork();
     lastRetiredSeq_ = last_valid_seq;
     if (journalEnabled_) {
         while (!journal_.empty() && journal_.back().seq > last_valid_seq)
@@ -343,8 +354,43 @@ Core::notifyInvalidated(Addr block)
         e.readyAt = 0;
         ++statLqSquashes;
         ++flushEpoch_;
+        noteWork();
         return;
     }
+}
+
+Cycle
+Core::nextWorkAt() const
+{
+    // ROB part: the earliest completion of a value-bound in-flight entry
+    // (ALU latency, L1 hit latency). Memoized on the work version — any
+    // ROB mutation bumps it, and in a quiescent state no entry has
+    // readyAt <= now (the tick would have completed it).
+    if (robReadyVersion_ != workVersion_) {
+        Cycle ready = kNeverCycle;
+        for (std::size_t i = 0; i < rob_.size(); ++i) {
+            const RobEntry& e = rob_.at(i);
+            if (e.status == RobEntry::Status::Issued && e.valueBound &&
+                e.readyAt < ready) {
+                ready = e.readyAt;
+            }
+        }
+        robReadyVersion_ = workVersion_;
+        robReadyMemo_ = ready;
+    }
+    const Cycle impl_at = impl_->nextWorkAt();
+    const Cycle rob_at =
+        robReadyMemo_ <= now_ ? now_ + 1 : robReadyMemo_;
+    return impl_at < rob_at ? impl_at : rob_at;
+}
+
+void
+Core::accrueStallCycles(std::uint64_t n)
+{
+    statCycles += n;
+    if (!impl_->routeCycles(lastStallKind_, n))
+        breakdown_.add(lastStallKind_, n);
+    impl_->accrueQuiescentCycles(n);
 }
 
 void

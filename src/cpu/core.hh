@@ -51,6 +51,47 @@ class Core
     /** Advance one cycle: retire, execute, dispatch, account. */
     void tick(Cycle now);
 
+    /**
+     * @{ Quiescence-aware fast-forward interface (System scheduling).
+     *
+     * noteWork() bumps a monotonic version stamp on every state change a
+     * tick can make (retirement, issue, dispatch, squash, store-buffer
+     * motion, checkpoint transitions). A cycle in which no core's
+     * version moved and the event queue neither ran nor gained events is
+     * externally quiescent: repeating the tick can only repeat the same
+     * stall accounting until either an event fires or a time threshold
+     * (load readyAt, CoV deadline, ASO commit drain) is crossed.
+     */
+    void noteWork() { ++workVersion_; }
+    std::uint64_t workVersion() const { return workVersion_; }
+
+    /**
+     * Earliest future cycle at which this core's tick could do more than
+     * repeat the last cycle's stall accounting, absent external events:
+     * the minimum over value-bound in-flight ROB completions (readyAt)
+     * and the consistency implementation's own nextWorkAt().
+     * kNeverCycle when only an event can unblock the core.
+     */
+    Cycle nextWorkAt() const;
+
+    /**
+     * Bulk-account @p n skipped quiescent cycles exactly as n no-progress
+     * tick() calls would have: cycle counter, the recorded stall kind
+     * routed through the consistency implementation (pending speculative
+     * breakdown or committed breakdown), and the impl's per-cycle
+     * counters (statCyclesSpeculating and friends).
+     */
+    void accrueStallCycles(std::uint64_t n);
+
+    /**
+     * Bring the core's local clock to @p now without ticking, so
+     * event-context uses of now() (e.g. CoV deadlines) see the same
+     * value as in the per-cycle loop, where the core last ticked the
+     * cycle before the event. Dormancy bookkeeping only.
+     */
+    void syncTime(Cycle now) { now_ = now; }
+    /** @} */
+
     /** @{ Services used by consistency implementations. */
     CacheAgent& agent() { return agent_; }
     ThreadProgram& program() { return program_; }
@@ -154,6 +195,12 @@ class Core
     InstSeq nextSeq_ = 1;
     Cycle now_ = 0;
     bool halted_ = false;
+    std::uint64_t workVersion_ = 0;
+    StallKind lastStallKind_ = StallKind::Other;
+    /** Memoized min readyAt over bound in-flight ROB entries; valid
+     *  while workVersion_ == robReadyVersion_ (any ROB change bumps). */
+    mutable std::uint64_t robReadyVersion_ = ~std::uint64_t{0};
+    mutable Cycle robReadyMemo_ = 0;
     std::uint64_t flushEpoch_ = 0;   //!< bumps on every squash/rollback
     InstSeq lastRetiredSeq_ = 0;
     bool journalEnabled_ = false;

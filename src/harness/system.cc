@@ -1,11 +1,36 @@
 #include "harness/system.hh"
 
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/invisifence.hh"
 #include "sim/log.hh"
 
 namespace invisifence {
+
+namespace {
+
+/**
+ * INVISIFENCE_FASTFWD, parsed once per process (thread-safe magic
+ * static, so sweep workers never touch getenv): default on, "0" =
+ * legacy per-cycle loop. Anything else is a configuration error.
+ */
+bool
+fastForwardEnvDefault()
+{
+    static const bool on = [] {
+        const char* text = std::getenv("INVISIFENCE_FASTFWD");
+        if (!text || std::strcmp(text, "1") == 0)
+            return true;
+        if (std::strcmp(text, "0") == 0)
+            return false;
+        IF_FATAL("INVISIFENCE_FASTFWD='%s' must be 0 or 1", text);
+    }();
+    return on;
+}
+
+} // namespace
 
 const char*
 implKindName(ImplKind k)
@@ -97,8 +122,13 @@ makeImpl(ImplKind kind, const SystemParams& params, Core& core,
         c.commitOnViolate = params.selectiveCov;
         return speculative(c);
       }
-      case ImplKind::InvisiSC2Ckpt:
-        return speculative(SpecConfig::selective(Model::SC, 2));
+      case ImplKind::InvisiSC2Ckpt: {
+        // Section 6.6 applies commit-on-violate uniformly to every
+        // selective variant; the two-checkpoint one is no exception.
+        SpecConfig c = SpecConfig::selective(Model::SC, 2);
+        c.commitOnViolate = params.selectiveCov;
+        return speculative(c);
+      }
       case ImplKind::Continuous:
         return speculative(SpecConfig::continuousMode(false));
       case ImplKind::ContinuousCoV:
@@ -114,7 +144,9 @@ System::System(const SystemParams& params,
                ImplKind kind)
     : params_(params), kind_(kind),
       net_(eq_, params.net, params.numCores),
-      programs_(std::move(programs))
+      programs_(std::move(programs)),
+      fastForward_(params.fastForward < 0 ? fastForwardEnvDefault()
+                                          : params.fastForward != 0)
 {
     if (programs_.size() != params_.numCores) {
         IF_FATAL("system needs %u programs, got %zu", params_.numCores,
@@ -138,6 +170,98 @@ System::System(const SystemParams& params,
         if (auto* spec = dynamic_cast<SpeculativeImpl*>(impls_[n].get()))
             spec->registerStats(stats_, prefix + ".spec");
     }
+    stats_.registerStat("system.fastfwd.cycles", &statFastForwardedCycles);
+    stats_.registerStat("system.fastfwd.jumps", &statFastForwards);
+    wakeAt_.assign(params_.numCores, 0);
+    lastTicked_.assign(params_.numCores, 0);
+    eq_.setWakeHook([this](std::uint32_t node, Cycle when) {
+        onEventWake(node, when);
+    });
+}
+
+void
+System::settleCore(std::uint32_t i, Cycle upto)
+{
+    if (upto <= lastTicked_[i])
+        return;
+    const std::uint64_t n = upto - lastTicked_[i];
+    cores_[i]->accrueStallCycles(n);
+    cores_[i]->syncTime(upto);
+    lastTicked_[i] = upto;
+    statFastForwardedCycles += n;
+}
+
+void
+System::settleAll(Cycle upto)
+{
+    for (std::uint32_t i = 0; i < cores_.size(); ++i)
+        settleCore(i, upto);
+}
+
+void
+System::onEventWake(std::uint32_t node, Cycle when)
+{
+    // Settle the dormant core's accounting BEFORE the event mutates its
+    // state (an abort reclassifies pending cycles; the per-cycle loop
+    // would have accrued them under the pre-event stall kind), and make
+    // it tick this cycle, as it would have in the per-cycle loop.
+    if (!fastForward_)
+        return;
+    assert(node < cores_.size());
+    if (when > 0)
+        settleCore(node, when - 1);
+    if (wakeAt_[node] > when)
+        wakeAt_[node] = when;
+}
+
+void
+System::tickCores(Cycle now)
+{
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        if (fastForward_ && wakeAt_[i] > now)
+            continue;   // dormant: provably nothing but stall accounting
+        settleCore(i, now - 1);
+        Core& core = *cores_[i];
+        const std::uint64_t version = core.workVersion();
+        const std::uint64_t scheduled = eq_.scheduledCount();
+        core.tick(now);
+        lastTicked_[i] = now;
+        if (!fastForward_)
+            continue;
+        // A tick that changed no state and scheduled nothing would only
+        // repeat the same stall accounting next cycle: sleep until the
+        // core's own time threshold or an event wake.
+        if (core.workVersion() != version ||
+            eq_.scheduledCount() != scheduled) {
+            wakeAt_[i] = now + 1;
+            continue;
+        }
+        const Cycle at = core.nextWorkAt();
+        wakeAt_[i] = at <= now ? now + 1 : at;
+    }
+}
+
+void
+System::maybeJump(Cycle end)
+{
+    if (!fastForward_)
+        return;
+    Cycle next = kNeverCycle;
+    for (const Cycle at : wakeAt_) {
+        if (at < next)
+            next = at;
+    }
+    if (!eq_.empty() && eq_.nextEventTick() < next)
+        next = eq_.nextEventTick();
+    if (next <= now_ + 1)
+        return;
+    const Cycle target = next - 1 < end ? next - 1 : end;
+    if (target <= now_)
+        return;
+    // Core accounting is settled lazily on wake; only the clocks move.
+    now_ = target;
+    eq_.advanceTo(now_);   // no events <= target: just syncs eq time
+    ++statFastForwards;
 }
 
 void
@@ -147,9 +271,10 @@ System::run(Cycle cycles)
     while (now_ < end) {
         ++now_;
         eq_.advanceTo(now_);
-        for (auto& core : cores_)
-            core->tick(now_);
+        tickCores(now_);
+        maybeJump(end);
     }
+    settleAll(end);
 }
 
 bool
@@ -159,14 +284,21 @@ System::runUntilDone(Cycle max_cycles)
     while (now_ < end) {
         ++now_;
         eq_.advanceTo(now_);
+        tickCores(now_);
         bool all_done = true;
-        for (auto& core : cores_) {
-            core->tick(now_);
+        for (const auto& core : cores_)
             all_done &= core->done();
-        }
-        if (all_done)
+        // Completion additionally requires a drained event queue:
+        // coherence traffic scheduled after the last core quiesced
+        // (writebacks, acks) must land before stats are sampled, or a
+        // follow-up run() would replay stale in-flight messages.
+        if (all_done && eq_.empty()) {
+            settleAll(now_);
             return true;
+        }
+        maybeJump(end);
     }
+    settleAll(end);
     return false;
 }
 

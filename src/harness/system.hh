@@ -60,6 +60,12 @@ struct SystemParams
     bool selectiveCov = false;
     /** Override for the engine's speculative footprint cap (0 = keep). */
     std::uint32_t specFootprintCap = 0;
+    /**
+     * Quiescence-aware cycle skipping: -1 = follow INVISIFENCE_FASTFWD
+     * (default on), 0 = legacy per-cycle loop, 1 = force on. Both modes
+     * produce bit-identical RunResults (see tests/fastforward_test.cc).
+     */
+    int fastForward = -1;
 
     /** The paper's full configuration (8 MB L2). */
     static SystemParams paper();
@@ -85,10 +91,20 @@ class System
     void run(Cycle cycles);
 
     /**
-     * Run until every core's program halted and drained, or @p max_cycles
-     * elapse. Returns true when all cores finished.
+     * Run until every core's program halted and drained AND the event
+     * queue is empty (no in-flight coherence traffic), or @p max_cycles
+     * elapse. Returns true when the whole system finished.
      */
     bool runUntilDone(Cycle max_cycles);
+
+    /** @{ Quiescence-aware fast-forward control and introspection. */
+    void setFastForward(bool on) { fastForward_ = on; }
+    bool fastForwardEnabled() const { return fastForward_; }
+    /** Cycles skipped (bulk-accrued) instead of ticked. */
+    std::uint64_t statFastForwardedCycles = 0;
+    /** Number of fast-forward jumps taken. */
+    std::uint64_t statFastForwards = 0;
+    /** @} */
 
     Cycle now() const { return now_; }
     std::uint32_t numCores() const { return params_.numCores; }
@@ -113,6 +129,23 @@ class System
     std::uint64_t totalCoreCycles() const;
 
   private:
+    /**
+     * Tick every due core at cycle @p now. With fast-forward on, a core
+     * whose tick made no state change (work version unchanged, nothing
+     * scheduled) goes dormant until its own time threshold
+     * (Core::nextWorkAt) or until an event tagged with its node is about
+     * to execute; its skipped cycles are bulk-accrued on wake.
+     */
+    void tickCores(Cycle now);
+    /** Accrue core @p i's dormant stall cycles up to @p upto. */
+    void settleCore(std::uint32_t i, Cycle upto);
+    /** Settle every core's accounting up to @p upto (run boundaries). */
+    void settleAll(Cycle upto);
+    /** Event-queue wake hook: settle and wake @p node for @p when. */
+    void onEventWake(std::uint32_t node, Cycle when);
+    /** Advance now_ to just before the next due event/wake, <= @p end. */
+    void maybeJump(Cycle end);
+
     SystemParams params_;
     ImplKind kind_;
     EventQueue eq_;
@@ -125,6 +158,9 @@ class System
     std::vector<std::unique_ptr<ConsistencyImpl>> impls_;
     StatRegistry stats_;
     Cycle now_ = 0;
+    bool fastForward_ = true;
+    std::vector<Cycle> wakeAt_;      //!< next cycle each core must tick
+    std::vector<Cycle> lastTicked_;  //!< last ticked/settled cycle
 };
 
 /** Build the consistency implementation @p kind for one core. */

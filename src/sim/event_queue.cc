@@ -4,16 +4,58 @@
 
 namespace invisifence {
 
+Cycle
+EventQueue::nextEventTick() const
+{
+    assert(size_ > 0 && "nextEventTick on an empty queue");
+    Cycle t = nextTick_ < now_ ? now_ : nextTick_;
+    const Cycle wheel_end = now_ + kWheelSize;
+    const Cycle far_min =
+        far_.empty() ? kNeverCycle : far_.begin()->first;
+    for (; t < wheel_end && t < far_min; ++t) {
+        if (!wheel_[t & kWheelMask].empty()) {
+            nextTick_ = t;
+            return t;
+        }
+    }
+    // Only overflow events remain pending.
+    assert(far_min != kNeverCycle);
+    nextTick_ = far_min;
+    return far_min;
+}
+
 void
 EventQueue::advanceTo(Cycle tick)
 {
     assert(tick >= now_);
-    while (!heap_.empty() && heap_.top().when <= tick) {
-        Event ev = heap_.top();
-        heap_.pop();
-        assert(ev.when >= now_);
-        now_ = ev.when;
-        ev.fn();
+    while (size_ > 0) {
+        const Cycle t = nextEventTick();
+        if (t > tick)
+            break;
+        now_ = t;
+        auto& slot = wheel_[t & kWheelMask];
+        // Far-scheduled events predate every wheel append for this tick
+        // (the wheel only accepts a tick once now_ is within range, and
+        // now_ is monotonic), so they go first to preserve insertion
+        // order.
+        auto far_it = far_.find(t);
+        if (far_it != far_.end()) {
+            slot.insert(slot.begin(),
+                        std::make_move_iterator(far_it->second.begin()),
+                        std::make_move_iterator(far_it->second.end()));
+            far_.erase(far_it);
+        }
+        // Index loop: callbacks may append same-tick events mid-flight.
+        for (std::size_t i = 0; i < slot.size(); ++i) {
+            Event ev = std::move(slot[i]);
+            --size_;
+            ++executed_;
+            if (ev.wakeNode != kNoWakeNode && wakeHook_)
+                wakeHook_(ev.wakeNode, ev.when);
+            ev.fn();
+        }
+        slot.clear();
+        nextTick_ = t + 1;
     }
     now_ = tick;
 }
@@ -21,12 +63,8 @@ EventQueue::advanceTo(Cycle tick)
 void
 EventQueue::drain()
 {
-    while (!heap_.empty()) {
-        Event ev = heap_.top();
-        heap_.pop();
-        now_ = ev.when;
-        ev.fn();
-    }
+    while (size_ > 0)
+        advanceTo(nextEventTick());
 }
 
 } // namespace invisifence

@@ -4,30 +4,43 @@
  *
  * Events scheduled for the same tick execute in insertion order, which keeps
  * whole-system simulations bit-for-bit reproducible across runs and seeds.
+ *
+ * The implementation is a timing wheel: a power-of-two ring of per-tick
+ * buckets covering the near future (every latency in the simulated system —
+ * network hops, memory, retries — is far below the wheel span), with a
+ * sorted overflow map for anything scheduled further out. Scheduling and
+ * popping are O(1) appends/moves instead of binary-heap sifts, which
+ * matters because coherence traffic makes events the hottest allocation
+ * path in the simulator. Within a tick, bucket append order IS insertion
+ * order, so the determinism contract needs no explicit sequence numbers.
  */
 
 #ifndef INVISIFENCE_SIM_EVENT_QUEUE_HH
 #define INVISIFENCE_SIM_EVENT_QUEUE_HH
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <map>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace invisifence {
 
+/** Node tag for events that affect no core (e.g. directory-internal). */
+constexpr std::uint32_t kNoWakeNode = 0xffffffffu;
+
 /** A single scheduled callback. */
 struct Event
 {
     Cycle when = 0;
-    std::uint64_t seq = 0;     //!< tie-breaker: insertion order
+    std::uint32_t wakeNode = kNoWakeNode;  //!< core to wake on execute
     std::function<void()> fn;
 };
 
 /**
- * Min-heap event queue ordered by (tick, insertion sequence).
+ * Timing-wheel event queue ordered by (tick, insertion order).
  *
  * The owning System drives it with advanceTo(now) once per simulated cycle;
  * components use schedule() for any action with latency.
@@ -35,19 +48,51 @@ struct Event
 class EventQueue
 {
   public:
-    /** Schedule @p fn to run at absolute cycle @p when. */
+    EventQueue() : wheel_(kWheelSize) {}
+
+    /**
+     * Schedule @p fn to run at absolute cycle @p when. Events whose
+     * synchronous effects can touch a core (cache fills, message
+     * deliveries to an agent, writeback completions) carry that core's
+     * node in @p wake_node so a dormant core is woken (and its skipped
+     * stall cycles settled) before the event runs; events that only
+     * touch node-external state (directory transactions) use
+     * kNoWakeNode.
+     */
     void
-    scheduleAt(Cycle when, std::function<void()> fn)
+    scheduleAt(Cycle when, std::function<void()> fn,
+               std::uint32_t wake_node = kNoWakeNode)
     {
-        heap_.push(Event{when, nextSeq_++, std::move(fn)});
+        assert(when >= now_ && "scheduling an event in the past");
+        if (when < now_)
+            when = now_;   // release-build safety net
+        ++nextSeq_;
+        if (size_ == 0 || when < nextTick_)
+            nextTick_ = when;
+        ++size_;
+        if (when - now_ < kWheelSize) {
+            wheel_[when & kWheelMask].push_back(
+                Event{when, wake_node, std::move(fn)});
+        } else {
+            far_[when].push_back(Event{when, wake_node, std::move(fn)});
+        }
     }
 
     /** Schedule @p fn to run @p delay cycles after the current time. */
     void
-    schedule(Cycle delay, std::function<void()> fn)
+    schedule(Cycle delay, std::function<void()> fn,
+             std::uint32_t wake_node = kNoWakeNode)
     {
-        scheduleAt(now_ + delay, std::move(fn));
+        scheduleAt(now_ + delay, std::move(fn), wake_node);
     }
+
+    /**
+     * Hook invoked with (wakeNode, when) immediately before executing
+     * any event carrying a wake tag. The System uses it to settle and
+     * wake the dormant core the event is about to affect.
+     */
+    using WakeHook = std::function<void(std::uint32_t, Cycle)>;
+    void setWakeHook(WakeHook hook) { wakeHook_ = std::move(hook); }
 
     /**
      * Execute every event with when <= @p tick, in deterministic order.
@@ -59,27 +104,42 @@ class EventQueue
     void drain();
 
     Cycle now() const { return now_; }
-    bool empty() const { return heap_.empty(); }
-    std::size_t size() const { return heap_.size(); }
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
 
     /** Tick of the earliest pending event; only valid when !empty(). */
-    Cycle nextEventTick() const { return heap_.top().when; }
+    Cycle nextEventTick() const;
+
+    /**
+     * @{ Monotonic activity counters. Their sum changes if and only if
+     * an event was scheduled or executed, which lets the System detect
+     * externally-quiescent cycles in O(1) (fast-forward scheduling).
+     */
+    std::uint64_t scheduledCount() const { return nextSeq_; }
+    std::uint64_t executedCount() const { return executed_; }
+    /** @} */
 
   private:
-    struct Later
-    {
-        bool
-        operator()(const Event& a, const Event& b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    static constexpr std::uint32_t kWheelBits = 11;
+    static constexpr Cycle kWheelSize = Cycle{1} << kWheelBits;
+    static constexpr Cycle kWheelMask = kWheelSize - 1;
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    /** Bucket of events for one tick of the near future. Pending wheel
+     *  events always have when in [now_, now_ + kWheelSize), so each
+     *  bucket holds at most one tick's events at a time. */
+    std::vector<std::vector<Event>> wheel_;
+    /** Events scheduled >= kWheelSize cycles out, ordered by tick. A
+     *  bucket migrates in front of its wheel slot at execution time
+     *  (far-scheduled events always predate wheel appends for the same
+     *  tick, so prepending preserves insertion order). */
+    std::map<Cycle, std::vector<Event>> far_;
+    std::size_t size_ = 0;
+    /** Lower bound on the earliest pending tick (lazily advanced). */
+    mutable Cycle nextTick_ = 0;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
     Cycle now_ = 0;
+    WakeHook wakeHook_;
 };
 
 } // namespace invisifence

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/log.hh"
+
 namespace invisifence {
 
 void
@@ -32,7 +34,19 @@ double
 StatRegistry::get(const std::string& name) const
 {
     auto it = stats_.find(name);
-    return it == stats_.end() ? 0.0 : value(it->second);
+    if (it == stats_.end())
+        IF_FATAL("unknown statistic '%s' (use tryGet for optional "
+                 "lookups)", name.c_str());
+    return value(it->second);
+}
+
+std::optional<double>
+StatRegistry::tryGet(const std::string& name) const
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end())
+        return std::nullopt;
+    return value(it->second);
 }
 
 bool

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -31,8 +32,15 @@ class StatRegistry
     void registerStat(const std::string& name, const std::uint64_t* value);
     void registerStat(const std::string& name, const double* value);
 
-    /** Look up one stat by exact name; returns 0 if absent. */
+    /**
+     * Look up one stat by exact name. An unregistered name is fatal: a
+     * typo in table/bench code must not silently fabricate a zero
+     * statistic. Use tryGet() when absence is an expected outcome.
+     */
     double get(const std::string& name) const;
+
+    /** Exact-name lookup that reports absence instead of dying. */
+    std::optional<double> tryGet(const std::string& name) const;
 
     /** True when a stat of this exact name is registered. */
     bool has(const std::string& name) const;

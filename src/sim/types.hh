@@ -14,6 +14,13 @@ namespace invisifence {
 /** Simulation time in processor clock cycles. */
 using Cycle = std::uint64_t;
 
+/**
+ * Sentinel for "no pending work at any future cycle": components whose
+ * next state change can only be triggered by an external event report
+ * this from their nextWorkAt() predicates.
+ */
+constexpr Cycle kNeverCycle = ~Cycle{0};
+
 /** Physical byte address. */
 using Addr = std::uint64_t;
 

@@ -60,6 +60,114 @@ TEST(EventQueue, EventsScheduledDuringExecutionRun)
     EXPECT_EQ(eq.nextEventTick(), 105u);
 }
 
+TEST(EventQueue, SameTickInsertionOrderAcrossScheduleSites)
+{
+    // Tie-break contract: same-tick events run in insertion order even
+    // when scheduled from different places — up front, from an earlier
+    // event, and from an event at the same tick.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(7, [&]() { order.push_back(0); });
+    eq.scheduleAt(3, [&]() {
+        eq.scheduleAt(7, [&]() { order.push_back(1); });
+    });
+    eq.scheduleAt(7, [&]() {
+        order.push_back(2);
+        eq.schedule(0, [&]() { order.push_back(3); });   // tick 7 too
+    });
+    eq.advanceTo(7);
+    // Insertion order at tick 7: [0] up-front, [2] up-front-second,
+    // [1] scheduled at tick 3, [3] scheduled during tick 7.
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 1, 3}));
+}
+
+TEST(EventQueue, MidExecutionSchedulingAtOrBelowTickRunsInSameAdvance)
+{
+    // An event that schedules work for a later tick still <= the
+    // advanceTo bound must see that work run in the same call.
+    EventQueue eq;
+    std::vector<Cycle> at;
+    eq.scheduleAt(5, [&]() {
+        eq.scheduleAt(9, [&]() { at.push_back(eq.now()); });
+        eq.schedule(2, [&]() { at.push_back(eq.now()); });   // tick 7
+    });
+    eq.advanceTo(9);
+    EXPECT_EQ(at, (std::vector<Cycle>{7, 9}));
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 9u);
+}
+
+TEST(EventQueue, NextEventTickTracksEarliestPendingEvent)
+{
+    EventQueue eq;
+    eq.scheduleAt(40, []() {});
+    EXPECT_EQ(eq.nextEventTick(), 40u);
+    eq.scheduleAt(12, []() {});
+    EXPECT_EQ(eq.nextEventTick(), 12u);
+    eq.scheduleAt(25, []() {});
+    EXPECT_EQ(eq.nextEventTick(), 12u);
+    eq.advanceTo(12);
+    EXPECT_EQ(eq.nextEventTick(), 25u);
+    eq.advanceTo(30);
+    EXPECT_EQ(eq.nextEventTick(), 40u);
+    // Far-future events (beyond the timing wheel's span) still order
+    // correctly against near ones.
+    eq.scheduleAt(1'000'000, []() {});
+    EXPECT_EQ(eq.nextEventTick(), 40u);
+    eq.advanceTo(40);
+    EXPECT_EQ(eq.nextEventTick(), 1'000'000u);
+    eq.scheduleAt(500'000, []() {});
+    EXPECT_EQ(eq.nextEventTick(), 500'000u);
+    eq.drain();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 1'000'000u);
+}
+
+TEST(EventQueue, FarAndNearEventsAtSameTickPreserveScheduleOrder)
+{
+    // A far-scheduled event (beyond the wheel span) must run before a
+    // near-scheduled one for the same tick: it was scheduled earlier.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(5000, [&]() { order.push_back(0); });   // far at t=0
+    eq.advanceTo(4000);
+    eq.scheduleAt(5000, [&]() { order.push_back(1); });   // near now
+    eq.advanceTo(5000);
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, ActivityCountersTrackScheduleAndExecute)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.scheduledCount(), 0u);
+    EXPECT_EQ(eq.executedCount(), 0u);
+    eq.scheduleAt(2, []() {});
+    eq.scheduleAt(4, []() {});
+    EXPECT_EQ(eq.scheduledCount(), 2u);
+    EXPECT_EQ(eq.executedCount(), 0u);
+    eq.advanceTo(3);
+    EXPECT_EQ(eq.executedCount(), 1u);
+    eq.advanceTo(10);
+    EXPECT_EQ(eq.executedCount(), 2u);
+}
+
+TEST(EventQueue, WakeHookFiresForTaggedEventsBeforeTheirCallback)
+{
+    EventQueue eq;
+    std::vector<std::pair<std::uint32_t, Cycle>> wakes;
+    std::vector<int> order;
+    eq.setWakeHook([&](std::uint32_t node, Cycle when) {
+        wakes.emplace_back(node, when);
+        order.push_back(0);
+    });
+    eq.scheduleAt(5, [&]() { order.push_back(1); }, 3);
+    eq.scheduleAt(6, [&]() { order.push_back(2); });   // untagged: no wake
+    eq.advanceTo(10);
+    ASSERT_EQ(wakes.size(), 1u);
+    EXPECT_EQ(wakes[0], (std::pair<std::uint32_t, Cycle>{3, 5}));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(EventQueue, RelativeScheduleUsesCurrentTime)
 {
     EventQueue eq;
@@ -151,7 +259,19 @@ TEST(Stats, RegisterAndRead)
     EXPECT_DOUBLE_EQ(reg.get("a.counter"), 42.0);
     EXPECT_TRUE(reg.has("a.counter"));
     EXPECT_FALSE(reg.has("missing"));
-    EXPECT_DOUBLE_EQ(reg.get("missing"), 0.0);
+    ASSERT_TRUE(reg.tryGet("a.counter").has_value());
+    EXPECT_DOUBLE_EQ(*reg.tryGet("a.counter"), 42.0);
+    EXPECT_FALSE(reg.tryGet("missing").has_value());
+}
+
+TEST(StatsDeathTest, GetOfUnknownNameIsFatal)
+{
+    // A typo in table/bench code must not fabricate a zero statistic.
+    StatRegistry reg;
+    std::uint64_t counter = 1;
+    reg.registerStat("core0.cycles", &counter);
+    EXPECT_EXIT(reg.get("core0.cycels"),
+                ::testing::ExitedWithCode(1), "unknown statistic");
 }
 
 TEST(Stats, SumMatching)
