@@ -6,6 +6,10 @@
 #   ./ci.sh asan       Debug ASan/UBSan build + unit + stress suites
 #   ./ci.sh tsan       TSan build + sweep/fuzz suites (if supported)
 #   ./ci.sh format     clang-format check (skipped when not installed)
+#   ./ci.sh perfsmoke  event-queue microbench + bench_wallclock at a
+#                      small budget, failing if kcps_fastfwd regresses
+#                      >25% against the committed BENCH_wallclock.json
+#                      (tolerance sized for a noisy 1-CPU box)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -58,6 +62,24 @@ run_tsan() {
         -R '(sweep_test|stress_sweep|fuzz_litmus_test)'
 }
 
+run_perfsmoke() {
+    echo "== Perf smoke: event-queue microbench + wall-clock check =="
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-release -j "$JOBS" \
+        --target bench_eventqueue bench_wallclock
+    ./build-release/bench/bench_eventqueue 500000
+    # Small budget: BENCH_CYCLES=24000 means a 24k-cycle measure window
+    # plus a 4k warmup (RunConfig::fromEnv uses measure/6), 28k total vs
+    # the committed JSON's 62k. kcycles/second is budget-independent to
+    # first order, and a 25% regression gate absorbs both that and this
+    # box's scheduling noise. ASOsc is excluded: its ~93%-dormant runs
+    # amortize very differently at small budgets, so its small-budget
+    # kcps is not comparable.
+    INVISIFENCE_BENCH_CYCLES=24000 ./build-release/bench/bench_wallclock \
+        --config bench --against BENCH_wallclock.json --min-ratio 0.75 \
+        --skip-check-impl ASOsc
+}
+
 run_format() {
     echo "== clang-format check =="
     if ! command -v clang-format >/dev/null 2>&1; then
@@ -74,11 +96,13 @@ run_format() {
 }
 
 case "$STAGE" in
-  release) run_release ;;
-  asan)    run_asan ;;
-  tsan)    run_tsan ;;
-  format)  run_format ;;
-  all)     run_format; run_release; run_asan ;;
-  *) echo "usage: $0 [all|release|asan|tsan|format]" >&2; exit 2 ;;
+  release)   run_release ;;
+  asan)      run_asan ;;
+  tsan)      run_tsan ;;
+  format)    run_format ;;
+  perfsmoke) run_perfsmoke ;;
+  all)       run_format; run_release; run_asan; run_perfsmoke ;;
+  *) echo "usage: $0 [all|release|asan|tsan|format|perfsmoke]" >&2
+     exit 2 ;;
 esac
 echo "ci.sh: $STAGE OK"

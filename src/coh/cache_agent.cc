@@ -6,6 +6,39 @@
 
 namespace invisifence {
 
+namespace {
+
+/** Borrow a recycled scratch vector from @p pool (empty, with the
+ *  capacity of its last use). Scratch vectors trade storage with MSHR
+ *  waiter lists via swap, so every vector entering the circulation
+ *  starts with working capacity: the swap dance then keeps all
+ *  participants at or above it, and the steady state never grows a
+ *  vector one push at a time. */
+template <typename T>
+std::vector<T>
+takeScratch(std::vector<std::vector<T>>& pool)
+{
+    if (pool.empty()) {
+        std::vector<T> v;
+        v.reserve(16);
+        return v;
+    }
+    std::vector<T> v = std::move(pool.back());
+    pool.pop_back();
+    return v;
+}
+
+/** Return a scratch vector to @p pool, keeping its capacity. */
+template <typename T>
+void
+putScratch(std::vector<std::vector<T>>& pool, std::vector<T> v)
+{
+    v.clear();
+    pool.push_back(std::move(v));
+}
+
+} // namespace
+
 CacheAgent::CacheAgent(NodeId node, std::uint32_t num_nodes, Network& net,
                        EventQueue& eq, const AgentParams& params)
     : node_(node), numNodes_(num_nodes), net_(net), eq_(eq),
@@ -16,7 +49,7 @@ CacheAgent::CacheAgent(NodeId node, std::uint32_t num_nodes, Network& net,
           "node" + std::to_string(node) + ".l2"),
       vc_(params.victimEntries), mshrs_(params.mshrs + 64)
 {
-    net_.attach(node_, Unit::Agent, [this](const Msg& m) { deliver(m); });
+    net_.attachAgent(node_, this);
 }
 
 CacheAgent::Where
@@ -77,7 +110,7 @@ CacheAgent::fetchOutstanding(Addr addr) const
 }
 
 bool
-CacheAgent::request(Addr addr, bool write, std::function<void()> cb)
+CacheAgent::request(Addr addr, bool write, FillCallback cb)
 {
     const Addr block = blockAlign(addr);
 
@@ -85,9 +118,10 @@ CacheAgent::request(Addr addr, bool write, std::function<void()> cb)
     if (Mshr* m = mshrs_.lookup(block, Mshr::Kind::Fetch)) {
         if (write) {
             m->wantWrite = true;
-            m->writeWaiters.push_back(std::move(cb));
-        } else {
-            m->readWaiters.push_back(std::move(cb));
+            if (cb)
+                mshrs_.pushWaiter(m->writeWaiters, cb);
+        } else if (cb) {
+            mshrs_.pushWaiter(m->readWaiters, cb);
         }
         return true;
     }
@@ -101,7 +135,7 @@ CacheAgent::request(Addr addr, bool write, std::function<void()> cb)
                 vc_hit ? params_.victimLatency : params_.l2Latency;
             if (vc_hit)
                 vc_.extract(block, nullptr);
-            eq_.schedule(lat, [this, block, cb = std::move(cb)]() {
+            eq_.schedule(lat, [this, block, cb]() {
                 completeLocalFill(block, cb, 0);
             }, node_);
             return true;
@@ -113,7 +147,8 @@ CacheAgent::request(Addr addr, bool write, std::function<void()> cb)
         ++fetchCount_;
         m->wantWrite = true;
         m->issuedWrite = true;
-        m->writeWaiters.push_back(std::move(cb));
+        if (cb)
+            mshrs_.pushWaiter(m->writeWaiters, cb);
         ++statUpgrades;
         sendToHome(MsgType::GetM, block, nullptr, false);
         return true;
@@ -126,10 +161,12 @@ CacheAgent::request(Addr addr, bool write, std::function<void()> cb)
     ++fetchCount_;
     m->wantWrite = write;
     m->issuedWrite = write;
-    if (write)
-        m->writeWaiters.push_back(std::move(cb));
-    else
-        m->readWaiters.push_back(std::move(cb));
+    if (cb) {
+        if (write)
+            mshrs_.pushWaiter(m->writeWaiters, cb);
+        else
+            mshrs_.pushWaiter(m->readWaiters, cb);
+    }
     sendToHome(write ? MsgType::GetM : MsgType::GetS, block, nullptr,
                false);
     return true;
@@ -188,14 +225,14 @@ CacheAgent::setSpecRead(Addr addr, std::uint32_t ctx)
 }
 
 bool
-CacheAgent::cleanWriteback(Addr addr, std::function<void()> cb)
+CacheAgent::cleanWriteback(Addr addr, FillCallback cb)
 {
     const Addr block = blockAlign(addr);
     CacheLine* l1line = l1_.lookup(block);
     if (!l1line || !l1line->dirty)
         return false;
     ++statCleanWritebacks;
-    eq_.schedule(params_.l2Latency, [this, block, cb = std::move(cb)]() {
+    eq_.schedule(params_.l2Latency, [this, block, cb]() mutable {
         CacheLine* line = l1_.lookup(block);
         if (line && line->dirty && !line->specWrittenAny())
             syncL2FromL1(block);
@@ -276,8 +313,7 @@ CacheAgent::deliver(const Msg& msg)
 }
 
 void
-CacheAgent::completeLocalFill(Addr block, std::function<void()> cb,
-                              int attempt)
+CacheAgent::completeLocalFill(Addr block, FillCallback cb, int attempt)
 {
     // Revalidate: an external request may have taken the block away
     // while the fill was pending.
@@ -289,15 +325,15 @@ CacheAgent::completeLocalFill(Addr block, std::function<void()> cb,
             ++statDeferredFills;
             if (attempt >= 200 && listener_)
                 listener_->resolveSpecEvictionHard(block);
-            eq_.schedule(10, [this, block, cb = std::move(cb),
-                              attempt]() {
+            eq_.schedule(10, [this, block, cb, attempt]() {
                 completeLocalFill(block, cb, attempt + 1);
             }, node_);
             return;
         }
         ++statL1FillsLocal;
     }
-    cb();
+    if (cb)
+        cb();
 }
 
 void
@@ -352,20 +388,25 @@ CacheAgent::finishFill(Addr block, int attempt)
 
     const bool writable = isWritable(l2line->state);
 
-    // Wake readers unconditionally; they only need a valid copy.
-    auto readers = std::move(m->readWaiters);
-    m->readWaiters.clear();
-    for (auto& fn : readers)
+    // Wake readers unconditionally; they only need a valid copy. The
+    // chain is detached before running (callbacks may re-enter the
+    // agent and push fresh waiters onto the MSHR) and each node is
+    // recycled into the shared slab before its callback executes.
+    std::uint32_t reader = mshrs_.takeWaiters(m->readWaiters);
+    while (reader != kNoWaiter) {
+        FillCallback fn = mshrs_.takeWaiterAndAdvance(reader);
         fn();
+    }
 
     if (m->wantWrite) {
         if (writable) {
-            auto writers = std::move(m->writeWaiters);
-            m->writeWaiters.clear();
+            std::uint32_t writer = mshrs_.takeWaiters(m->writeWaiters);
             mshrs_.free(m);
             --fetchCount_;
-            for (auto& fn : writers)
+            while (writer != kNoWaiter) {
+                FillCallback fn = mshrs_.takeWaiterAndAdvance(writer);
                 fn();
+            }
         } else if (!m->issuedWrite) {
             // GetS answered with a Shared copy but a writer is waiting:
             // upgrade with a follow-on GetM.
@@ -478,12 +519,17 @@ CacheAgent::serveExternal(const Msg& msg)
 void
 CacheAgent::serveDeferred()
 {
-    if (externalBlocked_)
+    if (externalBlocked_ || deferred_.empty())
         return;
-    std::deque<Msg> pending;
-    pending.swap(deferred_);
-    for (const auto& msg : pending)
+    // Drain into recycled scratch first: handleExternal may re-defer
+    // (CoV windows) or re-enter serveDeferred via an abort.
+    auto pending = takeScratch(msgScratchPool_);
+    for (const Msg& msg : deferred_)
+        pending.push_back(msg);
+    deferred_.clear();
+    for (const Msg& msg : pending)
         handleExternal(msg);
+    putScratch(msgScratchPool_, std::move(pending));
 }
 
 void

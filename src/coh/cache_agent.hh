@@ -15,9 +15,8 @@
 #define INVISIFENCE_COH_CACHE_AGENT_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
+#include <vector>
 
 #include "coh/directory.hh"
 #include "coh/listener.hh"
@@ -27,6 +26,8 @@
 #include "mem/mshr.hh"
 #include "mem/victim_cache.hh"
 #include "sim/event_queue.hh"
+#include "sim/inplace_fn.hh"
+#include "sim/ring_deque.hh"
 #include "sim/types.hh"
 
 namespace invisifence {
@@ -69,9 +70,13 @@ class CacheAgent
     /**
      * Bring the block into the L1 with (at least) the requested
      * permission; @p cb runs when it is usable. Returns false when the
-     * fetch MSHRs are exhausted (caller retries later).
+     * fetch MSHRs are exhausted (caller retries later). @p cb is a
+     * bounded trivially-copyable closure (FillCallback) stored inline
+     * in the MSHR / pooled event, never on the heap; omit it for pure
+     * prefetch/permission requests (a null callback is not queued at
+     * all, so retry-heavy drain loops don't grow the waiter lists).
      */
-    bool request(Addr addr, bool write, std::function<void()> cb);
+    bool request(Addr addr, bool write, FillCallback cb = {});
 
     /** True when a fetch for this block is already outstanding. */
     bool fetchOutstanding(Addr addr) const;
@@ -109,7 +114,7 @@ class CacheAgent
      * stores). @p cb runs when the copy completes. Returns false when the
      * block is not dirty in L1 (no cleaning needed; @p cb not called).
      */
-    bool cleanWriteback(Addr addr, std::function<void()> cb);
+    bool cleanWriteback(Addr addr, FillCallback cb);
 
     /** Commit context @p ctx: flash-clear its speculative bits. */
     void flashCommit(std::uint32_t ctx);
@@ -179,8 +184,7 @@ class CacheAgent
     /** Retry loop for network fills blocked on speculative eviction. */
     void finishFill(Addr block, int attempt);
     /** Retry loop for L2/VC-local fills (same deferral rules). */
-    void completeLocalFill(Addr block, std::function<void()> cb,
-                           int attempt);
+    void completeLocalFill(Addr block, FillCallback cb, int attempt);
     void evictL2Line(CacheLine& line);
     void sendToHome(MsgType type, Addr block, const BlockData* data,
                     bool dirty);
@@ -202,8 +206,12 @@ class CacheAgent
     MshrFile mshrs_;
     std::uint32_t fetchCount_ = 0;
     std::uint32_t specLines_ = 0;   //!< L1 lines with speculative bits
-    std::deque<Msg> deferred_;
+    RingDeque<Msg> deferred_;
     bool externalBlocked_ = false;
+    /** Recycled scratch buffers for deferred-request drains: swap-out
+     *  iteration without per-call vector churn. A pool, not a single
+     *  member, because drains can re-enter (abort paths). */
+    std::vector<std::vector<Msg>> msgScratchPool_;
 };
 
 } // namespace invisifence

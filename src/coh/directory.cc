@@ -13,14 +13,38 @@ DirectorySlice::DirectorySlice(NodeId node, std::uint32_t num_nodes,
     : node_(node), numNodes_(num_nodes), net_(net), eq_(eq), mem_(mem),
       params_(params)
 {
-    net_.attach(node_, Unit::Directory,
-                [this](const Msg& m) { deliver(m); });
+    net_.attachDirectory(node_, this);
 }
 
 DirectorySlice::DirEntry&
 DirectorySlice::entry(Addr block)
 {
     return dir_[blockAlign(block)];
+}
+
+DirectorySlice::BlockHome&
+DirectorySlice::home(Addr block)
+{
+    bool created = false;
+    BlockHome& h = home_.getOrCreate(blockAlign(block), &created);
+    if (created) {
+        // Recycled entries carry stale fields; the queue's clear() keeps
+        // its ring storage.
+        h.busy = false;
+        h.txnActive = false;
+        h.waiting.clear();
+    }
+    return h;
+}
+
+void
+DirectorySlice::maybeRecycleHome(Addr block)
+{
+    const Addr blk = blockAlign(block);
+    if (const BlockHome* h = home_.find(blk)) {
+        if (!h->busy && !h->txnActive && h->waiting.empty())
+            home_.recycle(blk);
+    }
 }
 
 DirectorySlice::EntryView
@@ -62,27 +86,31 @@ DirectorySlice::deliver(const Msg& msg)
         handleResponse(msg);
         return;
     }
-    const Addr block = msg.blockAddr;
-    if (busy_.count(block)) {
-        waiting_[block].push_back(msg);
+    BlockHome& h = home(msg.blockAddr);
+    if (h.busy) {
+        h.waiting.push_back(msg);
         ++waitingTotal_;
         ++statQueuedRequests;
         return;
     }
-    busy_.insert(block);
+    h.busy = true;
+    ++busyBlocks_;
     eq_.schedule(params_.procLatency, [this, msg]() { startTxn(msg); });
 }
 
 void
 DirectorySlice::startNextIfQueued(Addr block)
 {
-    auto it = waiting_.find(block);
-    if (it == waiting_.end() || it->second.empty()) {
-        busy_.erase(block);
+    BlockHome* h = home_.find(blockAlign(block));
+    assert(h && h->busy && "finishing a transaction with no home state");
+    if (h->waiting.empty()) {
+        h->busy = false;
+        --busyBlocks_;
+        maybeRecycleHome(block);
         return;
     }
-    const Msg next = it->second.front();
-    it->second.pop_front();
+    const Msg next = h->waiting.front();
+    h->waiting.pop_front();
     --waitingTotal_;
     eq_.schedule(params_.procLatency, [this, next]() { startTxn(next); });
 }
@@ -102,8 +130,12 @@ DirectorySlice::startTxn(const Msg& req)
         break;
     }
 
-    assert(!txns_.count(req.blockAddr));
-    Txn& txn = txns_[req.blockAddr];
+    BlockHome& h = home(req.blockAddr);
+    assert(!h.txnActive && "transaction already active on block");
+    h.txnActive = true;
+    ++activeTxns_;
+    h.txn = Txn{};
+    Txn& txn = h.txn;
     txn.req = req;
 
     if (req.type == MsgType::GetS) {
@@ -216,10 +248,10 @@ DirectorySlice::beginMemRead(Addr block)
 {
     ++statMemReads;
     eq_.schedule(params_.memLatency, [this, block]() {
-        auto it = txns_.find(blockAlign(block));
-        if (it == txns_.end())
+        BlockHome* h = home_.find(blockAlign(block));
+        if (!h || !h->txnActive)
             return;    // transaction satisfied by owner data instead
-        Txn& txn = it->second;
+        Txn& txn = h->txn;
         txn.memDone = true;
         if (!txn.dataFromOwner) {
             txn.data = mem_.readBlock(block);
@@ -232,13 +264,13 @@ DirectorySlice::beginMemRead(Addr block)
 void
 DirectorySlice::handleResponse(const Msg& msg)
 {
-    auto it = txns_.find(blockAlign(msg.blockAddr));
-    if (it == txns_.end()) {
+    BlockHome* h = home_.find(blockAlign(msg.blockAddr));
+    if (!h || !h->txnActive) {
         IF_PANIC("response %s with no active txn blk=%llx",
                  msgTypeName(msg.type).data(),
                  static_cast<unsigned long long>(msg.blockAddr));
     }
-    Txn& txn = it->second;
+    Txn& txn = h->txn;
     switch (msg.type) {
       case MsgType::InvAck:
         assert(txn.pendingAcks > 0);
@@ -263,10 +295,10 @@ DirectorySlice::handleResponse(const Msg& msg)
 void
 DirectorySlice::maybeFinish(Addr block)
 {
-    auto it = txns_.find(blockAlign(block));
-    if (it == txns_.end())
+    BlockHome* h = home_.find(blockAlign(block));
+    if (!h || !h->txnActive)
         return;
-    Txn& txn = it->second;
+    Txn& txn = h->txn;
     if (txn.needMem && !txn.memDone && !txn.dataFromOwner)
         return;
     if (txn.pendingAcks > 0)
@@ -279,7 +311,8 @@ DirectorySlice::maybeFinish(Addr block)
         finishGetS(txn, e);
     else
         finishGetM(txn, e);
-    txns_.erase(blockAlign(block));
+    h->txnActive = false;
+    --activeTxns_;
     startNextIfQueued(block);
 }
 

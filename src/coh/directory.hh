@@ -9,20 +9,25 @@
  * exactly the two properties the paper's consistency implementations need
  * from the memory system (Section 2.1): serialization of writes to each
  * address, and an acknowledgment when each store miss completes.
+ *
+ * Transient per-block state (busy flag, active transaction, waiting FIFO)
+ * lives in one recycled map entry per block — a single hash lookup per
+ * protocol step, and the entry's node plus its queue storage are pooled
+ * and reused across transactions, so the steady state allocates nothing.
  */
 
 #ifndef INVISIFENCE_COH_DIRECTORY_HH
 #define INVISIFENCE_COH_DIRECTORY_HH
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "coh/message.hh"
 #include "coh/network.hh"
 #include "mem/functional_mem.hh"
 #include "sim/event_queue.hh"
+#include "sim/recycling_map.hh"
+#include "sim/ring_deque.hh"
 #include "sim/types.hh"
 
 namespace invisifence {
@@ -56,7 +61,7 @@ class DirectorySlice
     bool
     quiescent() const
     {
-        return txns_.empty() && waitingTotal_ == 0 && busy_.empty();
+        return activeTxns_ == 0 && waitingTotal_ == 0 && busyBlocks_ == 0;
     }
 
     // Directory-visible state of a block, for tests and the checker.
@@ -104,7 +109,25 @@ class DirectorySlice
         bool dataDirty = false;
     };
 
+    /**
+     * Transient home-side state of one block. Recycled wholesale
+     * (including the waiting queue's storage); every field is reset on
+     * reuse by resetHome().
+     */
+    struct BlockHome
+    {
+        bool busy = false;       //!< txn in flight or scheduled to start
+        bool txnActive = false;  //!< txn holds a live transaction
+        Txn txn{};
+        RingDeque<Msg> waiting;  //!< FIFO of queued requests
+    };
+
     DirEntry& entry(Addr block);
+
+    /** Transient state for @p block, created (reset) on demand. */
+    BlockHome& home(Addr block);
+    /** Drop @p block's transient entry if it went fully idle. */
+    void maybeRecycleHome(Addr block);
 
     void startNextIfQueued(Addr block);
     void startTxn(const Msg& req);
@@ -128,11 +151,10 @@ class DirectorySlice
     DirectoryParams params_;
 
     std::unordered_map<Addr, DirEntry> dir_;
-    std::unordered_map<Addr, Txn> txns_;
-    std::unordered_map<Addr, std::deque<Msg>> waiting_;
-    /** Blocks with a transaction in flight or scheduled to start. */
-    std::unordered_set<Addr> busy_;
+    RecyclingMap<Addr, BlockHome> home_;
     std::uint64_t waitingTotal_ = 0;
+    std::uint64_t activeTxns_ = 0;
+    std::uint64_t busyBlocks_ = 0;
 };
 
 } // namespace invisifence

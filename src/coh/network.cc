@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "coh/cache_agent.hh"
+#include "coh/directory.hh"
 #include "sim/log.hh"
 
 namespace invisifence {
@@ -14,14 +16,40 @@ Network::Network(EventQueue& eq, const NetworkParams& params,
     if (params_.dimX * params_.dimY < num_nodes)
         IF_FATAL("torus %ux%u too small for %u nodes", params_.dimX,
                  params_.dimY, num_nodes);
-    sinks_.resize(static_cast<std::size_t>(num_nodes) * 2);
+    endpoints_.resize(static_cast<std::size_t>(num_nodes) * 2);
+    eq_.setMsgDispatcher(&Network::dispatchThunk, this);
+}
+
+void
+Network::attachAgent(NodeId node, CacheAgent* agent)
+{
+    assert(node < numNodes_ && agent);
+    Endpoint& ep =
+        endpoints_[node * 2 + static_cast<std::size_t>(Unit::Agent)];
+    ep = Endpoint{};
+    ep.agent = agent;
+}
+
+void
+Network::attachDirectory(NodeId node, DirectorySlice* dir)
+{
+    assert(node < numNodes_ && dir);
+    Endpoint& ep =
+        endpoints_[node * 2 + static_cast<std::size_t>(Unit::Directory)];
+    ep = Endpoint{};
+    ep.dir = dir;
 }
 
 void
 Network::attach(NodeId node, Unit unit, Sink sink)
 {
+    // A late attach() replaces whatever was registered (tests intercept
+    // traffic on endpoints whose agent/directory self-registered at
+    // construction), so the typed pointers are cleared too.
     assert(node < numNodes_);
-    sinks_[node * 2 + static_cast<std::size_t>(unit)] = std::move(sink);
+    Endpoint& ep = endpoints_[node * 2 + static_cast<std::size_t>(unit)];
+    ep = Endpoint{};
+    ep.fn = std::move(sink);
 }
 
 std::uint32_t
@@ -48,6 +76,26 @@ Network::delay(NodeId a, NodeId b) const
 }
 
 void
+Network::dispatchThunk(void* ctx, std::uint32_t sink_idx, const Msg& msg)
+{
+    static_cast<Network*>(ctx)->dispatch(sink_idx, msg);
+}
+
+void
+Network::dispatch(std::uint32_t sink_idx, const Msg& msg)
+{
+    Endpoint& ep = endpoints_[sink_idx];
+    if (ep.agent) {
+        ep.agent->deliver(msg);
+    } else if (ep.dir) {
+        ep.dir->deliver(msg);
+    } else {
+        assert(ep.fn && "message dispatched to unattached endpoint");
+        ep.fn(msg);
+    }
+}
+
+void
 Network::send(const Msg& msg)
 {
     assert(msg.src < numNodes_ && msg.dst < numNodes_);
@@ -55,9 +103,10 @@ Network::send(const Msg& msg)
     if (msg.hasData)
         ++statDataMessages;
     statTotalHops += hops(msg.src, msg.dst);
-    const std::size_t idx =
-        msg.dst * 2 + static_cast<std::size_t>(msg.dstUnit);
-    assert(sinks_[idx] && "message sent to unattached endpoint");
+    const std::uint32_t idx = static_cast<std::uint32_t>(
+        msg.dst * 2 + static_cast<std::uint32_t>(msg.dstUnit));
+    assert(endpoints_[idx].attached() &&
+           "message sent to unattached endpoint");
     IF_TRACE("net: %s blk=%llx %u->%u", msgTypeName(msg.type).data(),
              static_cast<unsigned long long>(msg.blockAddr), msg.src,
              msg.dst);
@@ -67,8 +116,10 @@ Network::send(const Msg& msg)
     // only mutate directory state and send further (tagged) messages.
     const std::uint32_t wake =
         msg.dstUnit == Unit::Agent ? msg.dst : kNoWakeNode;
-    eq_.schedule(delay(msg.src, msg.dst),
-                 [this, idx, msg]() { sinks_[idx](msg); }, wake);
+    // One copy, parameter -> pooled event slot (the old path copied the
+    // Msg a second time into a heap-allocated closure, node-local
+    // deliveries included).
+    eq_.scheduleMsg(delay(msg.src, msg.dst), idx, msg, wake);
 }
 
 } // namespace invisifence

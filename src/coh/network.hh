@@ -8,6 +8,13 @@
  * insertion order at equal ticks, delivery is FIFO per pair — an ordering
  * property the directory protocol relies on (an agent's PutM can never be
  * overtaken by its own later GetM).
+ *
+ * Delivery is devirtualized: endpoints are a flat dispatch table of typed
+ * pointers (CacheAgent / DirectorySlice, whose deliver() members are
+ * called directly), not per-endpoint std::function sinks, and send()
+ * moves the Msg once into the event queue's pooled slot instead of
+ * copying it into a heap-allocated closure. A std::function fallback
+ * remains for tests that attach custom sinks.
  */
 
 #ifndef INVISIFENCE_COH_NETWORK_HH
@@ -23,6 +30,9 @@
 
 namespace invisifence {
 
+class CacheAgent;
+class DirectorySlice;
+
 /** Parameters of the torus. */
 struct NetworkParams
 {
@@ -35,8 +45,9 @@ struct NetworkParams
 /**
  * Message fabric connecting cache agents and directory slices.
  *
- * Endpoints register a delivery sink per (node, unit); send() computes the
- * topological delay and schedules delivery on the shared event queue.
+ * Endpoints register themselves per (node, unit); send() computes the
+ * topological delay and schedules a pooled message-delivery event on the
+ * shared event queue.
  */
 class Network
 {
@@ -46,7 +57,12 @@ class Network
     Network(EventQueue& eq, const NetworkParams& params,
             std::uint32_t num_nodes);
 
-    /** Register the receiver for (node, unit). */
+    /** @{ Register the receiver for (node, unit): direct dispatch. */
+    void attachAgent(NodeId node, CacheAgent* agent);
+    void attachDirectory(NodeId node, DirectorySlice* dir);
+    /** @} */
+
+    /** Register a custom std::function sink (tests only; slower path). */
     void attach(NodeId node, Unit unit, Sink sink);
 
     /** Send @p msg; delivery is scheduled after the topological delay. */
@@ -63,10 +79,30 @@ class Network
     std::uint64_t statTotalHops = 0;
 
   private:
+    /** One dispatch-table slot: exactly one of the members is set. */
+    struct Endpoint
+    {
+        CacheAgent* agent = nullptr;
+        DirectorySlice* dir = nullptr;
+        Sink fn;   //!< test-only fallback
+
+        bool
+        attached() const
+        {
+            return agent != nullptr || dir != nullptr ||
+                   static_cast<bool>(fn);
+        }
+    };
+
+    /** EventQueue message dispatcher: direct endpoint call. */
+    static void dispatchThunk(void* ctx, std::uint32_t sink_idx,
+                              const Msg& msg);
+    void dispatch(std::uint32_t sink_idx, const Msg& msg);
+
     EventQueue& eq_;
     NetworkParams params_;
     std::uint32_t numNodes_;
-    std::vector<Sink> sinks_;   //!< indexed by node * 2 + unit
+    std::vector<Endpoint> endpoints_;   //!< indexed by node * 2 + unit
 };
 
 } // namespace invisifence

@@ -1,5 +1,6 @@
 #include "core/invisifence.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "sim/log.hh"
@@ -269,7 +270,7 @@ SpeculativeImpl::conventionalCanRetire(RobEntry& entry)
             return {false, StallKind::SbDrain};
         if (!agent_.l1Writable(addr)) {
             if (!agent_.fetchOutstanding(addr))
-                agent_.request(addr, true, []() {});
+                agent_.request(addr, true);
             return {false, StallKind::SbDrain};
         }
         return {true, StallKind::None};
@@ -313,7 +314,7 @@ SpeculativeImpl::canRetire(RobEntry& entry)
                 return {false, StallKind::SbDrain};
             if (!agent_.l1Writable(addr)) {
                 if (!agent_.fetchOutstanding(addr))
-                    agent_.request(addr, true, []() {});
+                    agent_.request(addr, true);
                 return {false, StallKind::SbDrain};
             }
             return {true, StallKind::None};
@@ -651,16 +652,37 @@ SpeculativeImpl::abortAll()
     agent_.serveDeferred();
 }
 
+bool
+SpeculativeImpl::cleaningPendingContains(Addr block) const
+{
+    return std::find(cleaningPending_.begin(), cleaningPending_.end(),
+                     block) != cleaningPending_.end();
+}
+
+void
+SpeculativeImpl::cleaningPendingErase(Addr block)
+{
+    auto it = std::find(cleaningPending_.begin(), cleaningPending_.end(),
+                        block);
+    if (it != cleaningPending_.end()) {
+        *it = cleaningPending_.back();
+        cleaningPending_.pop_back();
+    }
+}
+
 void
 SpeculativeImpl::drainStoreBuffer()
 {
     int drained = 0;
-    std::unordered_set<Addr> seen;
+    drainSeen_.clear();   // capacity retained; the SB is small
     auto& entries = sb_.entries();
     for (std::size_t i = 0; i < entries.size();) {
         auto& e = entries[i];
         // Only the oldest entry per block may drain (checkpoint order).
-        const bool first = seen.insert(e.blockAddr).second;
+        const bool first = std::find(drainSeen_.begin(), drainSeen_.end(),
+                                     e.blockAddr) == drainSeen_.end();
+        if (first)
+            drainSeen_.push_back(e.blockAddr);
         if (!first || e.held) {
             ++i;
             continue;
@@ -670,7 +692,7 @@ SpeculativeImpl::drainStoreBuffer()
             // permission before this entry drained.
             if (!e.fillRequested ||
                 !agent_.fetchOutstanding(e.blockAddr)) {
-                if (agent_.request(e.blockAddr, true, []() {})) {
+                if (agent_.request(e.blockAddr, true)) {
                     e.fillRequested = true;
                     core_.noteWork();
                 }
@@ -683,19 +705,19 @@ SpeculativeImpl::drainStoreBuffer()
             if (line && line->dirty && !line->specWrittenAny()) {
                 // Preserve the pre-speculative value before the first
                 // speculative byte lands in the L1 (Section 3.2).
-                if (!cleaningPending_.count(e.blockAddr)) {
-                    cleaningPending_.insert(e.blockAddr);
+                if (!cleaningPendingContains(e.blockAddr)) {
+                    cleaningPending_.push_back(e.blockAddr);
                     ++statCleanings;
                     core_.noteWork();
                     const Addr blk = e.blockAddr;
                     agent_.cleanWriteback(blk, [this, blk]() {
-                        cleaningPending_.erase(blk);
+                        cleaningPendingErase(blk);
                     });
                 }
                 ++i;
                 continue;
             }
-            if (cleaningPending_.count(e.blockAddr)) {
+            if (cleaningPendingContains(e.blockAddr)) {
                 ++i;
                 continue;
             }

@@ -28,7 +28,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "cpu/consistency.hh"
@@ -184,7 +183,15 @@ class SpeculativeImpl : public ConsistencyImpl
     bool commitPressure_ = false;
     bool covArmed_ = false;
     Cycle covDeadline_ = 0;
-    std::unordered_set<Addr> cleaningPending_;
+    /** Blocks with a cleaning writeback in flight. A small flat vector
+     *  (bounded by the SB size), not a node-based set: insert/erase per
+     *  cleaned store must not touch the heap. */
+    std::vector<Addr> cleaningPending_;
+    bool cleaningPendingContains(Addr block) const;
+    void cleaningPendingErase(Addr block);
+    /** Per-tick "first entry per block" scratch for drainStoreBuffer
+     *  (reused; a per-call unordered_set allocated every tick). */
+    std::vector<Addr> drainSeen_;
 };
 
 } // namespace invisifence

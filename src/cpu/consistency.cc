@@ -82,7 +82,7 @@ ConventionalFifoImpl::canRetire(RobEntry& entry)
             return {false, StallKind::SbDrain};
         if (!agent_.l1Writable(entry.inst.addr)) {
             if (!agent_.fetchOutstanding(entry.inst.addr))
-                agent_.request(entry.inst.addr, true, []() {});
+                agent_.request(entry.inst.addr, true);
             return {false, StallKind::SbDrain};
         }
         return {true, StallKind::None};
@@ -144,7 +144,7 @@ ConventionalFifoImpl::tick()
         // Issue (or re-issue, if another core stole the permission
         // before the entry drained) the write fetch for the head.
         if (!agent_.fetchOutstanding(head.addr)) {
-            if (agent_.request(head.addr, true, []() {})) {
+            if (agent_.request(head.addr, true)) {
                 head.issued = true;
                 core_.noteWork();
             }
@@ -162,7 +162,7 @@ ConventionalFifoImpl::tick()
                 break;
             if (e.issued || agent_.l1Writable(e.addr))
                 continue;
-            if (agent_.request(e.addr, true, []() {})) {
+            if (agent_.request(e.addr, true)) {
                 e.issued = true;
                 ++prefetches;
                 core_.noteWork();
@@ -227,7 +227,7 @@ ConventionalRmoImpl::canRetire(RobEntry& entry)
             return {false, StallKind::SbDrain};
         if (!agent_.l1Writable(addr)) {
             if (!agent_.fetchOutstanding(addr))
-                agent_.request(addr, true, []() {});
+                agent_.request(addr, true);
             return {false, StallKind::SbDrain};
         }
         return {true, StallKind::None};
@@ -298,7 +298,7 @@ ConventionalRmoImpl::tick()
             }
         } else if (!e.fillRequested ||
                    !agent_.fetchOutstanding(e.blockAddr)) {
-            if (agent_.request(e.blockAddr, true, []() {})) {
+            if (agent_.request(e.blockAddr, true)) {
                 e.fillRequested = true;
                 core_.noteWork();
             }

@@ -95,7 +95,10 @@ Core::retireStage()
             program_.snapshotTo(retiredSnap_);
             halted_ = false;
             rob_.clear();
+            recountRobStates();
         } else {
+            if (h.valueBound && isLoadLike(h.inst.type))
+                --boundLoads_;
             rob_.popHead();
         }
         ++retired;
@@ -116,14 +119,63 @@ Core::retireStage()
 }
 
 void
+Core::recountRobStates()
+{
+    pendingComplete_ = 0;
+    pendingDispatch_ = 0;
+    boundLoads_ = 0;
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        const RobEntry& e = rob_.at(i);
+        if (e.status == RobEntry::Status::Issued && e.valueBound)
+            ++pendingComplete_;
+        if (e.status == RobEntry::Status::Dispatched &&
+            isLoadLike(e.inst.type)) {
+            ++pendingDispatch_;
+        }
+        if (e.valueBound && isLoadLike(e.inst.type))
+            ++boundLoads_;
+    }
+}
+
+#ifndef NDEBUG
+void
+Core::verifyRobCounters() const
+{
+    std::uint32_t complete = 0, dispatch = 0, bound = 0;
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        const RobEntry& e = rob_.at(i);
+        if (e.status == RobEntry::Status::Issued && e.valueBound)
+            ++complete;
+        if (e.status == RobEntry::Status::Dispatched &&
+            isLoadLike(e.inst.type)) {
+            ++dispatch;
+        }
+        if (e.valueBound && isLoadLike(e.inst.type))
+            ++bound;
+    }
+    assert(complete == pendingComplete_ && "pendingComplete_ drifted");
+    assert(dispatch == pendingDispatch_ && "pendingDispatch_ drifted");
+    assert(bound == boundLoads_ && "boundLoads_ drifted");
+}
+#endif
+
+void
 Core::executeStage()
 {
+#ifndef NDEBUG
+    verifyRobCounters();
+#endif
+    // Nothing in flight: skip the window scan entirely (the common case
+    // for a stalled core in the legacy per-cycle loop).
+    if (pendingComplete_ == 0 && pendingDispatch_ == 0)
+        return;
     std::uint32_t issued = 0;
     for (std::size_t i = 0; i < rob_.size(); ++i) {
         RobEntry& e = rob_.at(i);
         if (e.status == RobEntry::Status::Issued && e.valueBound &&
             e.readyAt <= now_) {
             e.status = RobEntry::Status::Done;
+            --pendingComplete_;
             noteWork();
             if (isLoadLike(e.inst.type))
                 impl_->onLoadExecuted(e);
@@ -194,10 +246,15 @@ Core::forwardFromRob(std::size_t idx, Addr addr) const
 void
 Core::bindLoadValue(RobEntry& entry, std::uint64_t value, Cycle ready)
 {
+    assert(entry.status == RobEntry::Status::Dispatched &&
+           isLoadLike(entry.inst.type));
     entry.result = value;
     entry.valueBound = true;
     entry.status = RobEntry::Status::Issued;
     entry.readyAt = ready;
+    --pendingDispatch_;
+    ++pendingComplete_;
+    ++boundLoads_;
 }
 
 bool
@@ -232,7 +289,7 @@ Core::tryIssueLoad(std::size_t idx)
         if (isAtomic(e.inst.type) && params_.storePrefetch &&
             !agent_.l1Writable(addr) && !e.prefetched) {
             e.prefetched = true;
-            agent_.request(addr, true, []() {});
+            agent_.request(addr, true);
         }
         return true;
     }
@@ -253,11 +310,13 @@ Core::tryIssueLoad(std::size_t idx)
                 // The block was stolen before the (possibly deferred)
                 // fill completed: replay the issue.
                 e2.status = RobEntry::Status::Dispatched;
+                ++pendingDispatch_;
                 return;
             }
             e2.result = agent_.readWordL1(addr);
             e2.valueBound = true;
             e2.status = RobEntry::Status::Done;
+            ++boundLoads_;
             if (isLoadLike(e2.inst.type))
                 impl_->onLoadExecuted(e2);
         });
@@ -266,6 +325,7 @@ Core::tryIssueLoad(std::size_t idx)
     e.status = RobEntry::Status::Issued;
     e.valueBound = false;
     e.readyAt = ~Cycle{0};
+    --pendingDispatch_;
     ++statLoadMisses;
     return true;
 }
@@ -295,6 +355,7 @@ Core::dispatchStage()
             e.status = RobEntry::Status::Issued;
             e.valueBound = true;
             e.readyAt = now_ + inst.latency;
+            ++pendingComplete_;
             break;
           case OpType::Nop:
           case OpType::Fence:
@@ -304,13 +365,14 @@ Core::dispatchStage()
             e.status = RobEntry::Status::Done;
             if (params_.storePrefetch && !agent_.l1Writable(inst.addr)) {
                 e.prefetched = true;
-                agent_.request(inst.addr, true, []() {});
+                agent_.request(inst.addr, true);
             }
             break;
           case OpType::Load:
           case OpType::Cas:
           case OpType::FetchAdd:
             e.status = RobEntry::Status::Dispatched;
+            ++pendingDispatch_;
             break;
           case OpType::Halt:
             break;
@@ -325,6 +387,7 @@ Core::rollbackTo(const ProgSnapshot& snap, InstSeq last_valid_seq)
     program_.restoreFrom(snap);
     retiredSnap_ = snap;
     rob_.clear();
+    recountRobStates();
     halted_ = false;
     ++flushEpoch_;
     noteWork();
@@ -338,6 +401,10 @@ Core::rollbackTo(const ProgSnapshot& snap, InstSeq last_valid_seq)
 void
 Core::notifyInvalidated(Addr block)
 {
+    // No value-bound loads in the window: nothing to snoop (skips the
+    // ROB scan on the invalidation-heavy path).
+    if (boundLoads_ == 0)
+        return;
     const Addr blk = blockAlign(block);
     for (std::size_t i = 0; i < rob_.size(); ++i) {
         RobEntry& e = rob_.at(i);
@@ -352,6 +419,7 @@ Core::notifyInvalidated(Addr block)
         e.status = RobEntry::Status::Dispatched;
         e.valueBound = false;
         e.readyAt = 0;
+        recountRobStates();
         ++statLqSquashes;
         ++flushEpoch_;
         noteWork();

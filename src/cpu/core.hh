@@ -184,6 +184,25 @@ class Core
 
     void bindLoadValue(RobEntry& entry, std::uint64_t value, Cycle ready);
 
+    /**
+     * @{ Execute-stage occupancy counters, maintained at every status
+     * transition so the per-tick ROB scans can be skipped when nothing
+     * is in flight: pendingComplete_ counts Issued entries with a bound
+     * value (awaiting readyAt), pendingDispatch_ counts dispatched
+     * load-likes awaiting issue, and boundLoads_ counts value-bound
+     * load-likes (the in-window load queue the invalidation snoop
+     * searches). Squashes recount wholesale (rare); a debug build
+     * verifies the counters against a full scan every tick.
+     */
+    void recountRobStates();
+#ifndef NDEBUG
+    void verifyRobCounters() const;
+#endif
+    std::uint32_t pendingComplete_ = 0;
+    std::uint32_t pendingDispatch_ = 0;
+    std::uint32_t boundLoads_ = 0;
+    /** @} */
+
     NodeId id_;
     CoreParams params_;
     CacheAgent& agent_;

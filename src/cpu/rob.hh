@@ -11,7 +11,8 @@
 #define INVISIFENCE_CPU_ROB_HH
 
 #include <cstdint>
-#include <deque>
+#include <type_traits>
+#include <vector>
 
 #include "cpu/instruction.hh"
 #include "cpu/program.hh"
@@ -44,58 +45,88 @@ struct RobEntry
     std::uint32_t specCtx = kNoSpecCtx;  //!< checkpoint the bit belongs to
 };
 
+static_assert(std::is_trivially_copyable_v<RobEntry>,
+              "RobEntry must stay POD: the ROB is a preallocated ring");
+
 /**
- * In-order window of RobEntry. A thin wrapper over std::deque kept small
- * so squash paths stay obvious.
+ * In-order window of RobEntry: a fixed ring over preallocated slots.
+ *
+ * The previous std::deque representation allocated a chunk per entry
+ * (RobEntry is larger than a deque node), putting a malloc/free pair on
+ * every dispatch/retire — the per-instruction hot path. The ring is
+ * allocated once at construction and recycled forever.
  */
 class Rob
 {
   public:
-    explicit Rob(std::uint32_t capacity) : capacity_(capacity) {}
+    explicit Rob(std::uint32_t capacity)
+        : capacity_(capacity), slots_(capacity)
+    {}
 
-    bool full() const { return entries_.size() >= capacity_; }
-    bool empty() const { return entries_.empty(); }
-    std::size_t size() const { return entries_.size(); }
+    bool full() const { return size_ >= capacity_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
     std::uint32_t capacity() const { return capacity_; }
 
-    RobEntry& head() { return entries_.front(); }
-    const RobEntry& head() const { return entries_.front(); }
+    RobEntry& head() { return slots_[head_]; }
+    const RobEntry& head() const { return slots_[head_]; }
 
     RobEntry&
     push()
     {
-        entries_.emplace_back();
-        return entries_.back();
+        return slots_[slot(size_++)];
     }
 
-    void popHead() { entries_.pop_front(); }
+    void
+    popHead()
+    {
+        ++head_;
+        if (head_ >= capacity_)
+            head_ = 0;
+        --size_;
+    }
 
     /** Remove every entry strictly younger than index @p idx. */
     void
     squashAfter(std::size_t idx)
     {
-        entries_.resize(idx + 1);
+        size_ = idx + 1;
     }
 
-    void clear() { entries_.clear(); }
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
 
-    RobEntry& at(std::size_t i) { return entries_[i]; }
-    const RobEntry& at(std::size_t i) const { return entries_[i]; }
+    RobEntry& at(std::size_t i) { return slots_[slot(i)]; }
+    const RobEntry& at(std::size_t i) const { return slots_[slot(i)]; }
 
     /** Index of the entry with sequence number @p seq, or -1. */
     std::ptrdiff_t
     indexOf(InstSeq seq) const
     {
-        for (std::size_t i = 0; i < entries_.size(); ++i) {
-            if (entries_[i].seq == seq)
+        for (std::size_t i = 0; i < size_; ++i) {
+            if (at(i).seq == seq)
                 return static_cast<std::ptrdiff_t>(i);
         }
         return -1;
     }
 
   private:
+    /** Ring index without an integer division: i < capacity always. */
+    std::size_t
+    slot(std::size_t i) const
+    {
+        const std::size_t s = head_ + i;
+        return s < capacity_ ? s : s - capacity_;
+    }
+
     std::uint32_t capacity_;
-    std::deque<RobEntry> entries_;
+    std::vector<RobEntry> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
 };
 
 } // namespace invisifence

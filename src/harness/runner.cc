@@ -41,6 +41,22 @@ envOr(const char* name, std::uint64_t unset, std::uint64_t lo,
     return text ? parseEnvInt(name, text, lo, hi) : unset;
 }
 
+/** Strictly parse @p text as a real number in [@p lo, @p hi]. */
+double
+parseEnvFrac(const char* name, const char* text, double lo, double hi)
+{
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (text[0] == '\0' || (text[0] != '.' && (text[0] < '0' ||
+        text[0] > '9')) || end == text || *end != '\0' ||
+        errno == ERANGE || v < lo || v > hi) {
+        IF_FATAL("%s='%s' is not a number in [%g, %g]", name, text, lo,
+                 hi);
+    }
+    return v;
+}
+
 BenchEnv
 parseBenchEnv()
 {
@@ -56,6 +72,10 @@ parseBenchEnv()
         envOr("INVISIFENCE_FUZZ_PROGRAMS", 200, 1, 1'000'000));
     if (const char* path = std::getenv("INVISIFENCE_BENCH_JSON"))
         e.jsonPath = path;
+    if (const char* frac = std::getenv("INVISIFENCE_WARM_SHARERS")) {
+        e.warmSharers =
+            parseEnvFrac("INVISIFENCE_WARM_SHARERS", frac, 0.0, 1.0);
+    }
     return e;
 }
 
@@ -135,12 +155,38 @@ sample(System& sys)
 
 } // namespace
 
+std::uint32_t
+warmSharerMask(Addr block, std::uint32_t num_nodes, double sharer_fraction)
+{
+    const std::uint32_t all_mask =
+        num_nodes >= 32 ? ~0u : ((1u << num_nodes) - 1);
+    if (sharer_fraction <= 0.0 || sharer_fraction >= 1.0)
+        return all_mask;
+    // ceil(fraction * n), clamped to [1, n]: at least one sharer, and a
+    // fraction of 1.0 degenerates to the legacy everywhere mask above.
+    std::uint32_t k = static_cast<std::uint32_t>(
+        sharer_fraction * num_nodes + 0.999999);
+    if (k < 1)
+        k = 1;
+    if (k > num_nodes)
+        k = num_nodes;
+    // Deterministic, block-dependent subset: k consecutive nodes
+    // starting at the block's hash. Consecutive is a fine stand-in for
+    // the sparse sharer sets a real warm checkpoint would record; what
+    // matters for the Inv storm is the count, not the identity.
+    const std::uint32_t start =
+        static_cast<std::uint32_t>(block >> kBlockShift) % num_nodes;
+    std::uint32_t mask = 0;
+    for (std::uint32_t i = 0; i < k; ++i)
+        mask |= 1u << ((start + i) % num_nodes);
+    return mask;
+}
+
 void
-warmSystem(System& sys, const SyntheticParams& params)
+warmSystem(System& sys, const SyntheticParams& params,
+           double sharer_fraction)
 {
     const std::uint32_t n = sys.numCores();
-    const std::uint32_t all_mask =
-        n >= 32 ? ~0u : ((1u << n) - 1);
     const BlockData zero{};
     // Never prime more than fits comfortably: overflowing the L2 here
     // would trigger an eviction storm before the run even starts.
@@ -149,10 +195,16 @@ warmSystem(System& sys, const SyntheticParams& params)
     const std::uint32_t priv_cap = l2_blocks / 2;
     const std::uint32_t shared_cap = l2_blocks / 4;
 
-    const auto prime_shared_everywhere = [&](Addr block) {
-        for (std::uint32_t t = 0; t < n; ++t)
-            sys.agent(t).primeBlock(block, CoherenceState::Shared, zero);
-        sys.directory(homeOf(block, n)).primeShared(block, all_mask);
+    const auto prime_shared = [&](Addr block) {
+        const std::uint32_t mask =
+            warmSharerMask(block, n, sharer_fraction);
+        for (std::uint32_t t = 0; t < n; ++t) {
+            if (mask & (1u << t)) {
+                sys.agent(t).primeBlock(block, CoherenceState::Shared,
+                                        zero);
+            }
+        }
+        sys.directory(homeOf(block, n)).primeShared(block, mask);
     };
 
     // Private working sets: Exclusive at their owning core.
@@ -168,16 +220,16 @@ warmSystem(System& sys, const SyntheticParams& params)
         }
     }
 
-    // Shared region and lock words: Shared everywhere.
+    // Shared region and lock words: Shared at the (full or
+    // sharer-precise) warm sharer set.
     const std::uint32_t shared =
         std::min<std::uint32_t>(params.sharedBlocks, shared_cap);
     for (std::uint32_t b = 0; b < shared; ++b)
-        prime_shared_everywhere(kSharedRegion +
-                                static_cast<Addr>(b) * kBlockBytes);
+        prime_shared(kSharedRegion + static_cast<Addr>(b) * kBlockBytes);
     const std::uint32_t locks =
         std::min<std::uint32_t>(params.numLocks, l2_blocks / 16);
     for (std::uint32_t l = 0; l < locks; ++l)
-        prime_shared_everywhere(lockAddr(l));
+        prime_shared(lockAddr(l));
 
     // Lock-protected data: migratory; start at a round-robin owner.
     for (std::uint32_t l = 0; l < locks; ++l) {
@@ -205,7 +257,7 @@ runExperiment(const Workload& workload, ImplKind kind,
     }
     System sys(cfg.system, std::move(programs), kind);
     if (cfg.warmStart)
-        warmSystem(sys, workload.params);
+        warmSystem(sys, workload.params, benchEnv().warmSharers);
 
     sys.run(cfg.warmupCycles);
     const Counters before = sample(sys);

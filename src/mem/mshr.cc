@@ -33,13 +33,40 @@ MshrFile::allocate(Addr addr, Mshr::Kind k)
         ++statFullStalls;
         return nullptr;
     }
-    active_.emplace_back();
+    // Recycle a freed node when one exists (splice: no allocation);
+    // reused nodes carry stale fields, so reset everything.
+    if (free_.empty()) {
+        active_.emplace_back();
+    } else {
+        active_.splice(active_.end(), free_, free_.begin());
+    }
     Mshr& m = active_.back();
     m.blockAddr = blockAlign(addr);
     m.kind = k;
+    m.wantWrite = false;
+    m.issuedWrite = false;
+    assert(m.readWaiters.empty() && m.writeWaiters.empty());
+    m.readWaiters = WaiterChain{};
+    m.writeWaiters = WaiterChain{};
+    m.wbData = BlockData{};
+    m.wbDirty = false;
+    m.ownershipLost = false;
     ++count_;
     ++statAllocations;
     return &m;
+}
+
+void
+MshrFile::releaseChain(WaiterChain& chain)
+{
+    std::uint32_t idx = chain.head;
+    while (idx != kNoWaiter) {
+        const std::uint32_t next = waiterPool_[idx].next;
+        waiterPool_[idx].next = waiterFree_;
+        waiterFree_ = idx;
+        idx = next;
+    }
+    chain = WaiterChain{};
 }
 
 void
@@ -47,12 +74,59 @@ MshrFile::free(Mshr* m)
 {
     for (auto it = active_.begin(); it != active_.end(); ++it) {
         if (&*it == m) {
-            active_.erase(it);
+            // Defensive: waiters still chained at free time go back to
+            // the slab (normal paths take the chains before freeing).
+            releaseChain(m->readWaiters);
+            releaseChain(m->writeWaiters);
+            free_.splice(free_.end(), active_, it);
             --count_;
             return;
         }
     }
     assert(false && "freeing MSHR not in file");
+}
+
+void
+MshrFile::pushWaiter(WaiterChain& chain, const FillCallback& cb)
+{
+    std::uint32_t idx;
+    if (waiterFree_ != kNoWaiter) {
+        idx = waiterFree_;
+        waiterFree_ = waiterPool_[idx].next;
+    } else {
+        waiterPool_.emplace_back();   // slab growth: warmup only
+        idx = static_cast<std::uint32_t>(waiterPool_.size() - 1);
+    }
+    WaiterNode& node = waiterPool_[idx];
+    node.cb = cb;
+    node.next = kNoWaiter;
+    if (chain.tail == kNoWaiter) {
+        chain.head = idx;
+    } else {
+        waiterPool_[chain.tail].next = idx;
+    }
+    chain.tail = idx;
+}
+
+std::uint32_t
+MshrFile::takeWaiters(WaiterChain& chain)
+{
+    const std::uint32_t head = chain.head;
+    chain = WaiterChain{};
+    return head;
+}
+
+FillCallback
+MshrFile::takeWaiterAndAdvance(std::uint32_t& idx)
+{
+    assert(idx != kNoWaiter);
+    WaiterNode& node = waiterPool_[idx];
+    const FillCallback cb = node.cb;
+    const std::uint32_t next = node.next;
+    node.next = waiterFree_;
+    waiterFree_ = idx;
+    idx = next;
+    return cb;
 }
 
 } // namespace invisifence

@@ -6,20 +6,38 @@
  * cache agent: a fetch (GetS/GetM) or an eviction writeback awaiting its
  * acknowledgment. Requests to the same block merge into one MSHR; waiters
  * are called back when the transaction completes.
+ *
+ * Everything is pooled: freed MSHRs are spliced onto a free list and
+ * recycled, and waiter callbacks live in one shared free-listed slab of
+ * intrusive chain nodes (not per-MSHR vectors, whose capacities would
+ * each have to converge separately) — so the steady state performs no
+ * heap allocation per transaction.
  */
 
 #ifndef INVISIFENCE_MEM_MSHR_HH
 #define INVISIFENCE_MEM_MSHR_HH
 
 #include <cstdint>
-#include <functional>
 #include <list>
 #include <vector>
 
 #include "mem/block.hh"
+#include "sim/inplace_fn.hh"
 #include "sim/types.hh"
 
 namespace invisifence {
+
+/** Sentinel for an empty waiter chain / free-list end. */
+constexpr std::uint32_t kNoWaiter = 0xffffffffu;
+
+/** FIFO chain of waiter-slab indices (head runs first). */
+struct WaiterChain
+{
+    std::uint32_t head = kNoWaiter;
+    std::uint32_t tail = kNoWaiter;
+
+    bool empty() const { return head == kNoWaiter; }
+};
 
 /** One outstanding transaction. */
 struct Mshr
@@ -32,8 +50,8 @@ struct Mshr
     // --- Fetch state ---
     bool wantWrite = false;      //!< some waiter needs write permission
     bool issuedWrite = false;    //!< the in-flight request is a GetM
-    std::vector<std::function<void()>> readWaiters;
-    std::vector<std::function<void()>> writeWaiters;
+    WaiterChain readWaiters;
+    WaiterChain writeWaiters;
 
     // --- Writeback state: data retained until the home acknowledges so
     // the agent can still serve crossing forwards (eviction race). ---
@@ -42,7 +60,10 @@ struct Mshr
     bool ownershipLost = false;  //!< a forward consumed the data already
 };
 
-/** Fixed-capacity pool of MSHRs with block-address lookup. */
+/**
+ * Fixed-capacity pool of MSHRs with block-address lookup and a shared
+ * waiter-callback slab.
+ */
 class MshrFile
 {
   public:
@@ -60,6 +81,24 @@ class MshrFile
     /** Release @p m (must belong to this file). */
     void free(Mshr* m);
 
+    /** Append @p cb to @p chain (slab node from the free list). */
+    void pushWaiter(WaiterChain& chain, const FillCallback& cb);
+
+    /**
+     * Detach @p chain and return its head index (kNoWaiter when empty);
+     * the chain on the MSHR is left empty, so callbacks that re-enter
+     * and push new waiters extend a fresh chain. Walk the detached
+     * chain with takeWaiterAndAdvance().
+     */
+    std::uint32_t takeWaiters(WaiterChain& chain);
+
+    /**
+     * Copy out node @p idx's callback, recycle the node, and advance
+     * @p idx to the next chain entry. The copy is returned so the node
+     * is reusable while the callback runs.
+     */
+    FillCallback takeWaiterAndAdvance(std::uint32_t& idx);
+
     bool full() const { return count_ >= capacity_; }
     std::uint32_t inUse() const { return count_; }
     std::uint32_t capacity() const { return capacity_; }
@@ -68,9 +107,21 @@ class MshrFile
     std::uint64_t statFullStalls = 0;
 
   private:
+    struct WaiterNode
+    {
+        FillCallback cb;
+        std::uint32_t next = kNoWaiter;
+    };
+
+    /** Release every node of @p chain (MSHR freed with waiters). */
+    void releaseChain(WaiterChain& chain);
+
     std::uint32_t capacity_;
     std::uint32_t count_ = 0;
     std::list<Mshr> active_;   //!< stable addresses for outstanding txns
+    std::list<Mshr> free_;     //!< recycled nodes
+    std::vector<WaiterNode> waiterPool_;   //!< shared callback slab
+    std::uint32_t waiterFree_ = kNoWaiter;
 };
 
 } // namespace invisifence

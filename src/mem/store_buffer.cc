@@ -20,9 +20,9 @@ std::optional<std::uint64_t>
 FifoStoreBuffer::forward(Addr addr) const
 {
     const Addr word = wordAlign(addr);
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-        if (it->addr == word)
-            return it->data;
+    for (std::size_t i = entries_.size(); i-- > 0;) {
+        if (entries_[i].addr == word)
+            return entries_[i].data;
     }
     return std::nullopt;
 }

@@ -21,12 +21,12 @@
 #define INVISIFENCE_MEM_STORE_BUFFER_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
 
 #include "mem/block.hh"
+#include "sim/ring_deque.hh"
 #include "sim/types.hh"
 
 namespace invisifence {
@@ -76,8 +76,8 @@ class FifoStoreBuffer
     bool containsBlock(Addr addr) const;
 
     /** Raw age-ordered entries (drain/prefetch logic and tests). */
-    std::deque<Entry>& entries() { return entries_; }
-    const std::deque<Entry>& entries() const { return entries_; }
+    RingDeque<Entry>& entries() { return entries_; }
+    const RingDeque<Entry>& entries() const { return entries_; }
 
     /** Peak-occupancy statistic maintained by push(). */
     std::uint64_t statPeakOccupancy = 0;
@@ -85,7 +85,8 @@ class FifoStoreBuffer
 
   private:
     std::uint32_t capacity_;
-    std::deque<Entry> entries_;
+    /** Ring, not deque: steady push/pop churns no heap chunks. */
+    RingDeque<Entry> entries_;
 };
 
 /** Block-granularity unordered coalescing store buffer. */

@@ -16,7 +16,7 @@ VictimCache::insert(const Entry& e)
     if (entries_.size() >= capacity_) {
         res.displaced = true;
         res.displacedEntry = entries_.front();
-        entries_.pop_front();
+        entries_.erase(entries_.begin());
     }
     entries_.push_back(e);
     return res;

@@ -13,7 +13,7 @@
 #define INVISIFENCE_MEM_VICTIM_CACHE_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "mem/block.hh"
 #include "mem/cache_array.hh"
@@ -60,7 +60,10 @@ class VictimCache
 
   private:
     std::uint32_t capacity_;
-    std::deque<Entry> entries_;
+    /** Age order, oldest first. A vector (16 entries, trivially
+     *  copyable): shifting on FIFO eviction is a small memmove, and the
+     *  storage is allocated once — no per-eviction deque-chunk churn. */
+    std::vector<Entry> entries_;
 };
 
 } // namespace invisifence

@@ -2,7 +2,52 @@
 
 #include <cassert>
 
+#include "sim/log.hh"
+
 namespace invisifence {
+
+std::uint32_t
+EventQueue::allocNode()
+{
+    if (freeHead_ != kNilNode) {
+        const std::uint32_t idx = freeHead_;
+        freeHead_ = pool_[idx].next;
+        return idx;
+    }
+    pool_.emplace_back();
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+Event&
+EventQueue::emplaceSlot(Cycle when, std::uint32_t wake_node)
+{
+    assert(when >= now_ && "scheduling an event in the past");
+    if (when < now_) {
+        // Release-build safety net: clamp to now, but say so once — a
+        // silently rewritten schedule usually means a latency
+        // computation underflowed somewhere upstream.
+        if (!warnedPastSchedule_) {
+            warnedPastSchedule_ = true;
+            IF_LOG("event scheduled in the past (when=%llu < now=%llu); "
+                   "clamping to now (reported once)",
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(now_));
+        }
+        when = now_;
+    }
+    ++nextSeq_;
+    if (size_ == 0 || when < nextTick_)
+        nextTick_ = when;
+    ++size_;
+    const std::uint32_t idx = allocNode();
+    Chain& chain = when - now_ < kWheelSize ? wheel_[when & kWheelMask]
+                                            : far_[when];
+    appendNode(chain, idx);
+    Node& node = pool_[idx];
+    node.ev.when = when;
+    node.ev.wakeNode = wake_node;
+    return node.ev;
+}
 
 Cycle
 EventQueue::nextEventTick() const
@@ -33,28 +78,44 @@ EventQueue::advanceTo(Cycle tick)
         if (t > tick)
             break;
         now_ = t;
-        auto& slot = wheel_[t & kWheelMask];
+        Chain& slot = wheel_[t & kWheelMask];
         // Far-scheduled events predate every wheel append for this tick
         // (the wheel only accepts a tick once now_ is within range, and
-        // now_ is monotonic), so they go first to preserve insertion
-        // order.
+        // now_ is monotonic), so their chain goes first to preserve
+        // insertion order.
         auto far_it = far_.find(t);
         if (far_it != far_.end()) {
-            slot.insert(slot.begin(),
-                        std::make_move_iterator(far_it->second.begin()),
-                        std::make_move_iterator(far_it->second.end()));
+            Chain farc = far_it->second;
             far_.erase(far_it);
+            if (!farc.empty()) {
+                pool_[farc.tail].next = slot.head;
+                if (slot.empty())
+                    slot.tail = farc.tail;
+                slot.head = farc.head;
+            }
         }
-        // Index loop: callbacks may append same-tick events mid-flight.
-        for (std::size_t i = 0; i < slot.size(); ++i) {
-            Event ev = std::move(slot[i]);
+        // Chain walk: each node is copied out and recycled before its
+        // event runs, so callbacks appending same-tick events simply
+        // extend the live chain (possibly reusing the node just freed)
+        // and the walk picks them up in FIFO order.
+        while (!slot.empty()) {
+            const std::uint32_t idx = slot.head;
+            slot.head = pool_[idx].next;
+            if (slot.head == kNilNode)
+                slot.tail = kNilNode;
+            Event ev = pool_[idx].ev;   // memcpy: Event is trivial
+            freeNode(idx);
             --size_;
             ++executed_;
             if (ev.wakeNode != kNoWakeNode && wakeHook_)
                 wakeHook_(ev.wakeNode, ev.when);
-            ev.fn();
+            if (ev.kind == Event::Kind::MsgDelivery) {
+                assert(msgDispatch_ && "message event with no dispatcher");
+                msgDispatch_(msgCtx_, ev.sinkIdx, *ev.msg());
+            } else {
+                ev.invoke(ev.payload);
+            }
         }
-        slot.clear();
         nextTick_ = t + 1;
     }
     now_ = tick;

@@ -9,10 +9,22 @@
  * buckets covering the near future (every latency in the simulated system —
  * network hops, memory, retries — is far below the wheel span), with a
  * sorted overflow map for anything scheduled further out. Scheduling and
- * popping are O(1) appends/moves instead of binary-heap sifts, which
- * matters because coherence traffic makes events the hottest allocation
- * path in the simulator. Within a tick, bucket append order IS insertion
- * order, so the determinism contract needs no explicit sequence numbers.
+ * popping are O(1) appends/moves instead of binary-heap sifts.
+ *
+ * Events are *typed and pooled*: an Event is a fixed-size, trivially
+ * copyable slot holding either a coherence-message delivery
+ * (MsgDelivery: sink index + the Msg itself, moved in once) or a bounded
+ * inline callback — never a std::function, whose closure would heap-
+ * allocate per event. Event/Msg storage is a single free-listed node
+ * slab shared by all buckets: each wheel slot is an intrusive FIFO
+ * chain of pool indices, executed nodes return to the free list, and
+ * the pool's high-water mark is the global maximum of in-flight events
+ * (reached during warmup) rather than a per-bucket one — so steady-
+ * state scheduling and executing events (messages included) performs
+ * zero heap allocations per simulated cycle. Message deliveries are
+ * dispatched through a single registered function pointer (the
+ * Network's devirtualized dispatch table) instead of per-endpoint
+ * std::function sinks.
  */
 
 #ifndef INVISIFENCE_SIM_EVENT_QUEUE_HH
@@ -20,10 +32,14 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <map>
+#include <new>
+#include <type_traits>
 #include <vector>
 
+#include "coh/message.hh"
 #include "sim/types.hh"
 
 namespace invisifence {
@@ -31,13 +47,43 @@ namespace invisifence {
 /** Node tag for events that affect no core (e.g. directory-internal). */
 constexpr std::uint32_t kNoWakeNode = 0xffffffffu;
 
-/** A single scheduled callback. */
+/**
+ * Inline payload capacity of an Event. Sized for the largest scheduled
+ * closure in the simulator: the directory's transaction-start callback,
+ * which carries a full Msg plus its `this` pointer.
+ */
+constexpr std::size_t kEventInlineBytes = sizeof(Msg) + 2 * sizeof(void*);
+
+/**
+ * One scheduled event: a tagged, fixed-size, trivially copyable slot.
+ *
+ * kind == MsgDelivery: payload holds a Msg; sinkIdx names the endpoint in
+ * the owning Network's dispatch table. kind == Callback: payload holds a
+ * trivially-copyable closure invoked through the stored thunk.
+ */
 struct Event
 {
+    enum class Kind : std::uint8_t { Callback, MsgDelivery };
+
     Cycle when = 0;
+    void (*invoke)(void*) = nullptr;       //!< Callback thunk
     std::uint32_t wakeNode = kNoWakeNode;  //!< core to wake on execute
-    std::function<void()> fn;
+    std::uint32_t sinkIdx = 0;             //!< MsgDelivery endpoint
+    Kind kind = Kind::Callback;
+    alignas(std::max_align_t) unsigned char payload[kEventInlineBytes];
+
+    Msg*
+    msg()
+    {
+        assert(kind == Kind::MsgDelivery);
+        return std::launder(reinterpret_cast<Msg*>(payload));
+    }
 };
+
+static_assert(std::is_trivially_copyable_v<Event>,
+              "Event slots must move with memcpy (pooled storage)");
+static_assert(std::is_trivially_copyable_v<Msg>,
+              "Msg must be storable inline in a pooled Event");
 
 /**
  * Timing-wheel event queue ordered by (tick, insertion order).
@@ -58,32 +104,65 @@ class EventQueue
      * stall cycles settled) before the event runs; events that only
      * touch node-external state (directory transactions) use
      * kNoWakeNode.
+     *
+     * @p fn must be a bounded, trivially copyable closure: it is stored
+     * inline in the pooled event slot (no heap allocation, ever).
      */
+    template <typename F>
     void
-    scheduleAt(Cycle when, std::function<void()> fn,
-               std::uint32_t wake_node = kNoWakeNode)
+    scheduleAt(Cycle when, F fn, std::uint32_t wake_node = kNoWakeNode)
     {
-        assert(when >= now_ && "scheduling an event in the past");
-        if (when < now_)
-            when = now_;   // release-build safety net
-        ++nextSeq_;
-        if (size_ == 0 || when < nextTick_)
-            nextTick_ = when;
-        ++size_;
-        if (when - now_ < kWheelSize) {
-            wheel_[when & kWheelMask].push_back(
-                Event{when, wake_node, std::move(fn)});
-        } else {
-            far_[when].push_back(Event{when, wake_node, std::move(fn)});
-        }
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_trivially_copyable_v<Fn>,
+                      "event closures must be trivially copyable "
+                      "(capture PODs / pointers / references only)");
+        static_assert(sizeof(Fn) <= kEventInlineBytes,
+                      "event closure exceeds the inline payload; shrink "
+                      "the capture or widen kEventInlineBytes");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t));
+        Event& ev = emplaceSlot(when, wake_node);
+        ev.kind = Event::Kind::Callback;
+        ::new (static_cast<void*>(ev.payload)) Fn(std::move(fn));
+        ev.invoke = [](void* buf) {
+            (*std::launder(reinterpret_cast<Fn*>(buf)))();
+        };
     }
 
     /** Schedule @p fn to run @p delay cycles after the current time. */
+    template <typename F>
     void
-    schedule(Cycle delay, std::function<void()> fn,
-             std::uint32_t wake_node = kNoWakeNode)
+    schedule(Cycle delay, F fn, std::uint32_t wake_node = kNoWakeNode)
     {
         scheduleAt(now_ + delay, std::move(fn), wake_node);
+    }
+
+    /**
+     * Schedule delivery of @p msg to dispatch-table endpoint @p sink_idx
+     * after @p delay cycles. The message is copied once, into the pooled
+     * event slot; execution hands it to the registered dispatcher.
+     */
+    void
+    scheduleMsg(Cycle delay, std::uint32_t sink_idx, const Msg& msg,
+                std::uint32_t wake_node = kNoWakeNode)
+    {
+        Event& ev = emplaceSlot(now_ + delay, wake_node);
+        ev.kind = Event::Kind::MsgDelivery;
+        ev.sinkIdx = sink_idx;
+        ::new (static_cast<void*>(ev.payload)) Msg(msg);
+    }
+
+    /**
+     * Devirtualized message delivery: one function pointer + context for
+     * the whole queue (the Network and its endpoint table), replacing a
+     * std::function sink per endpoint.
+     */
+    using MsgDispatch = void (*)(void* ctx, std::uint32_t sink_idx,
+                                 const Msg& msg);
+    void
+    setMsgDispatcher(MsgDispatch fn, void* ctx)
+    {
+        msgDispatch_ = fn;
+        msgCtx_ = ctx;
     }
 
     /**
@@ -123,16 +202,66 @@ class EventQueue
     static constexpr std::uint32_t kWheelBits = 11;
     static constexpr Cycle kWheelSize = Cycle{1} << kWheelBits;
     static constexpr Cycle kWheelMask = kWheelSize - 1;
+    static constexpr std::uint32_t kNilNode = 0xffffffffu;
 
-    /** Bucket of events for one tick of the near future. Pending wheel
-     *  events always have when in [now_, now_ + kWheelSize), so each
-     *  bucket holds at most one tick's events at a time. */
-    std::vector<std::vector<Event>> wheel_;
+    /** One slab slot: an event plus its intrusive chain link. */
+    struct Node
+    {
+        Event ev;
+        std::uint32_t next = kNilNode;
+    };
+
+    /** FIFO chain of pool indices (head runs first). */
+    struct Chain
+    {
+        std::uint32_t head = kNilNode;
+        std::uint32_t tail = kNilNode;
+
+        bool empty() const { return head == kNilNode; }
+    };
+
+    /** Pop a node from the free list (or grow the slab: warmup only). */
+    std::uint32_t allocNode();
+    /** Return a node to the free list. */
+    void
+    freeNode(std::uint32_t idx)
+    {
+        pool_[idx].next = freeHead_;
+        freeHead_ = idx;
+    }
+    /** Append node @p idx to @p chain (FIFO order). */
+    void
+    appendNode(Chain& chain, std::uint32_t idx)
+    {
+        pool_[idx].next = kNilNode;
+        if (chain.tail == kNilNode) {
+            chain.head = idx;
+        } else {
+            pool_[chain.tail].next = idx;
+        }
+        chain.tail = idx;
+    }
+
+    /**
+     * Claim a pooled slot for an event at @p when (common, non-template
+     * bookkeeping behind schedule/scheduleMsg). The caller fills kind
+     * and payload immediately — before any further call that could grow
+     * the slab and invalidate the reference.
+     */
+    Event& emplaceSlot(Cycle when, std::uint32_t wake_node);
+
+    /** The shared event/Msg slab; nodes are free-listed and recycled. */
+    std::vector<Node> pool_;
+    std::uint32_t freeHead_ = kNilNode;
+    /** Per-tick chains for the near future. Pending wheel events always
+     *  have when in [now_, now_ + kWheelSize), so each slot holds at
+     *  most one tick's events at a time. */
+    std::vector<Chain> wheel_;
     /** Events scheduled >= kWheelSize cycles out, ordered by tick. A
-     *  bucket migrates in front of its wheel slot at execution time
+     *  chain migrates in front of its wheel slot at execution time
      *  (far-scheduled events always predate wheel appends for the same
      *  tick, so prepending preserves insertion order). */
-    std::map<Cycle, std::vector<Event>> far_;
+    std::map<Cycle, Chain> far_;
     std::size_t size_ = 0;
     /** Lower bound on the earliest pending tick (lazily advanced). */
     mutable Cycle nextTick_ = 0;
@@ -140,6 +269,9 @@ class EventQueue
     std::uint64_t executed_ = 0;
     Cycle now_ = 0;
     WakeHook wakeHook_;
+    MsgDispatch msgDispatch_ = nullptr;
+    void* msgCtx_ = nullptr;
+    bool warnedPastSchedule_ = false;
 };
 
 } // namespace invisifence

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-capacity, allocation-free callable (an "inplace function").
+ *
+ * std::function heap-allocates any closure larger than its small-object
+ * buffer (16 bytes in libstdc++), which made every load-miss callback and
+ * every scheduled event a malloc/free pair on the simulator's hottest
+ * path. InplaceFn stores the closure inline and *requires* it to be
+ * trivially copyable and bounded, so the whole object is itself trivially
+ * copyable: vectors of callbacks move with memcpy, recycled storage needs
+ * no destructor bookkeeping, and the steady-state event/message path
+ * performs zero heap allocations. Oversized or non-trivial closures are a
+ * compile error — by design; widen N at the use site instead.
+ */
+
+#ifndef INVISIFENCE_SIM_INPLACE_FN_HH
+#define INVISIFENCE_SIM_INPLACE_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace invisifence {
+
+/** Bounded void() closure stored inline; trivially copyable. */
+template <std::size_t N>
+class InplaceFn
+{
+  public:
+    InplaceFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InplaceFn>>>
+    InplaceFn(F f)    // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_trivially_copyable_v<Fn>,
+                      "InplaceFn closures must be trivially copyable "
+                      "(capture PODs / pointers / references only)");
+        static_assert(sizeof(Fn) <= N,
+                      "closure exceeds InplaceFn capacity; widen N");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t));
+        ::new (static_cast<void*>(buf_)) Fn(std::move(f));
+        invoke_ = [](void* buf) { (*std::launder(
+            reinterpret_cast<Fn*>(buf)))(); };
+    }
+
+    void operator()() { invoke_(buf_); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+  private:
+    using Invoke = void (*)(void*);
+    Invoke invoke_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[N];
+};
+
+/** Capacity for cache-fill / writeback completion callbacks. */
+using FillCallback = InplaceFn<32>;
+
+static_assert(std::is_trivially_copyable_v<FillCallback>);
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_SIM_INPLACE_FN_HH

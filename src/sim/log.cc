@@ -44,4 +44,10 @@ warnImpl(const std::string& msg)
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
+void
+logImpl(const std::string& msg)
+{
+    std::fprintf(stderr, "log: %s\n", msg.c_str());
+}
+
 } // namespace invisifence

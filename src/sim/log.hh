@@ -19,6 +19,7 @@ namespace invisifence {
 [[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
 [[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
 void warnImpl(const std::string& msg);
+void logImpl(const std::string& msg);
 
 /** Printf-style formatting into a std::string. */
 std::string strformat(const char* fmt, ...)
@@ -34,6 +35,8 @@ std::string strformat(const char* fmt, ...)
                              ::invisifence::strformat(__VA_ARGS__))
 #define IF_WARN(...) \
     ::invisifence::warnImpl(::invisifence::strformat(__VA_ARGS__))
+#define IF_LOG(...) \
+    ::invisifence::logImpl(::invisifence::strformat(__VA_ARGS__))
 
 #ifdef INVISIFENCE_TRACE
 #define IF_TRACE(...) \

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * unordered_map wrapper that recycles erased nodes instead of freeing
+ * them.
+ *
+ * Directory transactions, per-block request queues, and similar
+ * transient keyed state insert and erase an entry per coherence
+ * transaction; with a plain unordered_map each round trip is a node
+ * malloc/free. RecyclingMap keeps extracted nodes (C++17 node handles)
+ * in a pool and reuses them on the next insert, so once the pool reaches
+ * the concurrency high-water mark the steady state allocates nothing.
+ * Reused mapped values are NOT reset — deliberately, so contained
+ * vectors keep their capacity; callers must reinitialize the fields they
+ * use (a reset()-style contract).
+ */
+
+#ifndef INVISIFENCE_SIM_RECYCLING_MAP_HH
+#define INVISIFENCE_SIM_RECYCLING_MAP_HH
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+namespace invisifence {
+
+/** Keyed transient state with node recycling. */
+template <typename K, typename V>
+class RecyclingMap
+{
+    using Map = std::unordered_map<K, V>;
+
+  public:
+    /** Mapped value for @p key, or nullptr when absent. */
+    V*
+    find(const K& key)
+    {
+        auto it = map_.find(key);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    const V*
+    find(const K& key) const
+    {
+        auto it = map_.find(key);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    /**
+     * Mapped value for @p key, inserting if absent (from the pool when
+     * possible). @p created reports whether a new entry appeared — its
+     * fields then hold recycled garbage and must be reinitialized.
+     */
+    V&
+    getOrCreate(const K& key, bool* created = nullptr)
+    {
+        if (V* v = find(key)) {
+            if (created)
+                *created = false;
+            return *v;
+        }
+        if (created)
+            *created = true;
+        if (!pool_.empty()) {
+            auto node = std::move(pool_.back());
+            pool_.pop_back();
+            node.key() = key;
+            auto res = map_.insert(std::move(node));
+            assert(res.inserted);
+            return res.position->second;
+        }
+        return map_[key];
+    }
+
+    /** Erase @p key, stashing its node for reuse. Must be present. */
+    void
+    recycle(const K& key)
+    {
+        auto node = map_.extract(key);
+        assert(!node.empty() && "recycling an absent key");
+        pool_.push_back(std::move(node));
+    }
+
+    bool contains(const K& key) const { return map_.count(key) != 0; }
+    bool empty() const { return map_.empty(); }
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    Map map_;
+    std::vector<typename Map::node_type> pool_;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_SIM_RECYCLING_MAP_HH

@@ -312,11 +312,35 @@ TEST(Mshr, WaitersAccumulate)
     MshrFile f(4);
     Mshr* m = f.allocate(0x100, Mshr::Kind::Fetch);
     int fired = 0;
-    m->readWaiters.push_back([&]() { ++fired; });
-    m->readWaiters.push_back([&]() { ++fired; });
-    for (auto& fn : m->readWaiters)
-        fn();
+    f.pushWaiter(m->readWaiters, [&]() { ++fired; });
+    f.pushWaiter(m->readWaiters, [&]() { ++fired; });
+    std::uint32_t idx = f.takeWaiters(m->readWaiters);
+    while (idx != kNoWaiter) {
+        FillCallback cb = f.takeWaiterAndAdvance(idx);
+        cb();
+    }
     EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(m->readWaiters.empty());
+}
+
+TEST(Mshr, WaiterSlabRecyclesNodes)
+{
+    // Waiter nodes come from one shared free-listed slab: a second
+    // burst of the same size must reuse the first burst's nodes.
+    MshrFile f(4);
+    for (int round = 0; round < 2; ++round) {
+        Mshr* m = f.allocate(0x200, Mshr::Kind::Fetch);
+        int fired = 0;
+        for (int i = 0; i < 8; ++i)
+            f.pushWaiter(m->readWaiters, [&]() { ++fired; });
+        std::uint32_t idx = f.takeWaiters(m->readWaiters);
+        while (idx != kNoWaiter) {
+            FillCallback cb = f.takeWaiterAndAdvance(idx);
+            cb();
+        }
+        EXPECT_EQ(fired, 8);
+        f.free(m);
+    }
 }
 
 // -------------------------------------------------------- FIFO store buf

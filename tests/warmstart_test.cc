@@ -1,0 +1,235 @@
+/** @file Sharer-precise warm start (INVISIFENCE_WARM_SHARERS).
+ *
+ *  warmSystem's sharer_fraction knob primes shared-region and lock
+ *  blocks at a deterministic subset of nodes instead of
+ *  Shared-everywhere. These tests pin the mask semantics, show the
+ *  intended effect (fewer invalidations per store burst), and — most
+ *  importantly — prove the memory-model invariants still hold when a
+ *  run starts from sparse sharer sets: litmus forbidden outcomes stay
+ *  forbidden, and fastfwd on/off stays bit-identical under the knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "test_util.hh"
+#include "workload/litmus.hh"
+#include "workload/synthetic.hh"
+#include "workload/workloads.hh"
+
+namespace invisifence {
+namespace {
+
+using test::allImplKinds;
+using test::expectIdenticalResults;
+using test::lastLoadOf;
+using test::makeScripted;
+
+std::uint32_t
+popcount(std::uint32_t v)
+{
+    std::uint32_t n = 0;
+    for (; v; v &= v - 1)
+        ++n;
+    return n;
+}
+
+TEST(WarmSharerMask, FractionControlsPopcountDeterministically)
+{
+    const std::uint32_t n = 16;
+    for (const double frac : {0.25, 0.5, 0.75}) {
+        for (std::uint32_t b = 0; b < 64; ++b) {
+            const Addr block = kSharedRegion + b * kBlockBytes;
+            const std::uint32_t mask = warmSharerMask(block, n, frac);
+            EXPECT_EQ(mask, warmSharerMask(block, n, frac));
+            const std::uint32_t expect = static_cast<std::uint32_t>(
+                frac * n + 0.999999);
+            EXPECT_EQ(popcount(mask), expect)
+                << "frac=" << frac << " block=" << b;
+        }
+    }
+    // Degenerate fractions produce the legacy everywhere mask.
+    EXPECT_EQ(warmSharerMask(kSharedRegion, n, 0.0), 0xffffu);
+    EXPECT_EQ(warmSharerMask(kSharedRegion, n, 1.0), 0xffffu);
+    // Tiny fractions never yield an empty sharer set.
+    EXPECT_EQ(popcount(warmSharerMask(kSharedRegion, n, 0.001)), 1u);
+}
+
+TEST(WarmSharers, DirectoryAndAgentsAgreeOnTheSubset)
+{
+    SyntheticParams params;
+    params.privateBlocks = 8;
+    params.sharedBlocks = 8;
+    params.numLocks = 2;
+    SystemParams sp = SystemParams::small(4);
+    std::vector<std::unique_ptr<ThreadProgram>> programs;
+    for (std::uint32_t t = 0; t < sp.numCores; ++t)
+        programs.push_back(std::make_unique<SyntheticProgram>(params, t, 1));
+    System sys(sp, std::move(programs), ImplKind::ConvSC);
+    warmSystem(sys, params, 0.5);
+
+    for (std::uint32_t b = 0; b < params.sharedBlocks; ++b) {
+        const Addr block = kSharedRegion + b * kBlockBytes;
+        const std::uint32_t mask =
+            warmSharerMask(block, sys.numCores(), 0.5);
+        const auto view = sys.directory(homeOf(block, 4)).inspect(block);
+        EXPECT_EQ(view.sharers, mask);
+        for (std::uint32_t t = 0; t < sys.numCores(); ++t) {
+            const bool primed = sys.agent(t).probe(block) !=
+                                CacheAgent::Where::Remote;
+            EXPECT_EQ(primed, (mask & (1u << t)) != 0)
+                << "agent " << t << " block " << b;
+        }
+    }
+}
+
+TEST(WarmSharers, CutsInvalidationsVersusEverywherePriming)
+{
+    // A store to a shared block invalidates every primed sharer: with a
+    // quarter of the sharers primed, the Inv traffic for the same
+    // program must shrink.
+    const auto invalidations = [](double frac) {
+        SyntheticParams params;
+        params.privateBlocks = 8;
+        params.sharedBlocks = 32;
+        params.numLocks = 2;
+        SystemParams sp = SystemParams::small(8);
+        std::vector<std::vector<ScriptOp>> scripts(8);
+        for (std::uint32_t b = 0; b < 32; ++b)
+            scripts[0].push_back(
+                opStore(kSharedRegion + b * kBlockBytes, b + 1));
+        std::vector<std::unique_ptr<ThreadProgram>> programs;
+        for (auto& s : scripts)
+            programs.push_back(
+                std::make_unique<ScriptedProgram>(std::move(s)));
+        System sys(sp, std::move(programs), ImplKind::ConvTSO);
+        warmSystem(sys, params, frac);
+        EXPECT_TRUE(sys.runUntilDone(200000));
+        std::uint64_t invs = 0;
+        for (std::uint32_t n = 0; n < sys.numCores(); ++n)
+            invs += sys.directory(n).statInvalidationsSent;
+        return invs;
+    };
+    const std::uint64_t everywhere = invalidations(0.0);
+    const std::uint64_t quarter = invalidations(0.25);
+    EXPECT_LT(quarter, everywhere);
+    EXPECT_GT(everywhere, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Litmus invariants under sparse warm sharer sets.
+// ---------------------------------------------------------------------
+
+/** Run @p test with its blocks warm-primed at @p frac of the nodes. */
+std::unique_ptr<System>
+runWarmLitmus(const LitmusTest& test, ImplKind kind, double frac,
+              std::uint32_t jitter)
+{
+    std::vector<std::vector<ScriptOp>> scripts;
+    std::uint32_t t = 0;
+    for (const auto& thread : test.threads) {
+        std::vector<ScriptOp> s;
+        const std::uint32_t delay = (jitter * (t + 3) * 7) % 40;
+        for (std::uint32_t d = 0; d < delay; ++d)
+            s.push_back(opAlu(1));
+        for (const auto& op : thread)
+            s.push_back(op);
+        scripts.push_back(std::move(s));
+        ++t;
+    }
+    auto sys = makeScripted(std::move(scripts), kind);
+    // Prime every address the test touches Shared at the sharer-precise
+    // subset (in place of runLitmus's warming loads).
+    const BlockData zero{};
+    const std::uint32_t n = sys->numCores();
+    for (const auto& thread : test.threads) {
+        for (const auto& op : thread) {
+            if (!isMemOp(op.inst.type))
+                continue;
+            const Addr block = blockAlign(op.inst.addr);
+            if (sys->directory(homeOf(block, n)).inspect(block).state !=
+                DirectorySlice::DirState::Idle) {
+                continue;   // already primed
+            }
+            const std::uint32_t mask = warmSharerMask(block, n, frac);
+            for (std::uint32_t node = 0; node < n; ++node) {
+                if (mask & (1u << node)) {
+                    sys->agent(node).primeBlock(
+                        block, CoherenceState::Shared, zero);
+                }
+            }
+            sys->directory(homeOf(block, n)).primeShared(block, mask);
+        }
+    }
+    EXPECT_TRUE(sys->runUntilDone(500000));
+    return sys;
+}
+
+TEST(WarmSharers, LitmusInvariantsHoldUnderSparsePriming)
+{
+    for (const ImplKind kind : allImplKinds()) {
+        for (const double frac : {0.25, 0.5}) {
+            for (std::uint32_t jitter = 0; jitter < 4; ++jitter) {
+                SCOPED_TRACE(std::string(implKindName(kind)) + " frac=" +
+                             std::to_string(frac) + " jitter=" +
+                             std::to_string(jitter));
+                {
+                    // Dekker with full fences: (0, 0) stays forbidden
+                    // under every model.
+                    const LitmusTest t = litmusSbFenced();
+                    auto sys = runWarmLitmus(t, kind, frac, jitter);
+                    const auto r0 =
+                        lastLoadOf(*sys, t.probes[0].thread,
+                                   t.probes[0].addr);
+                    const auto r1 =
+                        lastLoadOf(*sys, t.probes[1].thread,
+                                   t.probes[1].addr);
+                    EXPECT_FALSE(r0 == 0 && r1 == 0)
+                        << "fenced Dekker failure";
+                }
+                {
+                    // Fenced message passing: the data load must see
+                    // the payload.
+                    const LitmusTest t = litmusMpFenced();
+                    auto sys = runWarmLitmus(t, kind, frac, jitter);
+                    EXPECT_EQ(lastLoadOf(*sys, t.probes[0].thread,
+                                         t.probes[0].addr),
+                              1u)
+                        << "fenced MP failure";
+                }
+            }
+        }
+    }
+}
+
+TEST(WarmSharers, FastForwardStaysBitIdenticalUnderTheKnob)
+{
+    // The knob changes the initial coherence state, not the scheduling
+    // contract: fastfwd on/off equivalence must survive it.
+    const Workload& wl = workloadSuite().front();
+    const auto run = [&](int ff) {
+        RunConfig cfg;
+        cfg.warmupCycles = 400;
+        cfg.measureCycles = 2500;
+        cfg.seed = 11;
+        cfg.system = SystemParams::small(4);
+        cfg.system.fastForward = ff;
+        cfg.warmStart = false;   // prime manually with the knob instead
+        std::vector<std::unique_ptr<ThreadProgram>> programs;
+        for (std::uint32_t t = 0; t < cfg.system.numCores; ++t) {
+            programs.push_back(std::make_unique<SyntheticProgram>(
+                wl.params, t, cfg.seed));
+        }
+        System sys(cfg.system, std::move(programs), ImplKind::InvisiSC);
+        warmSystem(sys, wl.params, 0.5);
+        sys.run(cfg.warmupCycles + cfg.measureCycles);
+        return sys.totalRetired();
+    };
+    EXPECT_EQ(run(0), run(1));
+}
+
+} // namespace
+} // namespace invisifence
