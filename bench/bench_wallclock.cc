@@ -28,6 +28,7 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -167,7 +168,10 @@ writeJson(std::ostream& os, const std::vector<Point>& points, Cycle cycles)
 /**
  * Committed-JSON regression check: naive line scan for
  * (config, impl, kcps_fastfwd) triples — the artifact is machine-written
- * with one point per line, so no JSON parser is needed.
+ * with one point per line, so no JSON parser is needed. Prints a
+ * per-point delta table (measured vs committed kcps, absolute delta,
+ * ratio) plus the geomean ratio, so a perfsmoke run shows the shape of
+ * a drift, not just pass/fail.
  */
 bool
 checkAgainst(const std::string& path, const std::vector<Point>& points,
@@ -194,6 +198,9 @@ checkAgainst(const std::string& path, const std::vector<Point>& points,
     };
     bool ok = true;
     int compared = 0;
+    double log_ratio_sum = 0.0;
+    std::printf("  %-6s %-16s %9s %9s %9s %7s\n", "config", "impl",
+                "measured", "committed", "delta", "ratio");
     std::string line;
     while (std::getline(is, line)) {
         const std::string config = field(line, "config");
@@ -211,11 +218,11 @@ checkAgainst(const std::string& path, const std::vector<Point>& points,
                 continue;
             const double ratio = p.kcpsFastfwd / base;
             ++compared;
-            std::printf("  perfcheck %s/%-16s %8.1f vs %8.1f kcps "
-                        "(%.2fx)%s\n",
+            log_ratio_sum += std::log(ratio);
+            std::printf("  %-6s %-16s %9.1f %9.1f %+9.1f %6.2fx%s\n",
                         config.c_str(), impl.c_str(), p.kcpsFastfwd,
-                        base, ratio, ratio < min_ratio ? "  REGRESSED"
-                                                       : "");
+                        base, p.kcpsFastfwd - base, ratio,
+                        ratio < min_ratio ? "  REGRESSED" : "");
             if (ratio < min_ratio)
                 ok = false;
         }
@@ -224,6 +231,9 @@ checkAgainst(const std::string& path, const std::vector<Point>& points,
         std::fprintf(stderr, "perfcheck compared no points\n");
         return false;
     }
+    std::printf("  geomean ratio over %d points: %.2fx (gate: %.2f "
+                "per point)\n",
+                compared, std::exp(log_ratio_sum / compared), min_ratio);
     return ok;
 }
 

@@ -14,17 +14,42 @@
 
 using namespace invisifence;
 
+namespace {
+
+/** Install @p a (victimizing if needed) and return its line. */
+CacheArray::Line
+installBlock(CacheArray& cache, Addr a)
+{
+    if (CacheArray::Line hit = cache.lookup(a))
+        return hit;
+    CacheArray::Line line = cache.findVictim(a);
+    if (line.valid())
+        line.invalidate();
+    line.install(a, CoherenceState::Shared);
+    cache.touch(line);
+    return line;
+}
+
+/** Fill @p cache with 512 random valid blocks, plus block 0 (which the
+ *  pinned-line shapes below probe). */
+void
+populate(CacheArray& cache)
+{
+    Rng rng(1);
+    for (int i = 0; i < 512; ++i) {
+        installBlock(cache,
+                     static_cast<Addr>(rng.below(1024)) * kBlockBytes);
+    }
+    installBlock(cache, 0);
+}
+
+} // namespace
+
 static void
 BM_CacheLookup(benchmark::State& state)
 {
     CacheArray cache(64 * 1024, 2, "bm");
-    Rng rng(1);
-    for (int i = 0; i < 512; ++i) {
-        const Addr a = static_cast<Addr>(rng.below(1024)) * kBlockBytes;
-        CacheLine& line = cache.findVictim(a);
-        line.blockAddr = a;
-        line.state = CoherenceState::Shared;
-    }
+    populate(cache);
     Addr probe = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(cache.lookup(probe));
@@ -33,19 +58,75 @@ BM_CacheLookup(benchmark::State& state)
 }
 BENCHMARK(BM_CacheLookup);
 
+/** The protocol-step shape the MRU way predictor targets: repeated
+ *  same-block lookups resolve on the first predicted tag. */
+static void
+BM_CacheLookupSameBlock(benchmark::State& state)
+{
+    CacheArray cache(64 * 1024, 2, "bm");
+    populate(cache);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.lookup(0));
+}
+BENCHMARK(BM_CacheLookupSameBlock);
+
+/** O(1) revalidation of a generation-stamped handle vs a fresh scan. */
+static void
+BM_CacheHandleResolve(benchmark::State& state)
+{
+    CacheArray cache(64 * 1024, 2, "bm");
+    populate(cache);
+    const CacheArray::Handle h = cache.lookup(0).handle();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.resolve(h));
+}
+BENCHMARK(BM_CacheHandleResolve);
+
+/** Commit with no marked lines: O(marked) means near-free. */
 static void
 BM_FlashClearSpecBits(benchmark::State& state)
 {
     CacheArray cache(64 * 1024, 2, "bm");
+    populate(cache);
     for (auto _ : state)
         cache.flashClearSpecBits(0);
 }
 BENCHMARK(BM_FlashClearSpecBits);
 
+/** Commit with a realistic speculative footprint: mark N lines, flash
+ *  them, per iteration — the cost the per-checkpoint path actually
+ *  pays (plus the marking itself). */
+static void
+BM_FlashClearSpecBitsMarked(benchmark::State& state)
+{
+    CacheArray cache(64 * 1024, 2, "bm");
+    populate(cache);
+    const std::uint32_t marked =
+        static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        for (std::uint32_t i = 0; i < marked; ++i) {
+            CacheArray::Line line =
+                cache.lookup(static_cast<Addr>(i) * kBlockBytes);
+            if (!line) {
+                line = cache.findVictim(static_cast<Addr>(i) *
+                                        kBlockBytes);
+                if (line.valid())
+                    line.invalidate();
+                line.install(static_cast<Addr>(i) * kBlockBytes,
+                             CoherenceState::Shared);
+            }
+            line.setSpecRead(0);
+        }
+        cache.flashClearSpecBits(0);
+    }
+}
+BENCHMARK(BM_FlashClearSpecBitsMarked)->Arg(8)->Arg(64);
+
 static void
 BM_FlashInvalidateSpecWritten(benchmark::State& state)
 {
     CacheArray cache(64 * 1024, 2, "bm");
+    populate(cache);
     for (auto _ : state)
         cache.flashInvalidateSpecWritten(0);
 }

@@ -9,7 +9,9 @@
 #   ./ci.sh perfsmoke  event-queue microbench + bench_wallclock at a
 #                      small budget, failing if kcps_fastfwd regresses
 #                      >25% against the committed BENCH_wallclock.json
-#                      (tolerance sized for a noisy 1-CPU box)
+#                      (tolerance sized for a noisy 1-CPU box); prints a
+#                      per-point kcps delta table + geomean, not just
+#                      pass/fail
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -38,6 +40,11 @@ run_asan() {
     # OFF, the committed golden figures must still be byte-identical and
     # the on/off equivalence suite must pass under sanitizers.
     INVISIFENCE_FASTFWD=0 ctest --test-dir build-asan \
+        --output-on-failure -R '(golden_figures_test|fastforward_test)'
+    # Way-predictor escape hatch: with MRU way prediction forced OFF the
+    # cache arrays take the plain tag scan, and the goldens must still
+    # be byte-identical (prediction is a host-side accelerator only).
+    INVISIFENCE_WAY_PREDICT=0 ctest --test-dir build-asan \
         --output-on-failure -R '(golden_figures_test|fastforward_test)'
 }
 

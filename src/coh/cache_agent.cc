@@ -57,7 +57,7 @@ CacheAgent::probe(Addr addr) const
 {
     if (l1_.lookup(addr))
         return Where::L1;
-    if (vc_.probe(addr) || l2_.lookup(addr))
+    if (vc_.contains(addr) || l2_.lookup(addr))
         return Where::Local;
     return Where::Remote;
 }
@@ -65,41 +65,48 @@ CacheAgent::probe(Addr addr) const
 bool
 CacheAgent::l1Present(Addr addr) const
 {
-    return l1_.lookup(addr) != nullptr;
+    return static_cast<bool>(l1_.lookup(addr));
 }
 
 bool
 CacheAgent::l1Readable(Addr addr) const
 {
-    const CacheLine* l1line = l1_.lookup(addr);
-    if (!l1line)
+    if (!l1_.lookup(addr))
         return false;
-    const CacheLine* l2line = l2_.lookup(addr);
-    return l2line && isValidState(l2line->state);
+    return static_cast<bool>(l2_.lookup(addr));
 }
 
 bool
 CacheAgent::l1Writable(Addr addr) const
 {
-    const CacheLine* l1line = l1_.lookup(addr);
-    if (!l1line)
+    if (!l1_.lookup(addr))
         return false;
-    const CacheLine* l2line = l2_.lookup(addr);
-    return l2line && isWritable(l2line->state);
+    const CacheArray::Line l2line = l2_.lookup(addr);
+    return l2line && isWritable(l2line.state());
 }
 
 bool
 CacheAgent::l1Dirty(Addr addr) const
 {
-    const CacheLine* l1line = l1_.lookup(addr);
-    return l1line && l1line->dirty;
+    const CacheArray::Line l1line = l1_.lookup(addr);
+    return l1line && l1line.dirty();
 }
 
 bool
 CacheAgent::l1SpecWritten(Addr addr) const
 {
-    const CacheLine* l1line = l1_.lookup(addr);
-    return l1line && l1line->specWrittenAny();
+    const CacheArray::Line l1line = l1_.lookup(addr);
+    return l1line && l1line.specWrittenAny();
+}
+
+bool
+CacheAgent::tryReadL1(Addr addr, std::uint64_t* value) const
+{
+    const CacheArray::Line l1line = l1_.lookup(addr);
+    if (!l1line || !l2_.lookup(addr))
+        return false;
+    *value = l1line.data().readWord(blockOffset(wordAlign(addr)));
+    return true;
 }
 
 bool
@@ -126,11 +133,11 @@ CacheAgent::request(Addr addr, bool write, FillCallback cb)
         return true;
     }
 
-    CacheLine* l2line = l2_.lookup(block);
-    if (l2line && isValidState(l2line->state)) {
-        if (!write || isWritable(l2line->state)) {
+    CacheArray::Line l2line = l2_.lookup(block);
+    if (l2line) {
+        if (!write || isWritable(l2line.state())) {
             // Local fill: data and permission both available.
-            const bool vc_hit = vc_.probe(block) != nullptr;
+            const bool vc_hit = vc_.contains(block);
             const Cycle lat =
                 vc_hit ? params_.victimLatency : params_.l2Latency;
             if (vc_hit)
@@ -175,67 +182,95 @@ CacheAgent::request(Addr addr, bool write, FillCallback cb)
 std::uint64_t
 CacheAgent::readWordL1(Addr addr) const
 {
-    const CacheLine* l1line = l1_.lookup(addr);
+    const CacheArray::Line l1line = l1_.lookup(addr);
     assert(l1line && "readWordL1 of absent block");
-    return l1line->data.readWord(blockOffset(wordAlign(addr)));
+    return l1line.data().readWord(blockOffset(wordAlign(addr)));
 }
 
 void
 CacheAgent::writeWordL1(Addr addr, std::uint64_t value, bool speculative,
                         std::uint32_t ctx)
 {
+    writeWordL1(resolveBlock(addr), addr, value, speculative, ctx);
+}
+
+void
+CacheAgent::writeWordL1(const BlockView& view, Addr addr,
+                        std::uint64_t value, bool speculative,
+                        std::uint32_t ctx)
+{
     MaskedBlock mb;
     mb.write(blockOffset(wordAlign(addr)), kWordBytes, value);
-    writeMaskedL1(blockAlign(addr), mb, speculative, ctx);
+    writeMaskedL1(view, mb, speculative, ctx);
 }
 
 void
 CacheAgent::writeMaskedL1(Addr block_addr, const MaskedBlock& data,
                           bool speculative, std::uint32_t ctx)
 {
-    CacheLine* l1line = l1_.lookup(block_addr);
-    CacheLine* l2line = l2_.lookup(block_addr);
-    assert(l1line && l2line && isWritable(l2line->state) &&
+    writeMaskedL1(resolveBlock(block_addr), data, speculative, ctx);
+}
+
+void
+CacheAgent::writeMaskedL1(const BlockView& view, const MaskedBlock& data,
+                          bool speculative, std::uint32_t ctx)
+{
+    const CacheArray::Line l1line = view.l1;
+    const CacheArray::Line l2line = view.l2;
+    assert(l1line && l2line && isWritable(l2line.state()) &&
            "write to non-writable block");
     if (speculative) {
         // The cleaning writeback must already have preserved the
         // pre-speculative value of a dirty block (Section 3.2).
-        assert(!(l1line->dirty && !l1line->specWrittenAny()) &&
+        assert(!(l1line.dirty() && !l1line.specWrittenAny()) &&
                "speculative write to unclean non-speculative dirty block");
         assert(ctx < kMaxCheckpoints);
-        if (!l1line->speculative())
+        if (!l1line.speculative())
             ++specLines_;
-        l1line->specWritten[ctx] = true;
+        l1line.setSpecWritten(ctx);
     }
-    data.applyTo(l1line->data);
-    l1line->dirty = true;
-    l2line->state = CoherenceState::Modified;
-    l1_.touch(*l1line);
+    data.applyTo(l1line.data());
+    l1line.setDirty(true);
+    l2line.setState(CoherenceState::Modified);
+    l1_.touch(l1line);
 }
 
 void
 CacheAgent::setSpecRead(Addr addr, std::uint32_t ctx)
 {
-    CacheLine* l1line = l1_.lookup(addr);
+    const CacheArray::Line l1line = l1_.lookup(addr);
     assert(l1line && "setSpecRead of absent block");
     assert(ctx < kMaxCheckpoints);
-    if (!l1line->speculative())
+    if (!l1line.speculative())
         ++specLines_;
-    l1line->specRead[ctx] = true;
+    l1line.setSpecRead(ctx);
+}
+
+bool
+CacheAgent::markSpecReadIfPresent(Addr addr, std::uint32_t ctx)
+{
+    const CacheArray::Line l1line = l1_.lookup(addr);
+    if (!l1line)
+        return false;
+    assert(ctx < kMaxCheckpoints);
+    if (!l1line.speculative())
+        ++specLines_;
+    l1line.setSpecRead(ctx);
+    return true;
 }
 
 bool
 CacheAgent::cleanWriteback(Addr addr, FillCallback cb)
 {
     const Addr block = blockAlign(addr);
-    CacheLine* l1line = l1_.lookup(block);
-    if (!l1line || !l1line->dirty)
+    const CacheArray::Line l1line = l1_.lookup(block);
+    if (!l1line || !l1line.dirty())
         return false;
     ++statCleanWritebacks;
     eq_.schedule(params_.l2Latency, [this, block, cb]() mutable {
-        CacheLine* line = l1_.lookup(block);
-        if (line && line->dirty && !line->specWrittenAny())
-            syncL2FromL1(block);
+        const CacheArray::Line line = l1_.lookup(block);
+        if (line && line.dirty() && !line.specWrittenAny())
+            syncL2FromL1(line, l2_.lookup(block));
         cb();
     }, node_);
     return true;
@@ -272,11 +307,11 @@ bool
 CacheAgent::tryInstantL1Install(Addr addr)
 {
     const Addr block = blockAlign(addr);
-    CacheLine* l2line = l2_.lookup(block);
-    if (!l2line || !isValidState(l2line->state))
+    CacheArray::Line l2line = l2_.lookup(block);
+    if (!l2line)
         return false;
     vc_.extract(block, nullptr);
-    return installL1(block) != nullptr;
+    return static_cast<bool>(installL1(block, l2line));
 }
 
 void
@@ -317,9 +352,9 @@ CacheAgent::completeLocalFill(Addr block, FillCallback cb, int attempt)
 {
     // Revalidate: an external request may have taken the block away
     // while the fill was pending.
-    CacheLine* l2line = l2_.lookup(block);
-    if (l2line && isValidState(l2line->state)) {
-        if (!installL1(block)) {
+    CacheArray::Line l2line = l2_.lookup(block);
+    if (l2line) {
+        if (!installL1(block, l2line)) {
             // Speculative overflow: wait for the store buffer to drain
             // and the speculation to commit (bounded by a hard abort).
             ++statDeferredFills;
@@ -363,8 +398,8 @@ CacheAgent::finishFill(Addr block, int attempt)
     if (!m)
         return;
 
-    CacheLine* l2line = l2_.lookup(block);
-    if (!l2line || !isValidState(l2line->state)) {
+    CacheArray::Line l2line = l2_.lookup(block);
+    if (!l2line) {
         // Stolen while the install was deferred: reissue the fetch; the
         // next data response restarts this path.
         m->issuedWrite = m->wantWrite;
@@ -373,7 +408,7 @@ CacheAgent::finishFill(Addr block, int attempt)
         return;
     }
 
-    if (!installL1(block)) {
+    if (!installL1(block, l2line)) {
         // Speculative overflow (Section 4.1): defer the fill while the
         // store buffer drains so the speculation can commit, with a
         // bounded fallback to abort for forward progress.
@@ -386,7 +421,7 @@ CacheAgent::finishFill(Addr block, int attempt)
         return;
     }
 
-    const bool writable = isWritable(l2line->state);
+    const bool writable = isWritable(l2line.state());
 
     // Wake readers unconditionally; they only need a valid copy. The
     // chain is detached before running (callbacks may re-enter the
@@ -433,10 +468,15 @@ CacheAgent::handleExternal(const Msg& msg)
     const bool wants_write =
         msg.type == MsgType::FwdGetM || msg.type == MsgType::Inv;
 
-    const CacheLine* l1line = l1_.lookup(block);
+    const CacheArray::Line l1line = l1_.lookup(block);
+    // Pin the resolution BEFORE consulting the listener: an abort
+    // flash-invalidates the frame and bumps its generation, which is
+    // exactly what the revalidation in serveExternal must observe.
+    const CacheArray::Handle l1h =
+        l1line ? l1line.handle() : CacheArray::Handle{};
     const bool conflict =
-        l1line && (l1line->specWrittenAny() ||
-                   (wants_write && l1line->specReadAny()));
+        l1line && (l1line.specWrittenAny() ||
+                   (wants_write && l1line.specReadAny()));
     if (conflict && listener_) {
         const auto action = listener_->onSpecConflict(block, wants_write);
         if (action == CoherenceListener::ExtAction::Defer) {
@@ -447,28 +487,33 @@ CacheAgent::handleExternal(const Msg& msg)
         // The listener committed or aborted; all speculative bits that
         // conflicted are resolved now and serving is safe.
     }
-    serveExternal(msg);
+    serveExternal(msg, l1h);
 }
 
 void
-CacheAgent::serveExternal(const Msg& msg)
+CacheAgent::serveExternal(const Msg& msg, CacheArray::Handle l1h)
 {
     const Addr block = msg.blockAddr;
     ++statExternalServed;
-    CacheLine* l2line = l2_.lookup(block);
-    CacheLine* l1line = l1_.lookup(block);
-    assert(!(l1line && l1line->specWrittenAny()) &&
+    CacheArray::Line l2line = l2_.lookup(block);
+    // O(1) revalidation of the caller's resolution: an abort may have
+    // flash-invalidated the frame (generation mismatch -> null), but
+    // nothing between resolution and service can *install* the block.
+    CacheArray::Line l1line = l1_.resolve(l1h);
+    assert(l1line == l1_.lookup(block) &&
+           "revalidated handle disagrees with a fresh lookup");
+    assert(!(l1line && l1line.specWrittenAny()) &&
            "serving external request from speculatively-written block");
 
     switch (msg.type) {
       case MsgType::FwdGetS: {
-        if (l2line && isValidState(l2line->state)) {
-            syncL2FromL1(block);
-            const bool dirty = l2line->state == CoherenceState::Modified;
-            sendToHome(MsgType::DataToHome, block, &l2line->data, dirty);
+        if (l2line) {
+            syncL2FromL1(l1line, l2line);
+            const bool dirty = l2line.state() == CoherenceState::Modified;
+            sendToHome(MsgType::DataToHome, block, &l2line.data(), dirty);
             // Home writes memory; our retained copy becomes a clean
             // Shared one.
-            l2line->state = CoherenceState::Shared;
+            l2line.setState(CoherenceState::Shared);
         } else if (Mshr* wb = mshrs_.lookup(block, Mshr::Kind::Writeback)) {
             sendToHome(MsgType::DataToHome, block, &wb->wbData,
                        wb->wbDirty);
@@ -480,14 +525,14 @@ CacheAgent::serveExternal(const Msg& msg)
         break;
       }
       case MsgType::FwdGetM: {
-        if (l2line && isValidState(l2line->state)) {
-            syncL2FromL1(block);
-            const bool dirty = l2line->state == CoherenceState::Modified;
-            sendToHome(MsgType::DataToHome, block, &l2line->data, dirty);
+        if (l2line) {
+            syncL2FromL1(l1line, l2line);
+            const bool dirty = l2line.state() == CoherenceState::Modified;
+            sendToHome(MsgType::DataToHome, block, &l2line.data(), dirty);
             if (l1line)
-                l1line->invalidate();
+                l1line.invalidate();
             vc_.invalidate(block);
-            l2line->invalidate();
+            l2line.invalidate();
         } else if (Mshr* wb = mshrs_.lookup(block, Mshr::Kind::Writeback)) {
             sendToHome(MsgType::DataToHome, block, &wb->wbData,
                        wb->wbDirty);
@@ -502,10 +547,10 @@ CacheAgent::serveExternal(const Msg& msg)
       }
       case MsgType::Inv: {
         if (l1line)
-            l1line->invalidate();
+            l1line.invalidate();
         vc_.invalidate(block);
         if (l2line)
-            l2line->invalidate();
+            l2line.invalidate();
         sendToHome(MsgType::InvAck, block, nullptr, false);
         if (listener_)
             listener_->onInvalidateApplied(block);
@@ -543,122 +588,119 @@ CacheAgent::handleWbAck(const Msg& msg)
     mshrs_.free(wb);
 }
 
-CacheLine&
+CacheArray::Line
 CacheAgent::installL2(Addr block, const BlockData& data,
                       CoherenceState state)
 {
-    if (CacheLine* existing = l2_.lookup(block)) {
-        existing->data = data;
-        existing->state = state;
-        l2_.touch(*existing);
-        return *existing;
-    }
-
-    bool forced = false;
-    auto avoid = [this](const CacheLine& line) {
-        const CacheLine* l1line = l1_.lookup(line.blockAddr);
-        return l1line && l1line->speculative();
-    };
-    CacheLine* victim = &l2_.findVictim(block, avoid, &forced);
-    if (forced) {
-        assert(listener_);
-        ++statForcedSpecEvictions;
-        if (!listener_->resolveSpecEviction(victim->blockAddr))
-            listener_->resolveSpecEvictionHard(victim->blockAddr);
-        victim = &l2_.findVictim(block, avoid, &forced);
-        assert(!forced && "speculation unresolved after forced eviction");
-    }
-    if (victim->valid())
-        evictL2Line(*victim);
-
-    victim->blockAddr = blockAlign(block);
-    victim->state = state;
-    victim->dirty = false;
-    victim->data = data;
-    l2_.touch(*victim);
-    return *victim;
-}
-
-CacheLine*
-CacheAgent::installL1(Addr block)
-{
-    CacheLine* l2line = l2_.lookup(block);
-    assert(l2line && isValidState(l2line->state) &&
-           "L1 install without L2 backing (inclusion violated)");
-
-    if (CacheLine* existing = l1_.lookup(block)) {
-        // Refresh data from the L2 only when the L1 copy is clean;
-        // a dirty L1 copy is newer than the L2's.
-        if (!existing->dirty)
-            existing->data = l2line->data;
-        existing->state = l2line->state;
-        l1_.touch(*existing);
+    if (CacheArray::Line existing = l2_.lookup(block)) {
+        existing.data() = data;
+        existing.setState(state);
+        l2_.touch(existing);
         return existing;
     }
 
     bool forced = false;
-    auto avoid = [](const CacheLine& line) { return line.speculative(); };
-    CacheLine* victim = &l1_.findVictim(block, avoid, &forced);
+    const auto avoid = [this](const CacheArray::Line& line) {
+        const CacheArray::Line l1line = l1_.lookup(line.blockAddr());
+        return l1line && l1line.speculative();
+    };
+    CacheArray::Line victim = l2_.findVictim(block, avoid, &forced);
     if (forced) {
         assert(listener_);
         ++statForcedSpecEvictions;
-        if (!listener_->resolveSpecEviction(victim->blockAddr))
-            return nullptr;   // caller defers the fill and retries
-        victim = &l1_.findVictim(block, avoid, &forced);
+        if (!listener_->resolveSpecEviction(victim.blockAddr()))
+            listener_->resolveSpecEvictionHard(victim.blockAddr());
+        victim = l2_.findVictim(block, avoid, &forced);
         assert(!forced && "speculation unresolved after forced eviction");
     }
-    if (victim->valid()) {
-        // Non-speculative L1 victim: propagate dirty data to the L2 and
-        // keep a clean low-latency copy in the victim cache.
-        assert(!victim->speculative());
-        if (victim->dirty)
-            syncL2FromL1(victim->blockAddr);
-        VictimCache::Entry ve;
-        ve.blockAddr = victim->blockAddr;
-        ve.state = victim->state;
-        ve.dirty = false;
-        ve.data = victim->data;
-        vc_.insert(ve);
-        victim->invalidate();
+    if (victim.valid())
+        evictL2Line(victim);
+
+    victim.install(block, state);
+    victim.data() = data;
+    l2_.touch(victim);
+    return victim;
+}
+
+CacheArray::Line
+CacheAgent::installL1(Addr block, CacheArray::Line l2line)
+{
+    assert(l2line && l2line.valid() &&
+           "L1 install without L2 backing (inclusion violated)");
+
+    if (CacheArray::Line existing = l1_.lookup(block)) {
+        // Refresh data from the L2 only when the L1 copy is clean;
+        // a dirty L1 copy is newer than the L2's.
+        if (!existing.dirty())
+            existing.data() = l2line.data();
+        existing.setState(l2line.state());
+        l1_.touch(existing);
+        return existing;
     }
 
-    victim->blockAddr = blockAlign(block);
-    victim->state = l2line->state;
-    victim->dirty = false;
-    victim->data = l2line->data;
-    l1_.touch(*victim);
+    bool forced = false;
+    const auto avoid = [](const CacheArray::Line& line) {
+        return line.speculative();
+    };
+    CacheArray::Line victim = l1_.findVictim(block, avoid, &forced);
+    if (forced) {
+        assert(listener_);
+        ++statForcedSpecEvictions;
+        if (!listener_->resolveSpecEviction(victim.blockAddr()))
+            return {};   // caller defers the fill and retries
+        victim = l1_.findVictim(block, avoid, &forced);
+        assert(!forced && "speculation unresolved after forced eviction");
+    }
+    if (victim.valid()) {
+        // Non-speculative L1 victim: propagate dirty data to the L2 and
+        // keep a clean low-latency copy in the victim cache.
+        assert(!victim.speculative());
+        if (victim.dirty())
+            syncL2FromL1(victim, l2_.lookup(victim.blockAddr()));
+        vc_.insertFrom(victim.blockAddr(), victim.state(),
+                       victim.data());
+        victim.invalidate();
+    }
+
+    victim.install(block, l2line.state());
+    victim.data() = l2line.data();
+    l1_.touch(victim);
     return victim;
 }
 
 void
 CacheAgent::syncL2FromL1(Addr block)
 {
-    CacheLine* l1line = l1_.lookup(block);
-    if (!l1line || !l1line->dirty)
-        return;
-    CacheLine* l2line = l2_.lookup(block);
-    assert(l2line && isWritable(l2line->state) &&
-           "dirty L1 line without writable L2 backing");
-    l2line->data = l1line->data;
-    l2line->state = CoherenceState::Modified;
-    l1line->dirty = false;
+    syncL2FromL1(l1_.lookup(block), l2_.lookup(block));
 }
 
 void
-CacheAgent::evictL2Line(CacheLine& line)
+CacheAgent::syncL2FromL1(CacheArray::Line l1line, CacheArray::Line l2line)
 {
-    const Addr block = line.blockAddr;
+    if (!l1line || !l1line.dirty())
+        return;
+    assert(l2line && isWritable(l2line.state()) &&
+           "dirty L1 line without writable L2 backing");
+    l2line.data() = l1line.data();
+    l2line.setState(CoherenceState::Modified);
+    l1line.setDirty(false);
+}
+
+void
+CacheAgent::evictL2Line(CacheArray::Line line)
+{
+    const Addr block = line.blockAddr();
     ++statL2Evictions;
 
     // Inclusion: purge the L1 copy (speculative lines were resolved by
     // the avoidance logic in installL2) and the victim cache copy.
-    if (CacheLine* l1line = l1_.lookup(block)) {
-        assert(!l1line->speculative());
-        if (l1line->dirty) {
-            line.data = l1line->data;
-            line.state = CoherenceState::Modified;
+    if (CacheArray::Line l1line = l1_.lookup(block)) {
+        assert(!l1line.speculative());
+        if (l1line.dirty()) {
+            line.data() = l1line.data();
+            line.setState(CoherenceState::Modified);
         }
-        l1line->invalidate();
+        l1line.invalidate();
     }
     vc_.invalidate(block);
     if (listener_)
@@ -671,12 +713,12 @@ CacheAgent::evictL2Line(CacheLine& line)
         IF_PANIC("agent %u: MSHR pool exhausted for writeback of %llx",
                  node_, static_cast<unsigned long long>(block));
     }
-    wb->wbData = line.data;
-    wb->wbDirty = line.state == CoherenceState::Modified;
+    wb->wbData = line.data();
+    wb->wbDirty = line.state() == CoherenceState::Modified;
 
-    switch (line.state) {
+    switch (line.state()) {
       case CoherenceState::Modified:
-        sendToHome(MsgType::PutM, block, &line.data, true);
+        sendToHome(MsgType::PutM, block, &line.data(), true);
         break;
       case CoherenceState::Exclusive:
         sendToHome(MsgType::PutE, block, nullptr, false);

@@ -9,6 +9,10 @@
  * with speculative bits never leave the L1 (their eviction forces the
  * listener to resolve the speculation), so external-request conflict
  * checks against L1 bits detect every ordering violation (Section 3.2).
+ *
+ * Protocol steps that need both levels of one block resolve them once
+ * into a BlockView and pass that view (or a generation-stamped handle)
+ * down, instead of re-running the tag scan at every layer.
  */
 
 #ifndef INVISIFENCE_COH_CACHE_AGENT_HH
@@ -59,6 +63,41 @@ class CacheAgent
     enum class Where { L1, Local, Remote };
     Where probe(Addr addr) const;
 
+    /**
+     * Both levels of one block, resolved once per protocol step.
+     * A view is a pair of lightweight Line accessors — reads through it
+     * always see the current line contents; it must not be held across
+     * simulated time (take a Handle for that).
+     */
+    struct BlockView
+    {
+        CacheArray::Line l1;   //!< null when not L1-resident
+        CacheArray::Line l2;   //!< null when not L2-resident
+
+        /** Same predicate as l1Writable(): present + writable state. */
+        bool
+        writable() const
+        {
+            return l1 && l2 && isWritable(l2.state());
+        }
+    };
+
+    /**
+     * Resolve @p addr's block for the write/routing paths. The L2 tag
+     * scan runs only when the L1 holds the block (writability needs
+     * both; every other consumer of the view checks `l1` first), so
+     * the common pending-miss probe touches one tag lane, not two.
+     */
+    BlockView
+    resolveBlock(Addr addr)
+    {
+        BlockView v;
+        v.l1 = l1_.lookup(addr);
+        if (v.l1)
+            v.l2 = l2_.lookup(addr);
+        return v;
+    }
+
     /** @{ Presence and permission probes (L2 state is authoritative). */
     bool l1Present(Addr addr) const;
     bool l1Readable(Addr addr) const;
@@ -66,6 +105,12 @@ class CacheAgent
     bool l1Dirty(Addr addr) const;
     bool l1SpecWritten(Addr addr) const;
     /** @} */
+
+    /**
+     * Combined l1Readable + readWordL1: one resolution. True and the
+     * word stored to @p value when the block is readable in the L1.
+     */
+    bool tryReadL1(Addr addr, std::uint64_t* value) const;
 
     /**
      * Bring the block into the L1 with (at least) the requested
@@ -85,12 +130,23 @@ class CacheAgent
     std::uint64_t readWordL1(Addr addr) const;
     void writeWordL1(Addr addr, std::uint64_t value, bool speculative,
                      std::uint32_t ctx);
+    void writeWordL1(const BlockView& view, Addr addr,
+                     std::uint64_t value, bool speculative,
+                     std::uint32_t ctx);
     void writeMaskedL1(Addr block_addr, const MaskedBlock& data,
+                       bool speculative, std::uint32_t ctx);
+    void writeMaskedL1(const BlockView& view, const MaskedBlock& data,
                        bool speculative, std::uint32_t ctx);
     /** @} */
 
     /** Mark the block speculatively read in context @p ctx. */
     void setSpecRead(Addr addr, std::uint32_t ctx);
+
+    /**
+     * Combined l1Present + setSpecRead: one resolution. False (and no
+     * marking) when the block is not L1-resident.
+     */
+    bool markSpecReadIfPresent(Addr addr, std::uint32_t ctx);
 
     /**
      * Pull a locally-resident (L2/VC) block back into the L1 immediately.
@@ -125,7 +181,7 @@ class CacheAgent
      */
     void flashAbort(std::uint32_t ctx);
 
-    /** Number of L1 lines with speculative bits in @p ctx. */
+    /** Number of L1 lines with speculative bits in @p ctx (O(1)). */
     std::uint32_t specBlockCount(std::uint32_t ctx) const;
 
     /** O(1) count of L1 lines holding any speculative bit. */
@@ -168,28 +224,36 @@ class CacheAgent
   private:
     void handleFill(const Msg& msg);
     void handleExternal(const Msg& msg);
-    void serveExternal(const Msg& msg);
+    /**
+     * Serve an external request. @p l1h is the generation-stamped
+     * handle of the L1 line handleExternal resolved (null when absent);
+     * revalidated in O(1) — conflict resolution may have invalidated
+     * the frame between resolution and service.
+     */
+    void serveExternal(const Msg& msg, CacheArray::Handle l1h);
     void handleWbAck(const Msg& msg);
 
     /** Install/update a block in the L2 (may evict; sends writebacks). */
-    CacheLine& installL2(Addr block, const BlockData& data,
-                         CoherenceState state);
+    CacheArray::Line installL2(Addr block, const BlockData& data,
+                               CoherenceState state);
     /**
-     * Copy an L2-resident block into the L1 (may evict to the VC).
-     * Returns nullptr when every candidate way holds speculative state
-     * and the listener cannot commit yet; the caller defers and retries
-     * while the store buffer drains (Section 4.1, cache overflow).
+     * Copy the L2-resident block @p l2line into the L1 (may evict to
+     * the VC). Returns a null Line when every candidate way holds
+     * speculative state and the listener cannot commit yet; the caller
+     * defers and retries while the store buffer drains (Section 4.1,
+     * cache overflow).
      */
-    CacheLine* installL1(Addr block);
+    CacheArray::Line installL1(Addr block, CacheArray::Line l2line);
     /** Retry loop for network fills blocked on speculative eviction. */
     void finishFill(Addr block, int attempt);
     /** Retry loop for L2/VC-local fills (same deferral rules). */
     void completeLocalFill(Addr block, FillCallback cb, int attempt);
-    void evictL2Line(CacheLine& line);
+    void evictL2Line(CacheArray::Line line);
     void sendToHome(MsgType type, Addr block, const BlockData* data,
                     bool dirty);
     /** Propagate dirty L1 data into the L2 line. */
     void syncL2FromL1(Addr block);
+    void syncL2FromL1(CacheArray::Line l1line, CacheArray::Line l2line);
     /** Number of fetch-kind MSHRs in use. */
     std::uint32_t fetchCount() const { return fetchCount_; }
 

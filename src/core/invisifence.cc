@@ -133,10 +133,18 @@ SpeculativeImpl::maybeCloseChunk()
 // ---------------------------------------------------------------------
 
 SpeculativeImpl::StoreRoute
-SpeculativeImpl::routeStore(Addr addr, bool spec, std::uint32_t ctx) const
+SpeculativeImpl::routeStore(Addr addr, bool spec, std::uint32_t ctx,
+                            CacheAgent::BlockView* view_out) const
 {
     const Addr blk = blockAlign(addr);
     const std::uint32_t label = spec ? ctx : kNonSpecCtx;
+
+    // One resolution serves the held-entry scan, the writability check,
+    // and (via view_out) doStore's direct hit.
+    const CacheAgent::BlockView view =
+        const_cast<CacheAgent&>(agent_).resolveBlock(blk);
+    if (view_out)
+        *view_out = view;
 
     bool any_block_entry = false;
     for (const auto& e : sb_.entries()) {
@@ -150,11 +158,10 @@ SpeculativeImpl::routeStore(Addr addr, bool spec, std::uint32_t ctx) const
     // Would a fresh entry need to be held behind an older checkpoint's
     // write to the same block?
     bool held = false;
-    const CacheLine* line =
-        const_cast<CacheAgent&>(agent_).l1().lookup(blk);
+    const CacheArray::Line line = view.l1;
     if (spec && line) {
         for (std::uint32_t o = 0; o < cfg_.numCheckpoints; ++o) {
-            if (o != ctx && ckpts_[o].active && line->specWritten[o])
+            if (o != ctx && ckpts_[o].active && line.specWritten(o))
                 held = true;
         }
     }
@@ -165,9 +172,9 @@ SpeculativeImpl::routeStore(Addr addr, bool spec, std::uint32_t ctx) const
         return held ? StoreRoute::NewEntryHeld : StoreRoute::NewEntry;
     }
 
-    if (agent_.l1Writable(addr)) {
+    if (view.writable()) {
         const bool dirty_nonspec =
-            line && line->dirty && !line->specWrittenAny();
+            line && line.dirty() && !line.specWrittenAny();
         if (spec && (dirty_nonspec || held)) {
             // First speculative store to a dirty block goes to the SB
             // while the cleaning writeback preserves the old value; a
@@ -185,10 +192,20 @@ SpeculativeImpl::routeStore(Addr addr, bool spec, std::uint32_t ctx) const
 
 RetireCheck
 SpeculativeImpl::checkStoreCapacity(Addr addr, bool spec,
-                                    std::uint32_t ctx)
+                                    std::uint32_t ctx, bool memoize,
+                                    InstSeq seq)
 {
-    if (routeStore(addr, spec, ctx) == StoreRoute::Full)
+    CacheAgent::BlockView view;
+    const StoreRoute route = routeStore(addr, spec, ctx, &view);
+    if (route == StoreRoute::Full)
         return {false, StallKind::SbFull};
+    if (memoize) {
+        routeMemoSeq_ = seq;
+        routeMemoSpec_ = spec;
+        routeMemoCtx_ = ctx;
+        routeMemoRoute_ = route;
+        routeMemoView_ = view;
+    }
     return {true, StallKind::None};
 }
 
@@ -196,11 +213,22 @@ void
 SpeculativeImpl::doStore(Addr addr, std::uint64_t value, bool spec,
                          std::uint32_t ctx, InstSeq seq)
 {
-    const StoreRoute route = routeStore(addr, spec, ctx);
+    CacheAgent::BlockView view;
+    StoreRoute route;
+    if (routeMemoSeq_ == seq && routeMemoSpec_ == spec &&
+        routeMemoCtx_ == ctx) {
+        route = routeMemoRoute_;
+        view = routeMemoView_;
+        assert(route == routeStore(addr, spec, ctx) &&
+               "memoized store route drifted from a fresh resolution");
+    } else {
+        route = routeStore(addr, spec, ctx, &view);
+    }
+    routeMemoSeq_ = 0;
     const std::uint32_t label = spec ? ctx : kNonSpecCtx;
     switch (route) {
       case StoreRoute::DirectHit:
-        agent_.writeWordL1(addr, value, spec, spec ? ctx : 0);
+        agent_.writeWordL1(view, addr, value, spec, spec ? ctx : 0);
         break;
       case StoreRoute::Merge:
       case StoreRoute::NewEntry:
@@ -255,7 +283,7 @@ SpeculativeImpl::conventionalCanRetire(RobEntry& entry)
             return {true, StallKind::None};
         }
         // RMO: stores are unordered; only capacity can stall them.
-        if (!sb_.gatherBlock(addr).empty() || agent_.l1Writable(addr) ||
+        if (sb_.containsBlock(addr) || agent_.l1Writable(addr) ||
             !sb_.full()) {
             return {true, StallKind::None};
         }
@@ -264,7 +292,7 @@ SpeculativeImpl::conventionalCanRetire(RobEntry& entry)
       case OpType::Cas:
       case OpType::FetchAdd: {
         const bool order_ok =
-            cfg_.model == Model::RMO ? sb_.gatherBlock(addr).empty()
+            cfg_.model == Model::RMO ? !sb_.containsBlock(addr)
                                      : sb_.empty();
         if (!order_ok)
             return {false, StallKind::SbDrain};
@@ -333,6 +361,11 @@ SpeculativeImpl::canRetire(RobEntry& entry)
         return {false, StallKind::SbDrain};
     }
 
+    // Only a plain store may memoize its route: nothing runs between
+    // its capacity check here and doStore in onRetire (atomics run
+    // mark_read first, which can install lines and change the route).
+    const bool memo_ok = entry.inst.type == OpType::Store;
+
     if (cfg_.continuous || speculating()) {
         // Everything retires into the current speculation.
         if (!hasOpenCkpt()) {
@@ -340,20 +373,32 @@ SpeculativeImpl::canRetire(RobEntry& entry)
                 return {false, StallKind::SbDrain};  // commit backpressure
             openCkpt();
         }
-        if (will_write)
-            return checkStoreCapacity(addr, true, openCtx());
+        if (will_write) {
+            return checkStoreCapacity(addr, true, openCtx(), memo_ok,
+                                      entry.seq);
+        }
         return {true, StallKind::None};
     }
 
     // Selective, not currently speculating: conventional rules; an
     // ordering stall initiates speculation instead (Section 4.1).
+    // RMO plain stores shortcut through the route computation, which
+    // answers exactly the conventional question (ok unless no merge
+    // target, no write permission, and no free entry — i.e. Full; RMO
+    // stores never stall for ordering) and memoizes the resolution for
+    // doStore.
+    if (memo_ok && cfg_.model == Model::RMO)
+        return checkStoreCapacity(addr, false, kNonSpecCtx, true,
+                                  entry.seq);
     RetireCheck conv = conventionalCanRetire(entry);
     if (conv.ok)
         return conv;
     if (conv.stall == StallKind::SbDrain) {
         openCkpt();
-        if (will_write)
-            return checkStoreCapacity(addr, true, openCtx());
+        if (will_write) {
+            return checkStoreCapacity(addr, true, openCtx(), memo_ok,
+                                      entry.seq);
+        }
         return {true, StallKind::None};
     }
     return conv;   // SB-full capacity stalls gain nothing from speculating
@@ -378,7 +423,9 @@ SpeculativeImpl::onRetire(RobEntry& entry)
         // must be marked here, or the violation would go undetected.
         if (cfg_.continuous && entry.specMarked)
             return true;
-        if (!agent_.l1Present(addr) && !agent_.tryInstantL1Install(addr)) {
+        if (agent_.markSpecReadIfPresent(addr, ctx))
+            return true;
+        if (!agent_.tryInstantL1Install(addr)) {
             ++statMarkFallbacks;
             abortAll();
             return false;
@@ -469,10 +516,9 @@ SpeculativeImpl::onLoadExecuted(RobEntry& entry)
         openCkpt();
     }
     const Addr addr = entry.inst.addr;
-    if (!agent_.l1Present(addr))
-        return;
     const std::uint32_t ctx = openCtx();
-    agent_.setSpecRead(addr, ctx);
+    if (!agent_.markSpecReadIfPresent(addr, ctx))
+        return;
     entry.specMarked = true;
     entry.specCtx = ctx;
 }
@@ -546,6 +592,11 @@ SpeculativeImpl::anyNonSpecSbEntry() const
 bool
 SpeculativeImpl::robHasMarkedLoads(std::uint32_t ctx) const
 {
+    // Only continuous mode marks speculatively-read bits at execution
+    // (onLoadExecuted returns early otherwise), so the selective modes
+    // can skip the window scan on every commit attempt outright.
+    if (!cfg_.continuous)
+        return false;
     const Rob& rob = core_.rob();
     for (std::size_t i = 0; i < rob.size(); ++i) {
         const RobEntry& e = rob.at(i);
@@ -687,7 +738,11 @@ SpeculativeImpl::drainStoreBuffer()
             ++i;
             continue;
         }
-        if (!agent_.l1Writable(e.blockAddr)) {
+        // One resolution per entry serves the writability check, the
+        // cleaning-writeback predicate, and the final masked write.
+        const CacheAgent::BlockView view =
+            agent_.resolveBlock(e.blockAddr);
+        if (!view.writable()) {
             // Issue the write fetch; re-issue if another core stole the
             // permission before this entry drained.
             if (!e.fillRequested ||
@@ -701,8 +756,8 @@ SpeculativeImpl::drainStoreBuffer()
             continue;
         }
         if (e.speculative) {
-            const CacheLine* line = agent_.l1().lookup(e.blockAddr);
-            if (line && line->dirty && !line->specWrittenAny()) {
+            const CacheArray::Line line = view.l1;
+            if (line && line.dirty() && !line.specWrittenAny()) {
                 // Preserve the pre-speculative value before the first
                 // speculative byte lands in the L1 (Section 3.2).
                 if (!cleaningPendingContains(e.blockAddr)) {
@@ -726,7 +781,7 @@ SpeculativeImpl::drainStoreBuffer()
             ++i;
             continue;
         }
-        agent_.writeMaskedL1(e.blockAddr, e.data, e.speculative,
+        agent_.writeMaskedL1(view, e.data, e.speculative,
                              e.speculative ? e.ctx : 0);
         entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
         ++drained;

@@ -148,10 +148,27 @@ class SpeculativeImpl : public ConsistencyImpl
         NewEntryHeld,  //!< fresh entry held until the older ckpt commits
         Full,          //!< no room: SB-full stall
     };
-    StoreRoute routeStore(Addr addr, bool spec, std::uint32_t ctx) const;
+    /**
+     * Classify a store. Resolves the block's L1/L2 lines once; when
+     * @p view_out is non-null the resolution is returned so the caller
+     * (doStore's direct-hit path) can write through it without another
+     * tag scan.
+     */
+    StoreRoute routeStore(Addr addr, bool spec, std::uint32_t ctx,
+                          CacheAgent::BlockView* view_out = nullptr) const;
     void doStore(Addr addr, std::uint64_t value, bool spec,
                  std::uint32_t ctx, InstSeq seq);
-    RetireCheck checkStoreCapacity(Addr addr, bool spec, std::uint32_t ctx);
+    /**
+     * Capacity check for a retiring write. For a plain store (@p
+     * memoize), the computed route and block resolution are remembered
+     * keyed by @p seq: nothing can run between canRetire's check and
+     * onRetire's doStore for that instruction, so doStore reuses them
+     * instead of re-running routeStore (debug builds re-derive and
+     * assert equality).
+     */
+    RetireCheck checkStoreCapacity(Addr addr, bool spec,
+                                   std::uint32_t ctx, bool memoize,
+                                   InstSeq seq);
 
     /** Conventional-mode retirement rules for the target model. */
     RetireCheck conventionalCanRetire(RobEntry& entry);
@@ -192,6 +209,13 @@ class SpeculativeImpl : public ConsistencyImpl
     /** Per-tick "first entry per block" scratch for drainStoreBuffer
      *  (reused; a per-call unordered_set allocated every tick). */
     std::vector<Addr> drainSeen_;
+    /** @{ Route memo from checkStoreCapacity to doStore (seq 0 = none). */
+    InstSeq routeMemoSeq_ = 0;
+    bool routeMemoSpec_ = false;
+    std::uint32_t routeMemoCtx_ = 0;
+    StoreRoute routeMemoRoute_ = StoreRoute::Full;
+    CacheAgent::BlockView routeMemoView_{};
+    /** @} */
 };
 
 } // namespace invisifence

@@ -210,7 +210,7 @@ ConventionalRmoImpl::canRetire(RobEntry& entry)
       case OpType::Store: {
         const Addr addr = entry.inst.addr;
         // Order within a block: merge into an existing entry if any.
-        if (!sb_.gatherBlock(addr).empty())
+        if (sb_.containsBlock(addr))
             return {true, StallKind::None};
         if (agent_.l1Writable(addr))
             return {true, StallKind::None};   // direct hit into the L1
@@ -223,7 +223,7 @@ ConventionalRmoImpl::canRetire(RobEntry& entry)
         // RMO atomics retire once the block is writable (Figure 2:
         // "Complete store") and program order within the block holds.
         const Addr addr = entry.inst.addr;
-        if (!sb_.gatherBlock(addr).empty())
+        if (sb_.containsBlock(addr))
             return {false, StallKind::SbDrain};
         if (!agent_.l1Writable(addr)) {
             if (!agent_.fetchOutstanding(addr))
@@ -246,7 +246,7 @@ ConventionalRmoImpl::onRetire(RobEntry& entry)
     const Addr addr = entry.inst.addr;
     switch (entry.inst.type) {
       case OpType::Store: {
-        if (sb_.gatherBlock(addr).empty() && agent_.l1Writable(addr)) {
+        if (!sb_.containsBlock(addr) && agent_.l1Writable(addr)) {
             agent_.writeWordL1(addr, entry.inst.value, false, 0);
             ++statDirectHits;
             return;

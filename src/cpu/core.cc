@@ -13,6 +13,71 @@ Core::Core(NodeId id, const CoreParams& params, CacheAgent& agent,
       rob_(params.robSize)
 {
     program_.snapshotTo(retiredSnap_);
+    // >= 4x the window so live words (<= robSize) plus stale slots
+    // leave linear probing short; power of two for mask indexing.
+    std::uint32_t slots = 4;
+    while (slots < params.robSize * 4)
+        slots *= 2;
+    wordMap_.resize(slots);
+    wordMapMask_ = slots - 1;
+}
+
+InstSeq
+Core::wordMapInsert(Addr word, InstSeq seq)
+{
+    if (wordMapOccupied_ * 2 > wordMap_.size())
+        wordMapRebuild();   // shed stale slots before probing lengthens
+    return wordMapInsertRaw(word, seq);
+}
+
+InstSeq
+Core::wordMapInsertRaw(Addr word, InstSeq seq)
+{
+    std::size_t i = wordMapHome(word);
+    while (true) {
+        WordSlot& slot = wordMap_[i];
+        if (slot.seq == 0) {
+            slot.word = word;
+            slot.seq = seq;
+            ++wordMapOccupied_;
+            return 0;
+        }
+        if (slot.word == word) {
+            const InstSeq prev = slot.seq;
+            slot.seq = seq;
+            return prev;
+        }
+        i = (i + 1) & wordMapMask_;
+    }
+}
+
+InstSeq
+Core::wordMapYoungest(Addr word) const
+{
+    std::size_t i = wordMapHome(word);
+    while (true) {
+        const WordSlot& slot = wordMap_[i];
+        if (slot.seq == 0)
+            return 0;
+        if (slot.word == word)
+            return slot.seq;
+        i = (i + 1) & wordMapMask_;
+    }
+}
+
+void
+Core::wordMapRebuild()
+{
+    for (WordSlot& slot : wordMap_)
+        slot = WordSlot{};
+    wordMapOccupied_ = 0;
+    // Oldest to youngest so each word's slot ends at its youngest
+    // store; prevSameWord links are per-entry and stay as dispatched.
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        const RobEntry& e = rob_.at(i);
+        if (isStoreLike(e.inst.type))
+            wordMapInsertRaw(wordAlign(e.inst.addr), e.seq);
+    }
 }
 
 void
@@ -75,7 +140,7 @@ Core::retireStage()
         const bool mispredict =
             h.inst.feedsBack && h.result != h.inst.predictedResult;
 
-        retiredSnap_ = h.snapAfter;
+        retiredSnap_ = rob_.snapAt(0);
         lastRetiredSeq_ = h.seq;
         if (journalEnabled_ && isMemOp(h.inst.type))
             journal_.push_back({h.seq, h.inst.type, h.inst.addr, h.result});
@@ -90,15 +155,17 @@ Core::retireStage()
 
         if (mispredict) {
             ++statMispredicts;
-            program_.restoreFrom(h.snapAfter);
+            program_.restoreFrom(rob_.snapAt(0));
             program_.setLastResult(h.result);
             program_.snapshotTo(retiredSnap_);
             halted_ = false;
             rob_.clear();
             recountRobStates();
         } else {
-            if (h.valueBound && isLoadLike(h.inst.type))
-                --boundLoads_;
+            if (h.valueBound && isLoadLike(h.inst.type)) {
+                if (--boundLoads_ == 0)
+                    boundLoadFilter_ = 0;   // cheap exact-reset point
+            }
             rob_.popHead();
         }
         ++retired;
@@ -124,6 +191,7 @@ Core::recountRobStates()
     pendingComplete_ = 0;
     pendingDispatch_ = 0;
     boundLoads_ = 0;
+    boundLoadFilter_ = 0;
     for (std::size_t i = 0; i < rob_.size(); ++i) {
         const RobEntry& e = rob_.at(i);
         if (e.status == RobEntry::Status::Issued && e.valueBound)
@@ -132,9 +200,12 @@ Core::recountRobStates()
             isLoadLike(e.inst.type)) {
             ++pendingDispatch_;
         }
-        if (e.valueBound && isLoadLike(e.inst.type))
+        if (e.valueBound && isLoadLike(e.inst.type)) {
             ++boundLoads_;
+            boundLoadFilter_ |= blockFilterBit(e.inst.addr);
+        }
     }
+    wordMapRebuild();
 }
 
 #ifndef NDEBUG
@@ -150,8 +221,23 @@ Core::verifyRobCounters() const
             isLoadLike(e.inst.type)) {
             ++dispatch;
         }
-        if (e.valueBound && isLoadLike(e.inst.type))
+        if (e.valueBound && isLoadLike(e.inst.type)) {
             ++bound;
+            assert((boundLoadFilter_ & blockFilterBit(e.inst.addr)) &&
+                   "bound-load filter missed a bound load");
+        }
+        if (isStoreLike(e.inst.type)) {
+            // Every in-window store-like must be reachable on its
+            // word's youngest-first CAM chain.
+            InstSeq s = wordMapYoungest(wordAlign(e.inst.addr));
+            while (s != 0 && s != e.seq) {
+                const std::ptrdiff_t j = rob_.indexOf(s);
+                assert(j >= 0 && "store CAM chain left the window "
+                                 "before reaching a live store");
+                s = rob_.at(static_cast<std::size_t>(j)).prevSameWord;
+            }
+            assert(s == e.seq && "store CAM chain missed a live store");
+        }
     }
     assert(complete == pendingComplete_ && "pendingComplete_ drifted");
     assert(dispatch == pendingDispatch_ && "pendingDispatch_ drifted");
@@ -169,21 +255,31 @@ Core::executeStage()
     // for a stalled core in the legacy per-cycle loop).
     if (pendingComplete_ == 0 && pendingDispatch_ == 0)
         return;
+    // The occupancy counters also bound the scan: once every pending
+    // completion and dispatched load has been visited, the remaining
+    // (Done / retired-stalled) entries can't match either arm.
+    std::uint32_t remaining_complete = pendingComplete_;
+    std::uint32_t remaining_dispatch = pendingDispatch_;
     std::uint32_t issued = 0;
     for (std::size_t i = 0; i < rob_.size(); ++i) {
+        if (remaining_complete == 0 && remaining_dispatch == 0)
+            break;
         RobEntry& e = rob_.at(i);
-        if (e.status == RobEntry::Status::Issued && e.valueBound &&
-            e.readyAt <= now_) {
-            e.status = RobEntry::Status::Done;
-            --pendingComplete_;
-            noteWork();
-            if (isLoadLike(e.inst.type))
-                impl_->onLoadExecuted(e);
+        if (e.status == RobEntry::Status::Issued && e.valueBound) {
+            --remaining_complete;
+            if (e.readyAt <= now_) {
+                e.status = RobEntry::Status::Done;
+                --pendingComplete_;
+                noteWork();
+                if (isLoadLike(e.inst.type))
+                    impl_->onLoadExecuted(e);
+            }
             continue;
         }
         if (e.status == RobEntry::Status::Dispatched &&
-            isLoadLike(e.inst.type) && issued < params_.l1Ports) {
-            if (tryIssueLoad(i)) {
+            isLoadLike(e.inst.type)) {
+            --remaining_dispatch;
+            if (issued < params_.l1Ports && tryIssueLoad(i)) {
                 ++issued;
                 noteWork();
             }
@@ -202,6 +298,7 @@ Core::forwardFromRob(std::size_t idx, Addr addr) const
             wordAlign(f.inst.addr) != word) {
             continue;
         }
+        fw.producerSeq = f.seq;
         if (f.inst.type == OpType::Store) {
             fw.producerFound = true;
             fw.valueKnown = true;
@@ -243,6 +340,66 @@ Core::forwardFromRob(std::size_t idx, Addr addr) const
     return fw;
 }
 
+Core::RobForward
+Core::forwardFromChain(std::size_t idx, Addr addr) const
+{
+    RobForward fw;
+    const Addr word = wordAlign(addr);
+    InstSeq s = wordMapYoungest(word);
+    while (s != 0) {
+        const std::ptrdiff_t at = rob_.indexOf(s);
+        if (at < 0)
+            break;   // chain head retired => all older matches retired
+        const std::size_t j = static_cast<std::size_t>(at);
+        const RobEntry& f = rob_.at(j);
+        if (j >= idx) {
+            // Younger than the load (dispatched after it): hop older.
+            s = f.prevSameWord;
+            continue;
+        }
+        assert(isStoreLike(f.inst.type) &&
+               wordAlign(f.inst.addr) == word);
+        fw.producerSeq = f.seq;
+        if (f.inst.type == OpType::Store) {
+            fw.producerFound = true;
+            fw.valueKnown = true;
+            fw.value = f.inst.value;
+            return fw;
+        }
+        if (f.inst.type == OpType::Cas) {
+            if (f.status == RobEntry::Status::Done || f.valueBound) {
+                if (f.result != f.inst.expect) {
+                    s = f.prevSameWord;   // failed CAS wrote nothing
+                    continue;
+                }
+                fw.producerFound = true;
+                fw.valueKnown = true;
+                fw.value = f.inst.value;
+                return fw;
+            }
+            if (f.inst.feedsBack) {
+                if (f.inst.predictedResult != f.inst.expect) {
+                    s = f.prevSameWord;   // predicted fail: no write
+                    continue;
+                }
+                fw.producerFound = true;
+                fw.valueKnown = true;
+                fw.value = f.inst.value;
+                return fw;
+            }
+            fw.producerFound = true;   // wait for the CAS to resolve
+            return fw;
+        }
+        fw.producerFound = true;
+        if (f.status == RobEntry::Status::Done || f.valueBound) {
+            fw.valueKnown = true;
+            fw.value = f.result + f.inst.value;
+        }
+        return fw;
+    }
+    return fw;
+}
+
 void
 Core::bindLoadValue(RobEntry& entry, std::uint64_t value, Cycle ready)
 {
@@ -255,6 +412,7 @@ Core::bindLoadValue(RobEntry& entry, std::uint64_t value, Cycle ready)
     --pendingDispatch_;
     ++pendingComplete_;
     ++boundLoads_;
+    boundLoadFilter_ |= blockFilterBit(entry.inst.addr);
 }
 
 bool
@@ -264,11 +422,46 @@ Core::tryIssueLoad(std::size_t idx)
     const Addr addr = e.inst.addr;
     const Cycle hit_ready = now_ + agent_.params().l1Latency;
 
-    // 1. Forward from an older, not-yet-retired store in the window.
-    const RobForward fw = forwardFromRob(idx, addr);
+    // 1. Forward from an older, not-yet-retired store in the window,
+    // via the word CAM (O(same-word matches), not O(window)).
+    if (e.waitSeq != 0) {
+        // A previous walk stopped at an unresolved older atomic. While
+        // that producer is still in the window and unresolved, the walk
+        // would repeat to the same verdict (dispatch only appends
+        // younger entries; retirement would remove the producer first).
+        const std::ptrdiff_t pi = rob_.indexOf(e.waitSeq);
+        if (pi >= 0 && static_cast<std::size_t>(pi) < idx) {
+            const RobEntry& p = rob_.at(static_cast<std::size_t>(pi));
+            if (p.status != RobEntry::Status::Done && !p.valueBound) {
+#ifndef NDEBUG
+                const RobForward chk = forwardFromRob(idx, addr);
+                assert(chk.producerFound && !chk.valueKnown &&
+                       chk.producerSeq == e.waitSeq &&
+                       "stale producer-wait memo");
+#endif
+                return false;
+            }
+        }
+        e.waitSeq = 0;
+    }
+    const RobForward fw = forwardFromChain(idx, addr);
+#ifndef NDEBUG
+    {
+        // The CAM walk must agree with the naive age-ordered scan.
+        const RobForward oracle = forwardFromRob(idx, addr);
+        assert(oracle.producerFound == fw.producerFound &&
+               oracle.valueKnown == fw.valueKnown &&
+               (!fw.producerFound ||
+                oracle.producerSeq == fw.producerSeq) &&
+               (!fw.valueKnown || oracle.value == fw.value) &&
+               "store CAM diverged from the naive forwarding scan");
+    }
+#endif
     if (fw.producerFound) {
-        if (!fw.valueKnown)
+        if (!fw.valueKnown) {
+            e.waitSeq = fw.producerSeq;
             return false;       // wait for the producer to resolve
+        }
         bindLoadValue(e, fw.value, hit_ready);
         ++statLoadForwards;
         return true;
@@ -281,9 +474,10 @@ Core::tryIssueLoad(std::size_t idx)
         return true;
     }
 
-    // 3. L1 hit.
-    if (agent_.l1Readable(addr)) {
-        bindLoadValue(e, agent_.readWordL1(addr), hit_ready);
+    // 3. L1 hit (one combined readable-check + word read).
+    std::uint64_t word = 0;
+    if (agent_.tryReadL1(addr, &word)) {
+        bindLoadValue(e, word, hit_ready);
         ++statL1LoadHits;
         // Atomics also want write permission; prefetch it.
         if (isAtomic(e.inst.type) && params_.storePrefetch &&
@@ -306,17 +500,19 @@ Core::tryIssueLoad(std::size_t idx)
             if (e2.status != RobEntry::Status::Issued || e2.valueBound)
                 return;
             noteWork();
-            if (!agent_.l1Readable(addr)) {
+            std::uint64_t filled = 0;
+            if (!agent_.tryReadL1(addr, &filled)) {
                 // The block was stolen before the (possibly deferred)
                 // fill completed: replay the issue.
                 e2.status = RobEntry::Status::Dispatched;
                 ++pendingDispatch_;
                 return;
             }
-            e2.result = agent_.readWordL1(addr);
+            e2.result = filled;
             e2.valueBound = true;
             e2.status = RobEntry::Status::Done;
             ++boundLoads_;
+            boundLoadFilter_ |= blockFilterBit(addr);
             if (isLoadLike(e2.inst.type))
                 impl_->onLoadExecuted(e2);
         });
@@ -344,11 +540,17 @@ Core::dispatchStage()
             return;
         }
         noteWork();
+        // CAM insert before push: a rebuild inside the insert sweeps
+        // the window and must not see the half-constructed entry.
+        InstSeq prev_same_word = 0;
+        if (isStoreLike(inst.type))
+            prev_same_word = wordMapInsert(wordAlign(inst.addr), nextSeq_);
         RobEntry& e = rob_.push();
         e = RobEntry{};
         e.inst = inst;
         e.seq = nextSeq_++;
-        program_.snapshotTo(e.snapAfter);
+        e.prevSameWord = prev_same_word;
+        program_.snapshotTo(rob_.lastSnap());
 
         switch (inst.type) {
           case OpType::Alu:
@@ -401,10 +603,13 @@ Core::rollbackTo(const ProgSnapshot& snap, InstSeq last_valid_seq)
 void
 Core::notifyInvalidated(Addr block)
 {
-    // No value-bound loads in the window: nothing to snoop (skips the
-    // ROB scan on the invalidation-heavy path).
-    if (boundLoads_ == 0)
+    // No value-bound loads in the window — or none whose block can hash
+    // to this one: nothing to snoop (skips the ROB scan on the
+    // invalidation-heavy path; the filter never misses a bound load).
+    if (boundLoads_ == 0 ||
+        (boundLoadFilter_ & blockFilterBit(block)) == 0) {
         return;
+    }
     const Addr blk = blockAlign(block);
     for (std::size_t i = 0; i < rob_.size(); ++i) {
         RobEntry& e = rob_.at(i);
@@ -413,7 +618,7 @@ Core::notifyInvalidated(Addr block)
         if (blockAlign(e.inst.addr) != blk)
             continue;
         // Replay this load and squash everything younger.
-        program_.restoreFrom(e.snapAfter);
+        program_.restoreFrom(rob_.snapAt(i));
         halted_ = false;
         rob_.squashAfter(i);
         e.status = RobEntry::Status::Dispatched;

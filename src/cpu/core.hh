@@ -176,8 +176,12 @@ class Core
         bool producerFound = false;
         bool valueKnown = false;
         std::uint64_t value = 0;
+        InstSeq producerSeq = 0;   //!< the matching store-like's seq
     };
+    /** Naive O(window) age-ordered scan; debug oracle for the CAM. */
     RobForward forwardFromRob(std::size_t idx, Addr addr) const;
+    /** Same result via the word CAM chain: O(same-word store-likes). */
+    RobForward forwardFromChain(std::size_t idx, Addr addr) const;
 
     /** Squash all entries younger than index @p idx and refetch. */
     void squashYounger(std::size_t idx);
@@ -201,6 +205,57 @@ class Core
     std::uint32_t pendingComplete_ = 0;
     std::uint32_t pendingDispatch_ = 0;
     std::uint32_t boundLoads_ = 0;
+    /**
+     * Conservative 64-bit filter over the block addresses of bound
+     * load-likes: a set bit may be stale (loads leave at retirement
+     * without clearing), but every bound load's block is always
+     * covered, so a filter miss safely skips the invalidation snoop's
+     * ROB scan. Rebuilt exactly on recounts; reset when the last bound
+     * load retires.
+     */
+    std::uint64_t boundLoadFilter_ = 0;
+
+    static std::uint64_t
+    blockFilterBit(Addr block)
+    {
+        // Multiplicative hash of the block number into one of 64 bits.
+        return std::uint64_t{1}
+               << ((((block >> kBlockShift) *
+                     0x9e3779b97f4a7c15ull) >> 58) & 63u);
+    }
+    /** @} */
+
+    /**
+     * @{ Exact in-window store CAM, replacing the O(window) forwarding
+     * scan: an open-addressed word -> youngest-store-seq table plus the
+     * per-entry prevSameWord links form youngest-first chains over
+     * exactly the same-word store-likes, so store-to-load forwarding
+     * walks O(matches) entries. The table is insert/overwrite-only
+     * (stale seqs are detected by Rob::indexOf and provably imply the
+     * whole older chain retired); sweeps rebuild it from the window
+     * when stale slots accumulate or on recounts. Debug builds verify
+     * every chain walk against the naive scan.
+     */
+    InstSeq wordMapInsert(Addr word, InstSeq seq);
+    InstSeq wordMapInsertRaw(Addr word, InstSeq seq);
+    InstSeq wordMapYoungest(Addr word) const;
+    void wordMapRebuild();
+
+    struct WordSlot
+    {
+        Addr word = 0;
+        InstSeq seq = 0;   //!< 0 = empty slot
+    };
+    std::vector<WordSlot> wordMap_;      //!< pow2-sized, >= 4x robSize
+    std::uint32_t wordMapMask_ = 0;
+    std::uint32_t wordMapOccupied_ = 0;
+
+    std::size_t
+    wordMapHome(Addr word) const
+    {
+        return static_cast<std::size_t>(
+            ((word >> 3) * 0x9e3779b97f4a7c15ull) >> 32) & wordMapMask_;
+    }
     /** @} */
 
     NodeId id_;

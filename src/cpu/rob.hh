@@ -35,7 +35,6 @@ struct RobEntry
 
     Instruction inst{};
     InstSeq seq = 0;
-    ProgSnapshot snapAfter{};   //!< program state just after this fetch
     Status status = Status::Dispatched;
     std::uint64_t result = 0;
     bool valueBound = false;    //!< result holds real data (LQ snooping)
@@ -43,6 +42,15 @@ struct RobEntry
     Cycle readyAt = 0;
     bool specMarked = false;    //!< set a speculatively-read bit at execute
     std::uint32_t specCtx = kNoSpecCtx;  //!< checkpoint the bit belongs to
+    /** Load issue blocked on this unresolved older atomic (0 = none):
+     *  while that producer stays unresolved the forwarding scan would
+     *  repeat the same walk to the same answer, so it is skipped. */
+    InstSeq waitSeq = 0;
+    /** Store-likes only: seq of the next-older in-window store-like to
+     *  the same word at dispatch time (0 = none). Retirement leaves
+     *  the link in place — a chain hop to a retired seq means every
+     *  older same-word store has retired too, ending the walk. */
+    InstSeq prevSameWord = 0;
 };
 
 static_assert(std::is_trivially_copyable_v<RobEntry>,
@@ -55,12 +63,17 @@ static_assert(std::is_trivially_copyable_v<RobEntry>,
  * (RobEntry is larger than a deque node), putting a malloc/free pair on
  * every dispatch/retire — the per-instruction hot path. The ring is
  * allocated once at construction and recycled forever.
+ *
+ * The per-entry program snapshot (192 bytes, read only at retirement
+ * and on rollbacks) lives in a parallel cold lane, keeping RobEntry at
+ * ~1/3 the size so the per-tick execute/forwarding/snoop scans stride
+ * hot fields only — the same split-lane layout as the cache arrays.
  */
 class Rob
 {
   public:
     explicit Rob(std::uint32_t capacity)
-        : capacity_(capacity), slots_(capacity)
+        : capacity_(capacity), slots_(capacity), snaps_(capacity)
     {}
 
     bool full() const { return size_ >= capacity_; }
@@ -103,14 +116,36 @@ class Rob
     RobEntry& at(std::size_t i) { return slots_[slot(i)]; }
     const RobEntry& at(std::size_t i) const { return slots_[slot(i)]; }
 
-    /** Index of the entry with sequence number @p seq, or -1. */
+    /** Cold-lane program snapshot of the entry at index @p i ("program
+     *  state just after this fetch"). */
+    ProgSnapshot& snapAt(std::size_t i) { return snaps_[slot(i)]; }
+    const ProgSnapshot& snapAt(std::size_t i) const
+    {
+        return snaps_[slot(i)];
+    }
+
+    /** Snapshot slot of the most recently pushed entry. */
+    ProgSnapshot& lastSnap() { return snaps_[slot(size_ - 1)]; }
+
+    /** Index of the entry with sequence number @p seq, or -1.
+     *  In-window seqs are strictly increasing (dispatch appends rising
+     *  numbers; squashes truncate the tail — leaving gaps, so offsets
+     *  can't be computed directly), which makes a binary search exact:
+     *  O(log robSize) instead of the old linear walk on every fill
+     *  callback. */
     std::ptrdiff_t
     indexOf(InstSeq seq) const
     {
-        for (std::size_t i = 0; i < size_; ++i) {
-            if (at(i).seq == seq)
-                return static_cast<std::ptrdiff_t>(i);
+        std::size_t lo = 0, hi = size_;
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (at(mid).seq < seq)
+                lo = mid + 1;
+            else
+                hi = mid;
         }
+        if (lo < size_ && at(lo).seq == seq)
+            return static_cast<std::ptrdiff_t>(lo);
         return -1;
     }
 
@@ -125,6 +160,7 @@ class Rob
 
     std::uint32_t capacity_;
     std::vector<RobEntry> slots_;
+    std::vector<ProgSnapshot> snaps_;   //!< cold lane, parallel to slots_
     std::size_t head_ = 0;
     std::size_t size_ = 0;
 };

@@ -83,9 +83,26 @@ struct MaskedBlock
     void
     applyTo(BlockData& base) const
     {
-        for (std::uint32_t i = 0; i < kBlockBytes; ++i) {
-            if (mask & (ByteMask{1} << i))
-                base.bytes[i] = data.bytes[i];
+        if (full()) {
+            base = data;
+            return;
+        }
+        // Word-chunked: a fully-covered 8-byte group (the word-store
+        // common case) copies in one shot; partial groups go per byte.
+        for (std::uint32_t off = 0; off < kBlockBytes; off += 8) {
+            const std::uint32_t sub =
+                static_cast<std::uint32_t>((mask >> off) & 0xffu);
+            if (sub == 0)
+                continue;
+            if (sub == 0xffu) {
+                std::memcpy(base.bytes.data() + off,
+                            data.bytes.data() + off, 8);
+                continue;
+            }
+            for (std::uint32_t i = 0; i < 8; ++i) {
+                if (sub & (1u << i))
+                    base.bytes[off + i] = data.bytes[off + i];
+            }
         }
     }
 

@@ -1,6 +1,7 @@
 #include "mem/cache_array.hh"
 
-#include <cassert>
+#include <algorithm>
+#include <cstdlib>
 
 #include "sim/log.hh"
 
@@ -14,22 +15,58 @@ isPow2(std::uint64_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
+/** INVISIFENCE_WAY_PREDICT=0 disables the MRU way predictor (an escape
+ *  hatch only — prediction never changes lookup results, because at
+ *  most one way can hold a block). Parsed once per process. */
+bool
+wayPredictEnabled()
+{
+    static const bool enabled = []() {
+        const char* text = std::getenv("INVISIFENCE_WAY_PREDICT");
+        if (!text || text[0] == '\0')
+            return true;
+        if (text[0] == '0' && text[1] == '\0')
+            return false;
+        if (text[0] == '1' && text[1] == '\0')
+            return true;
+        IF_FATAL("INVISIFENCE_WAY_PREDICT='%s' is not 0 or 1", text);
+    }();
+    return enabled;
+}
+
 } // namespace
 
 CacheArray::CacheArray(std::uint64_t size_bytes, std::uint32_t ways,
                        std::string name)
-    : ways_(ways), name_(std::move(name))
+    : ways_(ways), wayPredict_(wayPredictEnabled()), name_(std::move(name))
 {
     if (ways == 0 || size_bytes % (static_cast<std::uint64_t>(ways) *
                                    kBlockBytes) != 0) {
         IF_FATAL("cache %s: size %llu not divisible by ways*block",
                  name_.c_str(), static_cast<unsigned long long>(size_bytes));
     }
+    // The MRU predictor stores the way in a byte and the LRU
+    // renormalization sorts a fixed 64-slot scratch; both bound ways.
+    if (ways > 64)
+        IF_FATAL("cache %s: at most 64 ways supported", name_.c_str());
     const std::uint64_t sets = size_bytes / (ways * kBlockBytes);
     if (!isPow2(sets))
         IF_FATAL("cache %s: set count must be a power of two", name_.c_str());
     num_sets_ = static_cast<std::uint32_t>(sets);
-    lines_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+    const std::size_t frames =
+        static_cast<std::size_t>(num_sets_) * ways_;
+    tags_.resize(frames);
+    data_.resize(frames);
+    gen_.resize(frames, 0);
+    mru_.resize(num_sets_, 0);
+    // Worst case every frame is marked in a context: preallocating to
+    // that bound keeps the speculative index allocation-free in steady
+    // state (tests/alloc_steadystate_test.cc).
+    for (std::uint32_t c = 0; c < kMaxCheckpoints; ++c) {
+        specFrames_[c].reserve(frames);
+        specPos_[c].resize(frames, kNoFrame);
+    }
+    flashScratch_.reserve(frames);
 }
 
 std::uint32_t
@@ -39,119 +76,256 @@ CacheArray::setIndex(Addr addr) const
                                       (num_sets_ - 1));
 }
 
-CacheLine*
+CacheArray::Line
 CacheArray::lookup(Addr addr)
 {
     const Addr blk = blockAlign(addr);
-    CacheLine* set = &lines_[static_cast<std::size_t>(setIndex(addr)) *
-                             ways_];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (set[w].valid() && set[w].blockAddr == blk)
-            return &set[w];
+    const std::uint32_t set = setIndex(addr);
+    const std::uint32_t base = set * ways_;
+    const CacheTag* tags = &tags_[base];
+    if (wayPredict_) {
+        // MRU way first: the repeated same-block accesses of a protocol
+        // step resolve on the first 16-byte tag probed.
+        const std::uint32_t p = mru_[set];
+        if (tags[p].valid() && tags[p].blockAddr == blk)
+            return {this, base + p};
     }
-    return nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (tags[w].valid() && tags[w].blockAddr == blk) {
+            mru_[set] = static_cast<std::uint8_t>(w);
+            return {this, base + w};
+        }
+    }
+    return {};
 }
 
-const CacheLine*
+CacheArray::Line
 CacheArray::lookup(Addr addr) const
 {
     return const_cast<CacheArray*>(this)->lookup(addr);
 }
 
 void
-CacheArray::touch(CacheLine& line)
+CacheArray::touch(const Line& line)
 {
-    line.lruStamp = ++lruCounter_;
+    assert(line.arr_ == this);
+    if (lruCounter_ == ~std::uint32_t{0})
+        renormalizeLru();
+    tags_[line.frame_].lruStamp = ++lruCounter_;
 }
 
-CacheLine&
-CacheArray::findVictim(Addr addr,
-                       const std::function<bool(const CacheLine&)>& avoid,
+void
+CacheArray::renormalizeLru()
+{
+    // Compress each set's stamps to their rank (1..ways): victim
+    // selection compares stamps only within a set, so preserving the
+    // within-set order preserves every future LRU decision exactly.
+    std::uint32_t order[64];
+    assert(ways_ <= 64);
+    for (std::uint32_t s = 0; s < num_sets_; ++s) {
+        CacheTag* tags = &tags_[static_cast<std::size_t>(s) * ways_];
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            order[w] = w;
+        std::sort(order, order + ways_,
+                  [tags](std::uint32_t a, std::uint32_t b) {
+                      return tags[a].lruStamp < tags[b].lruStamp;
+                  });
+        for (std::uint32_t r = 0; r < ways_; ++r)
+            tags[order[r]].lruStamp = r + 1;
+    }
+    lruCounter_ = ways_;
+}
+
+CacheArray::Line
+CacheArray::findVictim(Addr addr, FunctionRef<bool(const Line&)> avoid,
                        bool* forced_avoided)
 {
-    CacheLine* set = &lines_[static_cast<std::size_t>(setIndex(addr)) *
-                             ways_];
+    const std::uint32_t base = setIndex(addr) * ways_;
+    const CacheTag* tags = &tags_[base];
     if (forced_avoided)
         *forced_avoided = false;
 
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (!set[w].valid())
-            return set[w];
+        if (!tags[w].valid())
+            return {this, base + w};
     }
 
-    CacheLine* best = nullptr;
-    CacheLine* best_any = nullptr;
+    std::uint32_t best = kNoFrame;
+    std::uint32_t best_any = kNoFrame;
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        CacheLine& line = set[w];
-        if (!best_any || line.lruStamp < best_any->lruStamp)
-            best_any = &line;
-        if (avoid && avoid(line))
+        const CacheTag& tag = tags[w];
+        if (best_any == kNoFrame ||
+            tag.lruStamp < tags_[best_any].lruStamp) {
+            best_any = base + w;
+        }
+        if (avoid && avoid(Line{this, base + w}))
             continue;
-        if (!best || line.lruStamp < best->lruStamp)
-            best = &line;
+        if (best == kNoFrame || tag.lruStamp < tags_[best].lruStamp)
+            best = base + w;
     }
-    if (best)
-        return *best;
+    if (best != kNoFrame)
+        return {this, best};
     if (forced_avoided)
         *forced_avoided = true;
-    assert(best_any);
-    return *best_any;
+    assert(best_any != kNoFrame);
+    return {this, best_any};
 }
 
-CacheLine&
+CacheArray::Line
 CacheArray::findVictim(Addr addr)
 {
     return findVictim(addr, nullptr, nullptr);
 }
 
 void
+CacheArray::setSpecBit(std::uint32_t frame, std::uint32_t ctx,
+                       bool written)
+{
+    assert(ctx < kMaxCheckpoints);
+    assert(tags_[frame].valid() &&
+           "speculative bit on an invalid line");
+    CacheTag& tag = tags_[frame];
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << ctx);
+    if (((tag.specRead | tag.specWritten) & bit) == 0) {
+        specPos_[ctx][frame] =
+            static_cast<std::uint32_t>(specFrames_[ctx].size());
+        specFrames_[ctx].push_back(frame);
+    }
+    if (written)
+        tag.specWritten |= bit;
+    else
+        tag.specRead |= bit;
+}
+
+void
+CacheArray::clearSpecCtx(std::uint32_t frame, std::uint32_t ctx)
+{
+    CacheTag& tag = tags_[frame];
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << ctx);
+    if (((tag.specRead | tag.specWritten) & bit) == 0)
+        return;
+    tag.specRead &= static_cast<std::uint8_t>(~bit);
+    tag.specWritten &= static_cast<std::uint8_t>(~bit);
+    // Swap-with-back removal from the ctx index, O(1).
+    const std::uint32_t pos = specPos_[ctx][frame];
+    assert(pos != kNoFrame && specFrames_[ctx][pos] == frame);
+    const std::uint32_t moved = specFrames_[ctx].back();
+    specFrames_[ctx][pos] = moved;
+    specPos_[ctx][moved] = pos;
+    specFrames_[ctx].pop_back();
+    specPos_[ctx][frame] = kNoFrame;
+}
+
+void
+CacheArray::installFrame(std::uint32_t frame, Addr block_addr,
+                         CoherenceState s)
+{
+    CacheTag& tag = tags_[frame];
+    assert(!tag.valid() && "installing over a live line");
+    assert(isValidState(s));
+    tag.blockAddr = blockAlign(block_addr);
+    tag.state = s;
+    tag.dirty = 0;
+    ++gen_[frame];
+    mru_[frameSet(frame)] =
+        static_cast<std::uint8_t>(frame % ways_);
+}
+
+void
+CacheArray::invalidateFrame(std::uint32_t frame)
+{
+    CacheTag& tag = tags_[frame];
+    tag.state = CoherenceState::Invalid;
+    tag.dirty = 0;
+    for (std::uint32_t c = 0; c < kMaxCheckpoints; ++c)
+        clearSpecCtx(frame, c);
+    ++gen_[frame];
+}
+
+void
 CacheArray::flashClearSpecBits(std::uint32_t ctx)
 {
     assert(ctx < kMaxCheckpoints);
-    for (auto& line : lines_)
-        line.clearSpecBits(ctx);
+#ifndef NDEBUG
+    verifySpecIndex();
+#endif
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(~(1u << ctx));
+    for (const std::uint32_t frame : specFrames_[ctx]) {
+        tags_[frame].specRead &= mask;
+        tags_[frame].specWritten &= mask;
+        specPos_[ctx][frame] = kNoFrame;
+    }
+    specFrames_[ctx].clear();
 }
 
 void
 CacheArray::flashInvalidateSpecWritten(std::uint32_t ctx)
 {
     assert(ctx < kMaxCheckpoints);
-    for (auto& line : lines_) {
-        if (line.specWritten[ctx])
-            line.invalidate();
-        line.clearSpecBits(ctx);
-    }
-}
-
-std::uint32_t
-CacheArray::countSpeculative(std::uint32_t ctx) const
-{
-    assert(ctx < kMaxCheckpoints);
-    std::uint32_t n = 0;
-    for (const auto& line : lines_) {
-        if (line.valid() && (line.specRead[ctx] || line.specWritten[ctx]))
-            ++n;
-    }
-    return n;
-}
-
-void
-CacheArray::forEachValid(const std::function<void(CacheLine&)>& fn)
-{
-    for (auto& line : lines_) {
-        if (line.valid())
-            fn(line);
+#ifndef NDEBUG
+    verifySpecIndex();
+#endif
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << ctx);
+    // Detach the ctx index first: invalidateFrame() below edits the
+    // *other* context's index through clearSpecCtx, and must not see a
+    // half-cleared entry for this one.
+    flashScratch_.assign(specFrames_[ctx].begin(),
+                         specFrames_[ctx].end());
+    for (const std::uint32_t frame : flashScratch_)
+        specPos_[ctx][frame] = kNoFrame;
+    specFrames_[ctx].clear();
+    for (const std::uint32_t frame : flashScratch_) {
+        CacheTag& tag = tags_[frame];
+        const bool written = (tag.specWritten & bit) != 0;
+        tag.specRead &= static_cast<std::uint8_t>(~bit);
+        tag.specWritten &= static_cast<std::uint8_t>(~bit);
+        if (written)
+            invalidateFrame(frame);
     }
 }
 
 void
-CacheArray::forEachValid(
-    const std::function<void(const CacheLine&)>& fn) const
+CacheArray::forEachValid(FunctionRef<void(const Line&)> fn)
 {
-    for (const auto& line : lines_) {
-        if (line.valid())
-            fn(line);
+    const std::uint32_t frames = num_sets_ * ways_;
+    for (std::uint32_t f = 0; f < frames; ++f) {
+        if (tags_[f].valid())
+            fn(Line{this, f});
     }
 }
+
+#ifndef NDEBUG
+void
+CacheArray::verifySpecIndex() const
+{
+    // The incremental index must agree with a full tag-lane scan — the
+    // same pattern as the ROB occupancy counters: O(1) in release,
+    // re-derived from scratch in debug builds.
+    for (std::uint32_t c = 0; c < kMaxCheckpoints; ++c) {
+        const std::uint8_t bit = static_cast<std::uint8_t>(1u << c);
+        std::uint32_t marked = 0;
+        for (std::uint32_t f = 0;
+             f < static_cast<std::uint32_t>(tags_.size()); ++f) {
+            const CacheTag& tag = tags_[f];
+            const bool has =
+                ((tag.specRead | tag.specWritten) & bit) != 0;
+            if (has) {
+                assert(tag.valid() &&
+                       "speculative bit on an invalid line");
+                const std::uint32_t pos = specPos_[c][f];
+                assert(pos != kNoFrame && pos < specFrames_[c].size() &&
+                       specFrames_[c][pos] == f &&
+                       "spec index missing a marked frame");
+                ++marked;
+            } else {
+                assert(specPos_[c][f] == kNoFrame &&
+                       "spec index holds an unmarked frame");
+            }
+        }
+        assert(marked == specFrames_[c].size() && "spec index drifted");
+    }
+}
+#endif
 
 } // namespace invisifence

@@ -3,21 +3,40 @@
  * Set-associative cache array with LRU replacement and, for the L1D,
  * InvisiFence's per-block speculatively-read/written bits.
  *
- * The array stores tags, MESI-ish state, dirty bits, block data, and up to
- * two checkpoint contexts of speculative-access bits (Section 3.1 of the
- * paper; the optional second checkpoint doubles the bit pairs). The flash
- * operations model the single-cycle SRAM circuits of Figure 3.
+ * The array is stored gem5-style as two parallel lanes. The hot *tag
+ * lane* packs everything a lookup or victim scan needs into 16 bytes per
+ * way ({block address, LRU stamp, state, dirty, packed spec bits}), laid
+ * out set-major so one set's tags share one or two host cache lines. The
+ * cold *data lane* holds the 64-byte block payloads and is only touched
+ * when a caller actually reads or writes block data. A per-set MRU way
+ * predictor short-circuits the tag scan for the common
+ * same-block-as-last-time case (INVISIFENCE_WAY_PREDICT=0 disables it;
+ * results are identical either way since at most one way matches).
+ *
+ * Callers address lines through the lightweight `Line` accessor (array +
+ * frame index) and may pin one across simulated time as a generation-
+ * stamped `Handle`: the generation bumps whenever the frame's identity
+ * changes (invalidate, victim install, flash invalidate), so
+ * revalidation is one O(1) compare instead of a repeated tag scan.
+ *
+ * The flash operations model the single-cycle SRAM circuits of the
+ * paper's Figure 3. In hardware they are constant-time; here they walk a
+ * per-context index of speculatively-marked frames (maintained
+ * incrementally by the spec-bit setters and debug-verified against a
+ * full scan), so commit/abort cost O(marked lines) and countSpeculative
+ * is O(1) rather than O(all lines).
  */
 
 #ifndef INVISIFENCE_MEM_CACHE_ARRAY_HH
 #define INVISIFENCE_MEM_CACHE_ARRAY_HH
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "mem/block.hh"
+#include "sim/function_ref.hh"
 #include "sim/types.hh"
 
 namespace invisifence {
@@ -48,57 +67,26 @@ isValidState(CoherenceState s)
     return s != CoherenceState::Invalid;
 }
 
-/** One cache line: tag, state, data, and speculative access bits. */
-struct CacheLine
+/**
+ * One tag-lane entry: everything a lookup/victim/flash scan reads,
+ * packed into 16 bytes so a whole set scans within a host cache line
+ * or two. Block data lives in the array's parallel data lane.
+ */
+struct CacheTag
 {
     Addr blockAddr = 0;
+    std::uint32_t lruStamp = 0;
     CoherenceState state = CoherenceState::Invalid;
-    bool dirty = false;                //!< dirty w.r.t. the next level
-    std::uint64_t lruStamp = 0;
-    bool specRead[kMaxCheckpoints] = {false, false};
-    bool specWritten[kMaxCheckpoints] = {false, false};
-    BlockData data{};
+    std::uint8_t dirty = 0;
+    std::uint8_t specRead = 0;     //!< bit c: spec-read in context c
+    std::uint8_t specWritten = 0;  //!< bit c: spec-written in context c
 
     bool valid() const { return isValidState(state); }
-
-    bool
-    speculative() const
-    {
-        for (std::uint32_t c = 0; c < kMaxCheckpoints; ++c) {
-            if (specRead[c] || specWritten[c])
-                return true;
-        }
-        return false;
-    }
-
-    bool
-    specWrittenAny() const
-    {
-        return specWritten[0] || specWritten[1];
-    }
-
-    bool
-    specReadAny() const
-    {
-        return specRead[0] || specRead[1];
-    }
-
-    void
-    clearSpecBits(std::uint32_t ctx)
-    {
-        specRead[ctx] = false;
-        specWritten[ctx] = false;
-    }
-
-    void
-    invalidate()
-    {
-        state = CoherenceState::Invalid;
-        dirty = false;
-        for (std::uint32_t c = 0; c < kMaxCheckpoints; ++c)
-            clearSpecBits(c);
-    }
+    bool speculative() const { return (specRead | specWritten) != 0; }
 };
+
+static_assert(sizeof(CacheTag) == 16,
+              "tag lane must stay 16 bytes per way");
 
 /**
  * Physically indexed, set-associative array with true-LRU replacement.
@@ -108,6 +96,120 @@ struct CacheLine
 class CacheArray
 {
   public:
+    /** Frame index sentinel: "no line". */
+    static constexpr std::uint32_t kNoFrame = ~std::uint32_t{0};
+
+    /**
+     * Generation-stamped reference to a frame, pinnable across
+     * simulated time. resolve() returns the line iff the frame still
+     * holds the same block it did when the handle was taken.
+     */
+    struct Handle
+    {
+        std::uint32_t frame = kNoFrame;
+        std::uint32_t generation = 0;
+
+        bool null() const { return frame == kNoFrame; }
+    };
+
+    /**
+     * Lightweight accessor for one line: array pointer + frame index.
+     * All spec-bit and identity mutations go through the array so the
+     * incremental speculative index and generation stamps stay exact.
+     * Copyable two-word value; a default-constructed Line is null.
+     */
+    class Line
+    {
+      public:
+        Line() = default;
+
+        explicit operator bool() const { return arr_ != nullptr; }
+        bool operator==(const Line&) const = default;
+
+        Addr blockAddr() const { return tag().blockAddr; }
+        CoherenceState state() const { return tag().state; }
+        bool valid() const { return tag().valid(); }
+        bool dirty() const { return tag().dirty != 0; }
+
+        bool speculative() const { return tag().speculative(); }
+        bool specReadAny() const { return tag().specRead != 0; }
+        bool specWrittenAny() const { return tag().specWritten != 0; }
+
+        bool
+        specRead(std::uint32_t ctx) const
+        {
+            return ((static_cast<std::uint32_t>(tag().specRead) >> ctx) &
+                    1u) != 0;
+        }
+
+        bool
+        specWritten(std::uint32_t ctx) const
+        {
+            return ((static_cast<std::uint32_t>(tag().specWritten) >>
+                     ctx) & 1u) != 0;
+        }
+
+        /** Block payload in the cold data lane. */
+        BlockData& data() const { return arr_->data_[frame_]; }
+
+        /** Generation-stamped reference to this frame, for pinning. */
+        Handle
+        handle() const
+        {
+            return {frame_, arr_->gen_[frame_]};
+        }
+
+        /** Change coherence state (never to Invalid; use invalidate). */
+        void
+        setState(CoherenceState s) const
+        {
+            assert(isValidState(s));
+            tag().state = s;
+        }
+
+        void setDirty(bool d) const { tag().dirty = d ? 1 : 0; }
+
+        /** Mark spec-read in @p ctx; maintains the speculative index. */
+        void
+        setSpecRead(std::uint32_t ctx) const
+        {
+            arr_->setSpecBit(frame_, ctx, /*written=*/false);
+        }
+
+        /** Mark spec-written in @p ctx; maintains the index. */
+        void
+        setSpecWritten(std::uint32_t ctx) const
+        {
+            arr_->setSpecBit(frame_, ctx, /*written=*/true);
+        }
+
+        /**
+         * Reset this frame to hold @p block_addr in @p state (clean,
+         * no spec bits). The frame must be invalid (victims are
+         * invalidated/evicted first); bumps the generation.
+         */
+        void
+        install(Addr block_addr, CoherenceState s) const
+        {
+            arr_->installFrame(frame_, block_addr, s);
+        }
+
+        /** Invalidate: clears state/dirty/spec bits, bumps generation. */
+        void invalidate() const { arr_->invalidateFrame(frame_); }
+
+      private:
+        friend class CacheArray;
+        Line(CacheArray* arr, std::uint32_t frame)
+            : arr_(arr), frame_(frame)
+        {
+        }
+
+        CacheTag& tag() const { return arr_->tags_[frame_]; }
+
+        CacheArray* arr_ = nullptr;
+        std::uint32_t frame_ = 0;
+    };
+
     /**
      * @param size_bytes total capacity
      * @param ways associativity
@@ -116,12 +218,27 @@ class CacheArray
     CacheArray(std::uint64_t size_bytes, std::uint32_t ways,
                std::string name);
 
-    /** Line holding @p addr, or nullptr on miss. Does not update LRU. */
-    CacheLine* lookup(Addr addr);
-    const CacheLine* lookup(Addr addr) const;
+    /** Line holding @p addr, or a null Line on miss. No LRU update. */
+    Line lookup(Addr addr);
+    Line lookup(Addr addr) const;
+
+    /**
+     * O(1) revalidation of a pinned handle: the line, iff the frame's
+     * generation still matches (same block, possibly different
+     * state/dirty/spec bits); a null Line otherwise.
+     */
+    Line
+    resolve(Handle h)
+    {
+        if (h.null() || gen_[h.frame] != h.generation ||
+            !tags_[h.frame].valid()) {
+            return {};
+        }
+        return {this, h.frame};
+    }
 
     /** Mark @p line most recently used. */
-    void touch(CacheLine& line);
+    void touch(const Line& line);
 
     /**
      * Choose a victim frame in @p addr's set.
@@ -131,31 +248,37 @@ class CacheArray
      * LRU frame, with @p forced_avoided set so the caller can handle the
      * speculative-eviction case (forced commit/abort).
      */
-    CacheLine& findVictim(Addr addr, const std::function<bool(
-        const CacheLine&)>& avoid, bool* forced_avoided);
+    Line findVictim(Addr addr, FunctionRef<bool(const Line&)> avoid,
+                    bool* forced_avoided);
 
     /** Victim selection with no avoidance predicate. */
-    CacheLine& findVictim(Addr addr);
+    Line findVictim(Addr addr);
 
     /**
      * Flash-clear all speculative read/written bits of context @p ctx
-     * (commit; Figure 3 left/middle cells). Single cycle in hardware.
+     * (commit; Figure 3 left/middle cells). Single cycle in hardware;
+     * O(lines marked in @p ctx) here via the incremental index.
      */
     void flashClearSpecBits(std::uint32_t ctx);
 
     /**
      * Conditionally flash-invalidate every block whose speculatively-
      * written bit of context @p ctx is set, then clear that context's
-     * bits (abort; Figure 3 right cell).
+     * bits (abort; Figure 3 right cell). O(lines marked in @p ctx).
      */
     void flashInvalidateSpecWritten(std::uint32_t ctx);
 
-    /** Count of lines with any speculative bit set in context @p ctx. */
-    std::uint32_t countSpeculative(std::uint32_t ctx) const;
+    /** Count of lines with any speculative bit set in context @p ctx.
+     *  O(1): the incremental index is counted, not the array. */
+    std::uint32_t
+    countSpeculative(std::uint32_t ctx) const
+    {
+        assert(ctx < kMaxCheckpoints);
+        return static_cast<std::uint32_t>(specFrames_[ctx].size());
+    }
 
     /** Apply @p fn to every valid line. */
-    void forEachValid(const std::function<void(CacheLine&)>& fn);
-    void forEachValid(const std::function<void(const CacheLine&)>& fn) const;
+    void forEachValid(FunctionRef<void(const Line&)> fn);
 
     std::uint32_t numSets() const { return num_sets_; }
     std::uint32_t numWays() const { return ways_; }
@@ -164,12 +287,45 @@ class CacheArray
     /** Set index for @p addr (exposed for tests). */
     std::uint32_t setIndex(Addr addr) const;
 
+    /** @{ Test access: LRU-stamp wrap handling. The 32-bit stamps are
+     *  renormalized (within-set order preserved exactly, so victim
+     *  choices are unchanged) when the touch counter saturates; tests
+     *  fast-forward the counter instead of touching 4G times. */
+    void debugSetLruCounter(std::uint32_t v) { lruCounter_ = v; }
+    std::uint32_t debugLruCounter() const { return lruCounter_; }
+    /** @} */
+
   private:
+    friend class Line;
+
+    /** Tag of frame @p f (set-major: set * ways + way). */
+    std::uint32_t frameSet(std::uint32_t f) const { return f / ways_; }
+
+    void setSpecBit(std::uint32_t frame, std::uint32_t ctx, bool written);
+    void clearSpecCtx(std::uint32_t frame, std::uint32_t ctx);
+    void installFrame(std::uint32_t frame, Addr block_addr,
+                      CoherenceState s);
+    void invalidateFrame(std::uint32_t frame);
+    void renormalizeLru();
+#ifndef NDEBUG
+    void verifySpecIndex() const;
+#endif
+
     std::uint32_t num_sets_;
     std::uint32_t ways_;
+    bool wayPredict_;
     std::string name_;
-    std::vector<CacheLine> lines_;   //!< num_sets_ * ways_, set-major
-    std::uint64_t lruCounter_ = 0;
+    std::vector<CacheTag> tags_;     //!< hot lane, set-major
+    std::vector<BlockData> data_;    //!< cold lane, parallel to tags_
+    std::vector<std::uint32_t> gen_; //!< per-frame handle generation
+    std::vector<std::uint8_t> mru_;  //!< per-set predicted way
+    /** Incremental speculative index: frames with any bit in ctx, plus
+     *  each frame's position in that list (kNoFrame when absent). All
+     *  storage is preallocated to worst case — no steady-state allocs. */
+    std::vector<std::uint32_t> specFrames_[kMaxCheckpoints];
+    std::vector<std::uint32_t> specPos_[kMaxCheckpoints];
+    std::vector<std::uint32_t> flashScratch_;
+    std::uint32_t lruCounter_ = 0;
 };
 
 } // namespace invisifence

@@ -84,13 +84,48 @@ CoalescingStoreBuffer::gatherBlock(Addr addr) const
     return out;
 }
 
+bool
+CoalescingStoreBuffer::containsBlock(Addr addr) const
+{
+    const Addr blk = blockAlign(addr);
+    for (const auto& e : entries_) {
+        if (e.blockAddr == blk)
+            return true;
+    }
+    return false;
+}
+
 std::optional<std::uint64_t>
 CoalescingStoreBuffer::forward(Addr addr) const
 {
-    const MaskedBlock view = gatherBlock(addr);
+    // Word-local gather: overlay only the target word's bytes, oldest
+    // entry first so younger stores win — same result as merging whole
+    // blocks (gatherBlock) and reading one word, without the 64-byte
+    // copies on every load issue.
+    const Addr blk = blockAlign(addr);
     const std::uint32_t off = blockOffset(wordAlign(addr));
-    if (view.covers(off, kWordBytes))
-        return view.read(off, kWordBytes);
+    const ByteMask word_mask = byteMaskFor(off, kWordBytes);
+    std::uint64_t value = 0;
+    std::uint32_t have = 0;
+    for (const auto& e : entries_) {
+        if (e.blockAddr != blk)
+            continue;
+        const ByteMask m = e.data.mask & word_mask;
+        if (m == 0)
+            continue;
+        const std::uint32_t sub =
+            static_cast<std::uint32_t>(m >> off) & 0xffu;
+        std::uint64_t byte_mask = 0;
+        for (std::uint32_t i = 0; i < 8; ++i) {
+            if (sub & (1u << i))
+                byte_mask |= std::uint64_t{0xff} << (8 * i);
+        }
+        value = (value & ~byte_mask) |
+                (e.data.data.readWord(off) & byte_mask);
+        have |= sub;
+    }
+    if (have == 0xffu)
+        return value;
     return std::nullopt;
 }
 

@@ -133,6 +133,10 @@ class CoalescingStoreBuffer
     /** Youngest buffered value fully covering the word at @p addr. */
     std::optional<std::uint64_t> forward(Addr addr) const;
 
+    /** True when any entry targets @p addr's block — the emptiness
+     *  probe retirement rules need, without gatherBlock's merges. */
+    bool containsBlock(Addr addr) const;
+
     /** Flash-invalidate every entry matching @p pred (single cycle). */
     void flashInvalidate(const std::function<bool(const Entry&)>& pred);
 

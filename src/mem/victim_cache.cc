@@ -1,9 +1,36 @@
 #include "mem/victim_cache.hh"
 
-#include <algorithm>
 #include <cassert>
 
 namespace invisifence {
+
+std::ptrdiff_t
+VictimCache::indexOf(Addr addr) const
+{
+    const Addr blk = blockAlign(addr);
+    for (std::size_t i = 0; i < tags_.size(); ++i) {
+        if (tags_[i].blockAddr == blk)
+            return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+}
+
+void
+VictimCache::eraseAt(std::size_t i)
+{
+    freeSlots_.push_back(tags_[i].slot);
+    // Tag-lane shift only: 16-byte entries, payloads stay in place.
+    tags_.erase(tags_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+std::uint8_t
+VictimCache::takeSlot()
+{
+    assert(!freeSlots_.empty());
+    const std::uint8_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    return slot;
+}
 
 VictimCache::InsertResult
 VictimCache::insert(const Entry& e)
@@ -13,54 +40,62 @@ VictimCache::insert(const Entry& e)
     InsertResult res;
     // A re-inserted block replaces its previous incarnation.
     invalidate(e.blockAddr);
-    if (entries_.size() >= capacity_) {
+    if (tags_.size() >= capacity_) {
         res.displaced = true;
-        res.displacedEntry = entries_.front();
-        entries_.erase(entries_.begin());
+        res.displacedEntry.blockAddr = tags_.front().blockAddr;
+        res.displacedEntry.state = tags_.front().state;
+        res.displacedEntry.dirty = tags_.front().dirty != 0;
+        res.displacedEntry.data = data_[tags_.front().slot];
+        eraseAt(0);
     }
-    entries_.push_back(e);
+    const std::uint8_t slot = takeSlot();
+    data_[slot] = e.data;
+    tags_.push_back({e.blockAddr, slot, e.state,
+                     static_cast<std::uint8_t>(e.dirty ? 1 : 0)});
     return res;
+}
+
+void
+VictimCache::insertFrom(Addr block_addr, CoherenceState state,
+                        const BlockData& data)
+{
+    assert(state != CoherenceState::Invalid);
+    assert(block_addr == blockAlign(block_addr));
+    invalidate(block_addr);
+    if (tags_.size() >= capacity_)
+        eraseAt(0);   // displaced entry dropped (clean by construction)
+    const std::uint8_t slot = takeSlot();
+    data_[slot] = data;
+    tags_.push_back({block_addr, slot, state, 0});
 }
 
 bool
 VictimCache::extract(Addr addr, Entry* out)
 {
-    const Addr blk = blockAlign(addr);
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-        if (it->blockAddr == blk) {
-            if (out)
-                *out = *it;
-            entries_.erase(it);
-            ++statHits;
-            return true;
-        }
+    const std::ptrdiff_t at = indexOf(addr);
+    if (at < 0) {
+        ++statMisses;
+        return false;
     }
-    ++statMisses;
-    return false;
-}
-
-const VictimCache::Entry*
-VictimCache::probe(Addr addr) const
-{
-    const Addr blk = blockAlign(addr);
-    for (const auto& e : entries_) {
-        if (e.blockAddr == blk)
-            return &e;
+    const std::size_t i = static_cast<std::size_t>(at);
+    if (out) {
+        out->blockAddr = tags_[i].blockAddr;
+        out->state = tags_[i].state;
+        out->dirty = tags_[i].dirty != 0;
+        out->data = data_[tags_[i].slot];
     }
-    return nullptr;
+    eraseAt(i);
+    ++statHits;
+    return true;
 }
 
 bool
 VictimCache::invalidate(Addr addr)
 {
-    const Addr blk = blockAlign(addr);
-    auto it = std::find_if(entries_.begin(), entries_.end(),
-                           [blk](const Entry& e) {
-                               return e.blockAddr == blk;
-                           });
-    if (it == entries_.end())
+    const std::ptrdiff_t at = indexOf(addr);
+    if (at < 0)
         return false;
-    entries_.erase(it);
+    eraseAt(static_cast<std::size_t>(at));
     return true;
 }
 

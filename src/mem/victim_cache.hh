@@ -7,6 +7,12 @@
  * Speculative blocks are never placed here: they must not escape the L1
  * (Section 3.2, violation detection), so their evictions force a commit
  * or abort instead.
+ *
+ * Like CacheArray, storage is split into a compact tag lane ({block
+ * address, data slot, state, dirty}, 16 bytes per entry, scanned
+ * contiguously) and a slot-indexed 64-byte data lane, so the L1-miss
+ * probes on the agent's hot path never touch block data — and FIFO
+ * shifting moves only 16-byte tags, never payloads.
  */
 
 #ifndef INVISIFENCE_MEM_VICTIM_CACHE_HH
@@ -17,6 +23,7 @@
 
 #include "mem/block.hh"
 #include "mem/cache_array.hh"
+#include "sim/log.hh"
 #include "sim/types.hh"
 
 namespace invisifence {
@@ -25,8 +32,22 @@ namespace invisifence {
 class VictimCache
 {
   public:
-    explicit VictimCache(std::uint32_t entries) : capacity_(entries) {}
+    explicit VictimCache(std::uint32_t entries)
+        : capacity_(entries), data_(entries)
+    {
+        // Data-lane slots are byte-indexed from the tags; bound the
+        // capacity so slot numbers can never alias.
+        if (entries > 256)
+            IF_FATAL("victim cache: at most 256 entries supported");
+        // All lanes are preallocated; nothing allocates after
+        // construction.
+        tags_.reserve(entries);
+        freeSlots_.reserve(entries);
+        for (std::uint32_t s = 0; s < entries; ++s)
+            freeSlots_.push_back(static_cast<std::uint8_t>(s));
+    }
 
+    /** Full view of one entry, for insert/extract interchange. */
     struct Entry
     {
         Addr blockAddr = 0;
@@ -43,27 +64,59 @@ class VictimCache
     };
     InsertResult insert(const Entry& e);
 
+    /** Insert without the Entry interchange copy: the payload goes
+     *  straight from @p data into the entry's slot (one 64-byte copy).
+     *  Any displaced entry is dropped, as the L1 eviction path does. */
+    void insertFrom(Addr block_addr, CoherenceState state,
+                    const BlockData& data);
+
     /** Find and remove the entry for @p addr; true when present. */
     bool extract(Addr addr, Entry* out);
 
-    /** Find without removing (for external probes). */
-    const Entry* probe(Addr addr) const;
+    /** Presence probe: tag-lane scan only, no block data touched. */
+    bool
+    contains(Addr addr) const
+    {
+        return indexOf(addr) >= 0;
+    }
+
+    /** Block payload for @p addr, or nullptr (test/debug access). */
+    const BlockData*
+    peekData(Addr addr) const
+    {
+        const std::ptrdiff_t i = indexOf(addr);
+        return i >= 0 ? &data_[tags_[static_cast<std::size_t>(i)].slot]
+                      : nullptr;
+    }
 
     /** Remove the entry for @p addr if present (invalidation). */
     bool invalidate(Addr addr);
 
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return tags_.size(); }
     std::uint32_t capacity() const { return capacity_; }
 
     std::uint64_t statHits = 0;
     std::uint64_t statMisses = 0;
 
   private:
+    /** Compact tag-lane entry; age order lives in the vector order. */
+    struct Tag
+    {
+        Addr blockAddr = 0;
+        std::uint8_t slot = 0;    //!< index into the fixed data lane
+        CoherenceState state = CoherenceState::Invalid;
+        std::uint8_t dirty = 0;
+    };
+
+    /** Age position of @p addr's entry (oldest first), or -1. */
+    std::ptrdiff_t indexOf(Addr addr) const;
+    void eraseAt(std::size_t i);
+    std::uint8_t takeSlot();
+
     std::uint32_t capacity_;
-    /** Age order, oldest first. A vector (16 entries, trivially
-     *  copyable): shifting on FIFO eviction is a small memmove, and the
-     *  storage is allocated once — no per-eviction deque-chunk churn. */
-    std::vector<Entry> entries_;
+    std::vector<Tag> tags_;       //!< hot lane, oldest first
+    std::vector<BlockData> data_; //!< cold lane, fixed slots
+    std::vector<std::uint8_t> freeSlots_;
 };
 
 } // namespace invisifence

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Non-owning, non-allocating callable reference (a "function_ref").
+ *
+ * The victim-selection and sweep callbacks of the cache arrays take a
+ * predicate whose lifetime is the duration of the call. std::function
+ * there is pure overhead: any capture beyond one pointer heap-allocates,
+ * and the indirect call cannot be inlined past the type-erased copy.
+ * FunctionRef borrows the callable instead — two words, trivially
+ * copyable, never allocates — which removes the last std::function
+ * construction from the cache-miss path. It must not outlive the
+ * referenced callable; take it by value as a parameter, never store it.
+ */
+
+#ifndef INVISIFENCE_SIM_FUNCTION_REF_HH
+#define INVISIFENCE_SIM_FUNCTION_REF_HH
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace invisifence {
+
+template <typename Sig>
+class FunctionRef;
+
+/** Borrowed view of a callable with signature R(Args...). */
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)>
+{
+  public:
+    /** Null reference: converts to false; must not be invoked. */
+    FunctionRef() = default;
+    FunctionRef(std::nullptr_t) {}   // NOLINT: mirrors std::function
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                  std::is_invocable_r_v<R, F&, Args...>>>
+    FunctionRef(F&& f)   // NOLINT: implicit by design
+        : obj_(const_cast<void*>(
+              static_cast<const void*>(std::addressof(f)))),
+          call_([](void* obj, Args... args) -> R {
+              return (*static_cast<std::add_pointer_t<
+                          std::remove_reference_t<F>>>(obj))(
+                  std::forward<Args>(args)...);
+          })
+    {
+    }
+
+    R
+    operator()(Args... args) const
+    {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const { return call_ != nullptr; }
+
+  private:
+    void* obj_ = nullptr;
+    R (*call_)(void*, Args...) = nullptr;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_SIM_FUNCTION_REF_HH

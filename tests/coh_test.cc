@@ -270,7 +270,7 @@ TEST(Protocol, CleanWritebackPreservesValueInL2)
     rig.settle();
     EXPECT_TRUE(cleaned);
     EXPECT_FALSE(rig.agents[0]->l1Dirty(0x9000));
-    EXPECT_EQ(rig.agents[0]->l2().lookup(0x9000)->data.readWord(
+    EXPECT_EQ(rig.agents[0]->l2().lookup(0x9000).data().readWord(
                   blockOffset(0x9000)),
               5u);
 }
@@ -337,15 +337,15 @@ TEST_P(ProtocolRandom, SingleWriterInvariantUnderRandomTraffic)
                 writable += rig.agents[n]->l1Writable(addr) ||
                             (rig.agents[n]->l2().lookup(addr) &&
                              isWritable(
-                                 rig.agents[n]->l2().lookup(addr)->state));
+                                 rig.agents[n]->l2().lookup(addr).state()));
             ASSERT_LE(writable, 1) << "block " << b;
             if (writable == 1) {
                 // No other valid copies coexist with a writer.
                 int readable = 0;
                 for (NodeId n = 0; n < nodes; ++n) {
-                    const CacheLine* l2 =
+                    const CacheArray::Line l2 =
                         rig.agents[n]->l2().lookup(addr);
-                    readable += (l2 && l2->valid());
+                    readable += static_cast<int>(l2 && l2.valid());
                 }
                 ASSERT_EQ(readable, 1) << "block " << b;
             }
