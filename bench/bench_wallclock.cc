@@ -15,7 +15,11 @@
  * Schema v2 adds two columns per point: events/sec (event-queue
  * executions per wall second, fastfwd mode) and allocs/cycle (global
  * operator-new calls per simulated cycle across the measure window —
- * 0.000 is the pooled event path's contract).
+ * 0.000 is the pooled event path's contract). Schema v3 adds the
+ * memory-system accounting counters (mshr_full_stalls,
+ * dir_stale_writebacks, dir_queued_requests) so perfsmoke shows stall
+ * behavior drifting alongside raw throughput; comparing against a
+ * pre-v3 artifact prints "-" for the committed side.
  *
  * Usage:
  *   bench_wallclock [out.json]                 measure, optionally write
@@ -93,6 +97,13 @@ struct Point
     double dormantFrac = 0;   //!< core cycles skipped while dormant
     double eventsPerSec = 0;  //!< event executions / wall second (fastfwd)
     double allocsPerCycle = 0; //!< operator new calls / simulated cycle
+    /** @{ Whole-run memory-system accounting (fastfwd run): MSHR-full
+     *  stall episodes, stale writebacks and queued requests at the
+     *  directories. Schema v3 fields. */
+    std::uint64_t mshrFullStalls = 0;
+    std::uint64_t dirStaleWritebacks = 0;
+    std::uint64_t dirQueuedRequests = 0;
+    /** @} */
 };
 
 /** Wall-time one full run (warmup + measure) and return kcycles/s. */
@@ -138,6 +149,9 @@ timedRun(const Workload& wl, ImplKind kind, const RunConfig& cfg,
         out->allocsPerCycle =
             static_cast<double>(allocs1 - allocs0) /
             static_cast<double>(run_cfg.measureCycles);
+        out->mshrFullStalls = sys.totalMshrFullStalls();
+        out->dirStaleWritebacks = sys.totalDirStaleWritebacks();
+        out->dirQueuedRequests = sys.totalDirQueuedRequests();
     }
     return secs > 0 ? static_cast<double>(cycles) / secs / 1000.0 : 0.0;
 }
@@ -145,20 +159,28 @@ timedRun(const Workload& wl, ImplKind kind, const RunConfig& cfg,
 void
 writeJson(std::ostream& os, const std::vector<Point>& points, Cycle cycles)
 {
-    os << "{\n  \"schema\": \"invisifence-wallclock-v2\",\n";
+    os << "{\n  \"schema\": \"invisifence-wallclock-v3\",\n";
     os << "  \"cycles\": " << cycles << ",\n  \"points\": [\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
         const Point& p = points[i];
-        char buf[384];
+        char buf[512];
         std::snprintf(buf, sizeof(buf),
                       "    {\"config\": \"%s\", \"impl\": \"%s\", "
                       "\"kcps_legacy\": %.1f, \"kcps_fastfwd\": %.1f, "
                       "\"speedup\": %.2f, \"dormant_frac\": %.3f, "
                       "\"events_per_sec\": %.0f, "
-                      "\"allocs_per_cycle\": %.3f}%s\n",
+                      "\"allocs_per_cycle\": %.3f, "
+                      "\"mshr_full_stalls\": %llu, "
+                      "\"dir_stale_writebacks\": %llu, "
+                      "\"dir_queued_requests\": %llu}%s\n",
                       p.config.c_str(), p.impl.c_str(), p.kcpsLegacy,
                       p.kcpsFastfwd, p.speedup, p.dormantFrac,
                       p.eventsPerSec, p.allocsPerCycle,
+                      static_cast<unsigned long long>(p.mshrFullStalls),
+                      static_cast<unsigned long long>(
+                          p.dirStaleWritebacks),
+                      static_cast<unsigned long long>(
+                          p.dirQueuedRequests),
                       i + 1 < points.size() ? "," : "");
         os << buf;
     }
@@ -196,11 +218,20 @@ checkAgainst(const std::string& path, const std::vector<Point>& points,
             v = v.substr(1, v.size() - 2);
         return v;
     };
+    // The v3 stat fields print as measured/committed pairs; a "-"
+    // committed side means the compared artifact predates schema v3.
+    // They are informational columns, not part of the kcps gate.
+    const auto pair = [](std::uint64_t measured,
+                         const std::string& committed) -> std::string {
+        return std::to_string(measured) + "/" +
+               (committed.empty() ? "-" : committed);
+    };
     bool ok = true;
     int compared = 0;
     double log_ratio_sum = 0.0;
-    std::printf("  %-6s %-16s %9s %9s %9s %7s\n", "config", "impl",
-                "measured", "committed", "delta", "ratio");
+    std::printf("  %-6s %-16s %9s %9s %9s %7s %11s %10s %11s\n",
+                "config", "impl", "measured", "committed", "delta",
+                "ratio", "mshr_stall", "stale_wb", "dir_queued");
     std::string line;
     while (std::getline(is, line)) {
         const std::string config = field(line, "config");
@@ -219,10 +250,17 @@ checkAgainst(const std::string& path, const std::vector<Point>& points,
             const double ratio = p.kcpsFastfwd / base;
             ++compared;
             log_ratio_sum += std::log(ratio);
-            std::printf("  %-6s %-16s %9.1f %9.1f %+9.1f %6.2fx%s\n",
-                        config.c_str(), impl.c_str(), p.kcpsFastfwd,
-                        base, p.kcpsFastfwd - base, ratio,
-                        ratio < min_ratio ? "  REGRESSED" : "");
+            std::printf(
+                "  %-6s %-16s %9.1f %9.1f %+9.1f %6.2fx %11s %10s %11s%s\n",
+                config.c_str(), impl.c_str(), p.kcpsFastfwd, base,
+                p.kcpsFastfwd - base, ratio,
+                pair(p.mshrFullStalls,
+                     field(line, "mshr_full_stalls")).c_str(),
+                pair(p.dirStaleWritebacks,
+                     field(line, "dir_stale_writebacks")).c_str(),
+                pair(p.dirQueuedRequests,
+                     field(line, "dir_queued_requests")).c_str(),
+                ratio < min_ratio ? "  REGRESSED" : "");
             if (ratio < min_ratio)
                 ok = false;
         }
@@ -297,7 +335,8 @@ main(int argc, char** argv)
     Table table("Simulator wall-clock throughput (Apache, " +
                 std::to_string(cycles) + " cycles)");
     table.setHeader({"config", "impl", "kcyc/s legacy", "kcyc/s fastfwd",
-                     "speedup", "dormant", "events/s", "allocs/cyc"});
+                     "speedup", "dormant", "events/s", "allocs/cyc",
+                     "mshr stl", "stale wb", "dir q"});
     for (const Config& config : configs) {
         if (!only_config.empty() && only_config != config.name)
             continue;
@@ -323,7 +362,10 @@ main(int argc, char** argv)
                           Table::num(p.speedup, 2) + "x",
                           Table::pct(p.dormantFrac),
                           Table::num(p.eventsPerSec, 0),
-                          Table::num(p.allocsPerCycle, 3)});
+                          Table::num(p.allocsPerCycle, 3),
+                          std::to_string(p.mshrFullStalls),
+                          std::to_string(p.dirStaleWritebacks),
+                          std::to_string(p.dirQueuedRequests)});
             points.push_back(std::move(p));
         }
     }

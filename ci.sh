@@ -46,6 +46,18 @@ run_asan() {
     # be byte-identical (prediction is a host-side accelerator only).
     INVISIFENCE_WAY_PREDICT=0 ctest --test-dir build-asan \
         --output-on-failure -R '(golden_figures_test|fastforward_test)'
+    # Flat-directory escape hatch: forced back to the unordered_map the
+    # goldens and the memory/coherence unit suites must be unchanged
+    # (the flat table is a host-side layout swap only).
+    INVISIFENCE_DIR_FLAT=0 ctest --test-dir build-asan \
+        --output-on-failure \
+        -R '(golden_figures_test|fastforward_test|mem_test|coh_test)'
+    # MSHR-index escape hatch: forced off, lookups take the linear scan
+    # and waiter/local-fill merging is disabled — goldens and the same
+    # suites must be byte-identical either way.
+    INVISIFENCE_MSHR_INDEX=0 ctest --test-dir build-asan \
+        --output-on-failure \
+        -R '(golden_figures_test|fastforward_test|mem_test|coh_test)'
 }
 
 run_tsan() {

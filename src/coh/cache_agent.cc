@@ -50,6 +50,17 @@ CacheAgent::CacheAgent(NodeId node, std::uint32_t num_nodes, Network& net,
       vc_(params.victimEntries), mshrs_(params.mshrs + 64)
 {
     net_.attachAgent(node_, this);
+    // Prime the local-fill batch pool past any realistic number of
+    // concurrently pending local fills (events live ~l2Latency ticks),
+    // so the steady-state hot path never allocates; demand beyond the
+    // preallocation still works, each extra slot allocating once.
+    localBatches_.reserve(128);
+    freeBatch_ = 0;
+    for (std::uint32_t s = 0; s < 128; ++s) {
+        LocalFillBatch& b = localBatches_.emplace_back();
+        b.waiters.reserve(4);
+        b.nextFree = s + 1 < 128 ? s + 1 : ~std::uint32_t{0};
+    }
 }
 
 CacheAgent::Where
@@ -117,7 +128,7 @@ CacheAgent::fetchOutstanding(Addr addr) const
 }
 
 bool
-CacheAgent::request(Addr addr, bool write, FillCallback cb)
+CacheAgent::request(Addr addr, bool write, FillWaiter cb)
 {
     const Addr block = blockAlign(addr);
 
@@ -142,9 +153,36 @@ CacheAgent::request(Addr addr, bool write, FillCallback cb)
                 vc_hit ? params_.victimLatency : params_.l2Latency;
             if (vc_hit)
                 vc_.extract(block, nullptr);
-            eq_.schedule(lat, [this, block, cb]() {
-                completeLocalFill(block, cb, 0);
+            const Cycle due = eq_.now() + lat;
+            // Merge into the just-scheduled local fill for this block
+            // when nothing else entered the queue since (the two
+            // events would be adjacent in the same-tick FIFO, so
+            // appending to the batch is unobservable; see
+            // localBatches_ in the header).
+            if (mshrs_.indexEnabled() &&
+                lastLocalSeqAfter_ == eq_.scheduledCount() &&
+                lastLocalBlock_ == block && lastLocalDue_ == due) {
+                localBatches_[lastLocalSlot_].waiters.push_back(cb);
+                return true;
+            }
+            std::uint32_t slot;
+            if (freeBatch_ != ~std::uint32_t{0}) {
+                slot = freeBatch_;
+                freeBatch_ = localBatches_[slot].nextFree;
+            } else {
+                slot = static_cast<std::uint32_t>(localBatches_.size());
+                localBatches_.emplace_back();
+            }
+            LocalFillBatch& b = localBatches_[slot];
+            b.block = block;
+            b.waiters.push_back(cb);
+            eq_.schedule(lat, [this, slot]() {
+                runLocalFillBatch(slot);
             }, node_);
+            lastLocalBlock_ = block;
+            lastLocalDue_ = due;
+            lastLocalSlot_ = slot;
+            lastLocalSeqAfter_ = eq_.scheduledCount();
             return true;
         }
         // Upgrade: data present (Shared) but write permission missing.
@@ -348,7 +386,7 @@ CacheAgent::deliver(const Msg& msg)
 }
 
 void
-CacheAgent::completeLocalFill(Addr block, FillCallback cb, int attempt)
+CacheAgent::completeLocalFill(Addr block, FillWaiter cb, int attempt)
 {
     // Revalidate: an external request may have taken the block away
     // while the fill was pending.
@@ -369,6 +407,25 @@ CacheAgent::completeLocalFill(Addr block, FillCallback cb, int attempt)
     }
     if (cb)
         cb();
+}
+
+void
+CacheAgent::runLocalFillBatch(std::uint32_t slot)
+{
+    // Move the waiters out first: a waiter can re-enter request() and
+    // grow localBatches_, invalidating references into the slab.
+    const Addr block = localBatches_[slot].block;
+    std::vector<FillWaiter> waiters =
+        std::move(localBatches_[slot].waiters);
+    // Each waiter revalidates/defers independently, exactly as the N
+    // adjacent per-waiter events it replaces would have.
+    for (const FillWaiter& cb : waiters)
+        completeLocalFill(block, cb, 0);
+    waiters.clear();
+    LocalFillBatch& b = localBatches_[slot];
+    b.waiters = std::move(waiters);   // recycle the capacity
+    b.nextFree = freeBatch_;
+    freeBatch_ = slot;
 }
 
 void
@@ -429,17 +486,22 @@ CacheAgent::finishFill(Addr block, int attempt)
     // recycled into the shared slab before its callback executes.
     std::uint32_t reader = mshrs_.takeWaiters(m->readWaiters);
     while (reader != kNoWaiter) {
-        FillCallback fn = mshrs_.takeWaiterAndAdvance(reader);
+        FillWaiter fn = mshrs_.takeWaiterAndAdvance(reader);
         fn();
     }
 
     if (m->wantWrite) {
         if (writable) {
+            // free() audit: both chains are provably empty here — the
+            // read chain was detached above and the write chain is
+            // detached now, before the free; the reader wakes between
+            // them bind/replay ROB entries without re-entering
+            // request() on this block.
             std::uint32_t writer = mshrs_.takeWaiters(m->writeWaiters);
             mshrs_.free(m);
             --fetchCount_;
             while (writer != kNoWaiter) {
-                FillCallback fn = mshrs_.takeWaiterAndAdvance(writer);
+                FillWaiter fn = mshrs_.takeWaiterAndAdvance(writer);
                 fn();
             }
         } else if (!m->issuedWrite) {
@@ -451,6 +513,9 @@ CacheAgent::finishFill(Addr block, int attempt)
         }
         // else: a GetM is already in flight; its fill finishes the job.
     } else {
+        // free() audit: !wantWrite means no write waiter was ever
+        // pushed, and the read chain was detached above — both chains
+        // are empty.
         mshrs_.free(m);
         --fetchCount_;
     }
@@ -585,7 +650,33 @@ CacheAgent::handleWbAck(const Msg& msg)
         IF_PANIC("agent %u: %s with no writeback MSHR", node_,
                  msgTypeName(msg.type).data());
     }
+    // free() audit: waiter chains exist only on Fetch-kind MSHRs
+    // (request() pushes them); a writeback MSHR's chains stay empty.
     mshrs_.free(wb);
+}
+
+void
+CacheAgent::registerStats(StatRegistry& reg,
+                          const std::string& prefix) const
+{
+    reg.registerStat(prefix + ".l1_fills_local", &statL1FillsLocal);
+    reg.registerStat(prefix + ".l1_fills_remote", &statL1FillsRemote);
+    reg.registerStat(prefix + ".upgrades", &statUpgrades);
+    reg.registerStat(prefix + ".external_served", &statExternalServed);
+    reg.registerStat(prefix + ".external_deferred",
+                     &statExternalDeferred);
+    reg.registerStat(prefix + ".clean_writebacks",
+                     &statCleanWritebacks);
+    reg.registerStat(prefix + ".forced_spec_evictions",
+                     &statForcedSpecEvictions);
+    reg.registerStat(prefix + ".deferred_fills", &statDeferredFills);
+    reg.registerStat(prefix + ".l2_evictions", &statL2Evictions);
+    reg.registerStat(prefix + ".mshr.allocations",
+                     &mshrs_.statAllocations);
+    reg.registerStat(prefix + ".mshr.full_stalls",
+                     &mshrs_.statFullStalls);
+    reg.registerStat(prefix + ".mshr.waiter_dedups",
+                     &mshrs_.statWaiterDedups);
 }
 
 CacheArray::Line
@@ -635,6 +726,8 @@ CacheAgent::installL1(Addr block, CacheArray::Line l2line)
             existing.data() = l2line.data();
         existing.setState(l2line.state());
         l1_.touch(existing);
+        if (listener_)
+            listener_->onL1Install(block);
         return existing;
     }
 
@@ -665,6 +758,8 @@ CacheAgent::installL1(Addr block, CacheArray::Line l2line)
     victim.install(block, l2line.state());
     victim.data() = l2line.data();
     l1_.touch(victim);
+    if (listener_)
+        listener_->onL1Install(block);
     return victim;
 }
 

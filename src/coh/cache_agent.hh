@@ -32,6 +32,7 @@
 #include "sim/event_queue.hh"
 #include "sim/inplace_fn.hh"
 #include "sim/ring_deque.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace invisifence {
@@ -115,13 +116,17 @@ class CacheAgent
     /**
      * Bring the block into the L1 with (at least) the requested
      * permission; @p cb runs when it is usable. Returns false when the
-     * fetch MSHRs are exhausted (caller retries later). @p cb is a
-     * bounded trivially-copyable closure (FillCallback) stored inline
-     * in the MSHR / pooled event, never on the heap; omit it for pure
+     * fetch MSHRs are exhausted (caller retries later; see the
+     * full-stall episode accounting in Core/SpeculativeImpl). @p cb is
+     * a typed {fn, owner, arg} record (FillWaiter) stored inline in
+     * the MSHR / pooled event, never on the heap; omit it for pure
      * prefetch/permission requests (a null callback is not queued at
      * all, so retry-heavy drain loops don't grow the waiter lists).
+     * Identical records merge: same-block requests carrying the same
+     * record share one waiter node, and same-tick local fills to one
+     * block share one scheduled event (a waiter batch).
      */
-    bool request(Addr addr, bool write, FillCallback cb = {});
+    bool request(Addr addr, bool write, FillWaiter cb = {});
 
     /** True when a fetch for this block is already outstanding. */
     bool fetchOutstanding(Addr addr) const;
@@ -207,9 +212,13 @@ class CacheAgent
     CacheArray& l2() { return l2_; }
     VictimCache& victimCache() { return vc_; }
     MshrFile& mshrs() { return mshrs_; }
+    const MshrFile& mshrs() const { return mshrs_; }
     NodeId node() const { return node_; }
     const AgentParams& params() const { return params_; }
     /** @} */
+
+    /** Register this agent's (and its MSHR file's) statistics. */
+    void registerStats(StatRegistry& reg, const std::string& prefix) const;
 
     std::uint64_t statL1FillsLocal = 0;
     std::uint64_t statL1FillsRemote = 0;
@@ -247,7 +256,9 @@ class CacheAgent
     /** Retry loop for network fills blocked on speculative eviction. */
     void finishFill(Addr block, int attempt);
     /** Retry loop for L2/VC-local fills (same deferral rules). */
-    void completeLocalFill(Addr block, FillCallback cb, int attempt);
+    void completeLocalFill(Addr block, FillWaiter cb, int attempt);
+    /** Run one batch of merged same-(block, due) local-fill waiters. */
+    void runLocalFillBatch(std::uint32_t slot);
     void evictL2Line(CacheArray::Line line);
     void sendToHome(MsgType type, Addr block, const BlockData* data,
                     bool dirty);
@@ -276,6 +287,34 @@ class CacheAgent
      *  iteration without per-call vector churn. A pool, not a single
      *  member, because drains can re-enter (abort paths). */
     std::vector<std::vector<Msg>> msgScratchPool_;
+
+    /**
+     * Local-fill event batching: N same-tick requests hitting one
+     * locally resident block used to schedule N identical
+     * completeLocalFill events; now the first schedules a batch event
+     * and the rest append their waiter to it. A request merges IFF
+     * nothing else was scheduled since the batch (lastLocalSeqAfter_
+     * still matches the queue's scheduled count) and (block, due)
+     * match: the merged events would have been adjacent in the
+     * same-tick FIFO, so running their waiters back-to-back inside one
+     * event is unobservable. Slots are free-listed; waiter vectors
+     * keep their capacity across reuse (steady state allocates
+     * nothing). Off with the MSHR-index escape hatch.
+     */
+    struct LocalFillBatch
+    {
+        Addr block = 0;
+        std::vector<FillWaiter> waiters;
+        std::uint32_t nextFree = ~std::uint32_t{0};
+    };
+    std::vector<LocalFillBatch> localBatches_;
+    std::uint32_t freeBatch_ = ~std::uint32_t{0};
+    /** @{ Fingerprint of the most recently scheduled batch. */
+    Addr lastLocalBlock_ = ~Addr{0};
+    Cycle lastLocalDue_ = 0;
+    std::uint32_t lastLocalSlot_ = ~std::uint32_t{0};
+    std::uint64_t lastLocalSeqAfter_ = ~std::uint64_t{0};
+    /** @} */
 };
 
 } // namespace invisifence

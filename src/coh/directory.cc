@@ -1,17 +1,44 @@
 #include "coh/directory.hh"
 
 #include <cassert>
+#include <cstdlib>
 
 #include "sim/log.hh"
 
 namespace invisifence {
+
+namespace {
+
+/** INVISIFENCE_DIR_FLAT=0 falls back to the legacy unordered_map
+ *  directory store (escape hatch; behavior-identical). Parsed once per
+ *  process; per-instance A/B runs use DirectoryParams::flatTable. */
+bool
+dirFlatEnabled()
+{
+    static const bool enabled = []() {
+        const char* text = std::getenv("INVISIFENCE_DIR_FLAT");
+        if (!text || text[0] == '\0')
+            return true;
+        if (text[0] == '0' && text[1] == '\0')
+            return false;
+        if (text[0] == '1' && text[1] == '\0')
+            return true;
+        IF_FATAL("INVISIFENCE_DIR_FLAT='%s' is not 0 or 1", text);
+    }();
+    return enabled;
+}
+
+} // namespace
 
 DirectorySlice::DirectorySlice(NodeId node, std::uint32_t num_nodes,
                                Network& net, EventQueue& eq,
                                FunctionalMemory& mem,
                                const DirectoryParams& params)
     : node_(node), numNodes_(num_nodes), net_(net), eq_(eq), mem_(mem),
-      params_(params)
+      params_(params),
+      useFlat_(params.flatTable < 0 ? dirFlatEnabled()
+                                    : params.flatTable != 0),
+      dirFlat_(params.flatCapacity)
 {
     net_.attachDirectory(node_, this);
 }
@@ -19,8 +46,82 @@ DirectorySlice::DirectorySlice(NodeId node, std::uint32_t num_nodes,
 DirectorySlice::DirEntry&
 DirectorySlice::entry(Addr block)
 {
-    return dir_[blockAlign(block)];
+    const Addr blk = blockAlign(block);
+    if (!useFlat_)
+        return dir_[blk];
+#ifndef NDEBUG
+    // Fold the mutations made through the previous entry() reference
+    // into the oracle before taking a new one.
+    syncOracleFlush();
+#endif
+    bool created = false;
+    // Directory state is only inserted, never erased, and callers hold
+    // the returned reference only within one protocol step without
+    // interleaving entry() inserts — so a grow here cannot invalidate a
+    // reference anyone still uses.
+    DirEntry& e = dirFlat_.getOrCreate(blk, &created);
+#ifndef NDEBUG
+    if (created) {
+        dir_.emplace(blk, DirEntry{});
+    } else {
+        auto it = dir_.find(blk);
+        assert(it != dir_.end() && it->second == e &&
+               "flat directory diverged from the map oracle");
+        static_cast<void>(it);
+    }
+    lastEntryKey_ = blk;
+#endif
+    return e;
 }
+
+#ifndef NDEBUG
+void
+DirectorySlice::syncOracleFlush() const
+{
+    if (!useFlat_ || lastEntryKey_ == ~Addr{0})
+        return;
+    const DirEntry* cur = dirFlat_.find(lastEntryKey_);
+    assert(cur && "oracle-tracked block vanished from the flat table");
+    dir_[lastEntryKey_] = *cur;
+    lastEntryKey_ = ~Addr{0};
+}
+
+void
+DirectorySlice::verifyQuiescence() const
+{
+    if (useFlat_) {
+        syncOracleFlush();
+        assert(dirFlat_.size() == dir_.size() &&
+               "flat directory and map oracle disagree on entry count");
+        dirFlat_.forEach([this](Addr key, const DirEntry& value) {
+            auto it = dir_.find(key);
+            assert(it != dir_.end() && it->second == value &&
+                   "flat directory diverged from the map oracle");
+            static_cast<void>(it);
+        });
+    }
+    // The quiescence counters are maintained incrementally by every
+    // protocol step; recount them from scratch over the transient
+    // per-block state before quiescent() trusts them.
+    std::uint64_t waiting = 0;
+    std::uint64_t active = 0;
+    std::uint64_t busy = 0;
+    home_.forEach([&](Addr, const BlockHome& h) {
+        waiting += h.waiting.size();
+        active += h.txnActive ? 1 : 0;
+        busy += h.busy ? 1 : 0;
+    });
+    assert(waiting == waitingTotal_ &&
+           "waitingTotal_ diverged from the waiting queues");
+    assert(active == activeTxns_ &&
+           "activeTxns_ diverged from the live transactions");
+    assert(busy == busyBlocks_ &&
+           "busyBlocks_ diverged from the busy flags");
+    static_cast<void>(waiting);
+    static_cast<void>(active);
+    static_cast<void>(busy);
+}
+#endif
 
 DirectorySlice::BlockHome&
 DirectorySlice::home(Addr block)
@@ -50,11 +151,44 @@ DirectorySlice::maybeRecycleHome(Addr block)
 DirectorySlice::EntryView
 DirectorySlice::inspect(Addr block) const
 {
-    auto it = dir_.find(blockAlign(block));
-    if (it == dir_.end())
+    const Addr blk = blockAlign(block);
+    const DirEntry* e = nullptr;
+    if (useFlat_) {
+        e = dirFlat_.find(blk);
+#ifndef NDEBUG
+        if (blk != lastEntryKey_) {
+            // Skip the one key whose latest mutations are still only in
+            // the flat table (folded in at the next entry()/verify).
+            auto it = dir_.find(blk);
+            assert((e == nullptr) == (it == dir_.end()) &&
+                   "flat directory and map oracle disagree on presence");
+            assert((!e || *e == it->second) &&
+                   "flat directory diverged from the map oracle");
+            static_cast<void>(it);
+        }
+#endif
+    } else {
+        auto it = dir_.find(blk);
+        if (it != dir_.end())
+            e = &it->second;
+    }
+    if (!e)
         return EntryView{};
-    return EntryView{it->second.state, it->second.sharers,
-                     it->second.owner};
+    return EntryView{e->state, e->sharers, e->owner};
+}
+
+void
+DirectorySlice::registerStats(StatRegistry& reg,
+                              const std::string& prefix) const
+{
+    reg.registerStat(prefix + ".gets", &statGetS);
+    reg.registerStat(prefix + ".getm", &statGetM);
+    reg.registerStat(prefix + ".writebacks", &statWritebacks);
+    reg.registerStat(prefix + ".invalidations_sent",
+                     &statInvalidationsSent);
+    reg.registerStat(prefix + ".mem_reads", &statMemReads);
+    reg.registerStat(prefix + ".stale_writebacks", &statStaleWritebacks);
+    reg.registerStat(prefix + ".queued_requests", &statQueuedRequests);
 }
 
 void

@@ -22,12 +22,16 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include <string>
+
 #include "coh/message.hh"
 #include "coh/network.hh"
 #include "mem/functional_mem.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/recycling_map.hh"
 #include "sim/ring_deque.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace invisifence {
@@ -37,6 +41,14 @@ struct DirectoryParams
 {
     Cycle memLatency = 160;   //!< 40 ns at 4 GHz
     Cycle procLatency = 10;   //!< microcoded protocol controller occupancy
+    /** Initial capacity (rounded up to a power of two) of the flat
+     *  per-block state table; sized so warm-started runs never grow it
+     *  after warmup. Growth doubles and rehashes (warmup only). */
+    std::uint32_t flatCapacity = 1u << 13;
+    /** Flat-table selector: -1 follows INVISIFENCE_DIR_FLAT (default
+     *  on), 0/1 force the legacy unordered_map / the flat table — the
+     *  per-instance override the A/B equivalence tests use. */
+    int flatTable = -1;
 };
 
 /** Home node of a block: blocks interleave across nodes. */
@@ -57,10 +69,19 @@ class DirectorySlice
     /** Network sink: called for every message addressed to this slice. */
     void deliver(const Msg& msg);
 
-    /** True when no transaction is active and no requests queue (tests). */
+    /**
+     * True when no transaction is active and no requests queue (tests).
+     * The counters consulted here are maintained incrementally across
+     * every protocol step; debug builds recount them from scratch over
+     * the transient-state map (and diff the flat table against its map
+     * oracle) before trusting them.
+     */
     bool
     quiescent() const
     {
+#ifndef NDEBUG
+        verifyQuiescence();
+#endif
         return activeTxns_ == 0 && waitingTotal_ == 0 && busyBlocks_ == 0;
     }
 
@@ -79,6 +100,9 @@ class DirectorySlice
     void primeShared(Addr block, std::uint32_t sharer_mask);
     /** @} */
 
+    /** Register this slice's statistics under @p prefix. */
+    void registerStats(StatRegistry& reg, const std::string& prefix) const;
+
     std::uint64_t statGetS = 0;
     std::uint64_t statGetM = 0;
     std::uint64_t statWritebacks = 0;
@@ -93,6 +117,8 @@ class DirectorySlice
         DirState state = DirState::Idle;
         std::uint32_t sharers = 0;   //!< bitmask over nodes
         NodeId owner = 0;
+
+        bool operator==(const DirEntry&) const = default;
     };
 
     /** Active transaction on a block. */
@@ -124,6 +150,19 @@ class DirectorySlice
 
     DirEntry& entry(Addr block);
 
+#ifndef NDEBUG
+    /**
+     * Flush the mutations made through the last entry() reference into
+     * the map oracle (callers mutate the returned ref after entry()
+     * returns, so the oracle can only catch up at the next sync point).
+     * No-op when the flat table is off (dir_ is then the real store).
+     */
+    void syncOracleFlush() const;
+    /** Full-table flat-vs-oracle comparison plus a from-scratch recount
+     *  of the quiescence counters over home_ (S3). */
+    void verifyQuiescence() const;
+#endif
+
     /** Transient state for @p block, created (reset) on demand. */
     BlockHome& home(Addr block);
     /** Drop @p block's transient entry if it went fully idle. */
@@ -150,7 +189,24 @@ class DirectorySlice
     FunctionalMemory& mem_;
     DirectoryParams params_;
 
+    bool useFlat_;
+    /**
+     * Per-block directory state. With the flat table on, dirFlat_ is
+     * the store and dir_ (the legacy unordered_map) survives in debug
+     * builds only, as a shadow oracle cross-checked on every entry()
+     * and in verifyQuiescence(); with the flat table off, dir_ is the
+     * store and dirFlat_ stays empty. Directory state is never erased,
+     * so the flat table only inserts (growth doubles + rehashes, which
+     * warm-started runs absorb during warmup).
+     */
+    FlatAddrMap<DirEntry> dirFlat_;
+#ifndef NDEBUG
+    mutable std::unordered_map<Addr, DirEntry> dir_;
+    /** Key of the last entry() reference not yet folded into dir_. */
+    mutable Addr lastEntryKey_ = ~Addr{0};
+#else
     std::unordered_map<Addr, DirEntry> dir_;
+#endif
     RecyclingMap<Addr, BlockHome> home_;
     std::uint64_t waitingTotal_ = 0;
     std::uint64_t activeTxns_ = 0;

@@ -61,6 +61,15 @@ class CoherenceListener
      * snoop the load queue here; INVISIFENCE-CONTINUOUS does not need to.
      */
     virtual void onInvalidateApplied(Addr block) = 0;
+
+    /**
+     * @p block became (or was refreshed as) L1-resident via installL1 —
+     * the only transition that can turn a non-writable block writable.
+     * Store-buffer drains that go dormant while a write fetch is in
+     * flight resume probing from here; the default no-op keeps
+     * implementations that never go dormant unchanged.
+     */
+    virtual void onL1Install(Addr block) { static_cast<void>(block); }
 };
 
 } // namespace invisifence

@@ -722,6 +722,20 @@ SpeculativeImpl::cleaningPendingErase(Addr block)
 }
 
 void
+SpeculativeImpl::onL1Install(Addr block)
+{
+    // A dormant store-buffer entry (waitingFill) skips its per-tick
+    // writability probe; this hook is the only transition that can
+    // make its block writable, so wake matching entries here. The SB
+    // is small (paper: 8 entries), so the scan is cheaper than the
+    // tag probes it saves.
+    for (auto& e : sb_.entries()) {
+        if (e.waitingFill && e.blockAddr == block)
+            e.waitingFill = false;
+    }
+}
+
+void
 SpeculativeImpl::drainStoreBuffer()
 {
     int drained = 0;
@@ -734,7 +748,7 @@ SpeculativeImpl::drainStoreBuffer()
                                      e.blockAddr) == drainSeen_.end();
         if (first)
             drainSeen_.push_back(e.blockAddr);
-        if (!first || e.held) {
+        if (!first || e.held || e.waitingFill) {
             ++i;
             continue;
         }
@@ -749,9 +763,23 @@ SpeculativeImpl::drainStoreBuffer()
                 !agent_.fetchOutstanding(e.blockAddr)) {
                 if (agent_.request(e.blockAddr, true)) {
                     e.fillRequested = true;
+                    e.fullStallNoted = false;
                     core_.noteWork();
+                } else if (!e.fullStallNoted) {
+                    // MSHRs exhausted: count the stall once per
+                    // episode, not per retry (fast-forward skips the
+                    // retry cycles the legacy loop burns).
+                    e.fullStallNoted = true;
+                    ++agent_.mshrs().statFullStalls;
                 }
             }
+            // While a fetch is in flight the per-tick probe is dead
+            // weight: only installL1 can make the block writable, and
+            // its onL1Install hook wakes the entry that same event.
+            // (A pending local fill keeps probing: the legacy loop
+            // re-requests it every tick, which touches LRU state.)
+            if (e.fillRequested && agent_.fetchOutstanding(e.blockAddr))
+                e.waitingFill = true;
             ++i;
             continue;
         }

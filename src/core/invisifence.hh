@@ -99,6 +99,7 @@ class SpeculativeImpl : public ConsistencyImpl
     ExtAction onSpecConflict(Addr block, bool wants_write) override;
     bool resolveSpecEviction(Addr block) override;
     void resolveSpecEvictionHard(Addr block) override;
+    void onL1Install(Addr block) override;
 
     const SpecConfig& config() const { return cfg_; }
     const CoalescingStoreBuffer& storeBuffer() const { return sb_; }

@@ -300,7 +300,12 @@ ConventionalRmoImpl::tick()
                    !agent_.fetchOutstanding(e.blockAddr)) {
             if (agent_.request(e.blockAddr, true)) {
                 e.fillRequested = true;
+                e.fullStallNoted = false;
                 core_.noteWork();
+            } else if (!e.fullStallNoted) {
+                // Once per stall episode, like the load-issue path.
+                e.fullStallNoted = true;
+                ++agent_.mshrs().statFullStalls;
             }
         }
         ++i;

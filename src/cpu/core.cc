@@ -488,42 +488,64 @@ Core::tryIssueLoad(std::size_t idx)
         return true;
     }
 
-    // 4. Miss: fetch the block (atomics fetch with write intent).
+    // 4. Miss: fetch the block (atomics fetch with write intent). The
+    // waiter is a 24-byte {thunk, core, seq} record, not a 40-byte
+    // heap-captured closure: the fill resolves the load back through
+    // fillWakeThunk.
     const bool want_write = isAtomic(e.inst.type);
-    const InstSeq seq = e.seq;
-    const bool accepted =
-        agent_.request(addr, want_write, [this, seq, addr]() {
-            const std::ptrdiff_t i = rob_.indexOf(seq);
-            if (i < 0)
-                return;   // squashed while the fill was in flight
-            RobEntry& e2 = rob_.at(static_cast<std::size_t>(i));
-            if (e2.status != RobEntry::Status::Issued || e2.valueBound)
-                return;
-            noteWork();
-            std::uint64_t filled = 0;
-            if (!agent_.tryReadL1(addr, &filled)) {
-                // The block was stolen before the (possibly deferred)
-                // fill completed: replay the issue.
-                e2.status = RobEntry::Status::Dispatched;
-                ++pendingDispatch_;
-                return;
-            }
-            e2.result = filled;
-            e2.valueBound = true;
-            e2.status = RobEntry::Status::Done;
-            ++boundLoads_;
-            boundLoadFilter_ |= blockFilterBit(addr);
-            if (isLoadLike(e2.inst.type))
-                impl_->onLoadExecuted(e2);
-        });
-    if (!accepted)
-        return false;     // MSHRs exhausted; retry next cycle
+    const FillWaiter wake{&Core::fillWakeThunk, this, e.seq};
+    const bool accepted = agent_.request(addr, want_write, wake);
+    if (!accepted) {
+        // MSHRs exhausted; retry next cycle. Count the stall once per
+        // issue episode, not per retry — the legacy loop retries every
+        // cycle while fast-forward sleeps through them, and a surfaced
+        // statistic must not depend on the tick-loop mode.
+        if (!e.mshrStallNoted) {
+            e.mshrStallNoted = true;
+            ++agent_.mshrs().statFullStalls;
+        }
+        return false;
+    }
+    e.mshrStallNoted = false;
     e.status = RobEntry::Status::Issued;
     e.valueBound = false;
     e.readyAt = ~Cycle{0};
     --pendingDispatch_;
     ++statLoadMisses;
     return true;
+}
+
+void
+Core::fillWakeThunk(void* owner, std::uint64_t arg)
+{
+    static_cast<Core*>(owner)->wakeLoad(arg);
+}
+
+void
+Core::wakeLoad(InstSeq seq)
+{
+    const std::ptrdiff_t i = rob_.indexOf(seq);
+    if (i < 0)
+        return;   // squashed while the fill was in flight
+    RobEntry& e = rob_.at(static_cast<std::size_t>(i));
+    if (e.status != RobEntry::Status::Issued || e.valueBound)
+        return;
+    noteWork();
+    std::uint64_t filled = 0;
+    if (!agent_.tryReadL1(e.inst.addr, &filled)) {
+        // The block was stolen before the (possibly deferred)
+        // fill completed: replay the issue.
+        e.status = RobEntry::Status::Dispatched;
+        ++pendingDispatch_;
+        return;
+    }
+    e.result = filled;
+    e.valueBound = true;
+    e.status = RobEntry::Status::Done;
+    ++boundLoads_;
+    boundLoadFilter_ |= blockFilterBit(e.inst.addr);
+    if (isLoadLike(e.inst.type))
+        impl_->onLoadExecuted(e);
 }
 
 void

@@ -168,6 +168,18 @@ class Core
     /** Try to issue the load-like entry at @p idx; true on issue. */
     bool tryIssueLoad(std::size_t idx);
 
+    /**
+     * @{ Fill wake path. Load misses register one 24-byte FillWaiter
+     * record — {fillWakeThunk, this, seq} — instead of one 40-byte
+     * heap-capable closure per load. The wake resolves the sequence
+     * number back to its ROB entry (if still live) and binds or
+     * replays that one load, preserving the per-load wake order of
+     * the waiter chains.
+     */
+    void wakeLoad(InstSeq seq);
+    static void fillWakeThunk(void* owner, std::uint64_t arg);
+    /** @} */
+
     /** Forward from an older in-ROB store-like entry. Three-state:
      *  value (hit), nullopt+match=false (no producer), match=true with
      *  no value (producer exists but value unresolved: stall). */

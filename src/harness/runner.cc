@@ -133,6 +133,9 @@ struct Counters
     std::uint64_t speculating = 0;
     std::uint64_t aborts = 0;
     std::uint64_t commits = 0;
+    std::uint64_t mshrFullStalls = 0;
+    std::uint64_t dirStaleWritebacks = 0;
+    std::uint64_t dirQueuedRequests = 0;
 };
 
 Counters
@@ -143,6 +146,9 @@ sample(System& sys)
     c.coreCycles = sys.totalCoreCycles();
     c.breakdown = sys.totalBreakdown();
     c.speculating = sys.totalSpeculatingCycles();
+    c.mshrFullStalls = sys.totalMshrFullStalls();
+    c.dirStaleWritebacks = sys.totalDirStaleWritebacks();
+    c.dirQueuedRequests = sys.totalDirQueuedRequests();
     for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
         if (auto* spec = dynamic_cast<SpeculativeImpl*>(&sys.impl(i))) {
             c.aborts += spec->statAborts;
@@ -287,6 +293,11 @@ runExperiment(const Workload& workload, ImplKind kind,
     r.speculatingCycles = after.speculating - before.speculating;
     r.aborts = after.aborts - before.aborts;
     r.commits = after.commits - before.commits;
+    r.mshrFullStalls = after.mshrFullStalls - before.mshrFullStalls;
+    r.dirStaleWritebacks =
+        after.dirStaleWritebacks - before.dirStaleWritebacks;
+    r.dirQueuedRequests =
+        after.dirQueuedRequests - before.dirQueuedRequests;
     return r;
 }
 

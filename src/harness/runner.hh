@@ -100,6 +100,14 @@ struct RunResult
     std::uint64_t speculatingCycles = 0;
     std::uint64_t aborts = 0;
     std::uint64_t commits = 0;
+    /** @{ Measured-window memory/directory accounting (JSON schema v2):
+     *  MSHR-full stall episodes, writebacks that raced an invalidation
+     *  or forward (arrived stale at the home), and requests that queued
+     *  behind a busy block. */
+    std::uint64_t mshrFullStalls = 0;
+    std::uint64_t dirStaleWritebacks = 0;
+    std::uint64_t dirQueuedRequests = 0;
+    /** @} */
 
     double throughput() const
     {

@@ -178,13 +178,18 @@ writeEstimate(std::ostream& os, const Estimate& e)
 }
 
 void
-writeRun(std::ostream& os, const RunResult& r)
+writeRun(std::ostream& os, const RunResult& r, std::uint32_t schema)
 {
     os << "{\"seed\": " << r.seed << ", \"retired\": " << r.retired
        << ", \"core_cycles\": " << r.coreCycles
        << ", \"speculating_cycles\": " << r.speculatingCycles
-       << ", \"aborts\": " << r.aborts << ", \"commits\": " << r.commits
-       << ", \"breakdown\": {\"busy\": " << r.breakdown.busy
+       << ", \"aborts\": " << r.aborts << ", \"commits\": " << r.commits;
+    if (schema >= 2) {
+        os << ", \"mshr_full_stalls\": " << r.mshrFullStalls
+           << ", \"dir_stale_writebacks\": " << r.dirStaleWritebacks
+           << ", \"dir_queued_requests\": " << r.dirQueuedRequests;
+    }
+    os << ", \"breakdown\": {\"busy\": " << r.breakdown.busy
        << ", \"other\": " << r.breakdown.other
        << ", \"sb_full\": " << r.breakdown.sbFull
        << ", \"sb_drain\": " << r.breakdown.sbDrain
@@ -195,10 +200,12 @@ writeRun(std::ostream& os, const RunResult& r)
 
 void
 writeSweepJson(std::ostream& os, const std::vector<SweepStats>& stats,
-               const RunConfig& base, std::uint32_t numSeeds)
+               const RunConfig& base, std::uint32_t numSeeds,
+               std::uint32_t schema)
 {
     os << "{\n"
-       << "  \"schema\": \"invisifence-sweep-v1\",\n"
+       << "  \"schema\": \"invisifence-sweep-v"
+       << schema << "\",\n"
        << "  \"config\": {\"warmup_cycles\": " << base.warmupCycles
        << ", \"measure_cycles\": " << base.measureCycles
        << ", \"base_seed\": " << base.seed
@@ -219,7 +226,7 @@ writeSweepJson(std::ostream& os, const std::vector<SweepStats>& stats,
         for (std::size_t r = 0; r < s.runs.size(); ++r) {
             if (r > 0)
                 os << ",\n              ";
-            writeRun(os, s.runs[r]);
+            writeRun(os, s.runs[r], schema);
         }
         os << "]}" << (i + 1 < stats.size() ? "," : "") << "\n";
     }

@@ -173,13 +173,18 @@ class SweepRunner
 };
 
 /**
- * Machine-readable sweep results (schema "invisifence-sweep-v1"): one
- * JSON object with the run configuration and, per point, the raw
- * per-seed counters plus throughput/spec-fraction estimates. Output is
- * deterministic for a fixed grid and seed (goldens diff byte-for-byte).
+ * Machine-readable sweep results: one JSON object with the run
+ * configuration and, per point, the raw per-seed counters plus
+ * throughput/spec-fraction estimates. Output is deterministic for a
+ * fixed grid and seed (goldens diff byte-for-byte). @p schema selects
+ * the emitted revision: 1 ("invisifence-sweep-v1", the default — keeps
+ * committed goldens byte-identical) or 2, which adds the per-run
+ * mshr_full_stalls / dir_stale_writebacks / dir_queued_requests
+ * counters.
  */
 void writeSweepJson(std::ostream& os, const std::vector<SweepStats>& stats,
-                    const RunConfig& base, std::uint32_t numSeeds);
+                    const RunConfig& base, std::uint32_t numSeeds,
+                    std::uint32_t schema = 1);
 
 } // namespace invisifence
 

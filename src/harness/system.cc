@@ -169,6 +169,8 @@ System::System(const SystemParams& params,
         cores_[n]->registerStats(stats_, prefix);
         if (auto* spec = dynamic_cast<SpeculativeImpl*>(impls_[n].get()))
             spec->registerStats(stats_, prefix + ".spec");
+        agents_[n]->registerStats(stats_, prefix + ".agent");
+        dirs_[n]->registerStats(stats_, prefix + ".dir");
     }
     stats_.registerStat("system.fastfwd.cycles", &statFastForwardedCycles);
     stats_.registerStat("system.fastfwd.jumps", &statFastForwards);
@@ -347,6 +349,33 @@ System::totalCoreCycles() const
     std::uint64_t n = 0;
     for (const auto& core : cores_)
         n += core->statCycles;
+    return n;
+}
+
+std::uint64_t
+System::totalMshrFullStalls() const
+{
+    std::uint64_t n = 0;
+    for (const auto& agent : agents_)
+        n += agent->mshrs().statFullStalls;
+    return n;
+}
+
+std::uint64_t
+System::totalDirStaleWritebacks() const
+{
+    std::uint64_t n = 0;
+    for (const auto& dir : dirs_)
+        n += dir->statStaleWritebacks;
+    return n;
+}
+
+std::uint64_t
+System::totalDirQueuedRequests() const
+{
+    std::uint64_t n = 0;
+    for (const auto& dir : dirs_)
+        n += dir->statQueuedRequests;
     return n;
 }
 

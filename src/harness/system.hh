@@ -127,6 +127,11 @@ class System
     std::uint64_t totalSpeculatingCycles() const;
     /** Sum of core cycles (numCores * elapsed). */
     std::uint64_t totalCoreCycles() const;
+    /** @{ System-wide memory/directory accounting totals (JSON v2). */
+    std::uint64_t totalMshrFullStalls() const;
+    std::uint64_t totalDirStaleWritebacks() const;
+    std::uint64_t totalDirQueuedRequests() const;
+    /** @} */
 
   private:
     /**

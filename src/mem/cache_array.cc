@@ -1,6 +1,7 @@
 #include "mem/cache_array.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 
 #include "sim/log.hh"
@@ -67,42 +68,6 @@ CacheArray::CacheArray(std::uint64_t size_bytes, std::uint32_t ways,
         specPos_[c].resize(frames, kNoFrame);
     }
     flashScratch_.reserve(frames);
-}
-
-std::uint32_t
-CacheArray::setIndex(Addr addr) const
-{
-    return static_cast<std::uint32_t>((addr >> kBlockShift) &
-                                      (num_sets_ - 1));
-}
-
-CacheArray::Line
-CacheArray::lookup(Addr addr)
-{
-    const Addr blk = blockAlign(addr);
-    const std::uint32_t set = setIndex(addr);
-    const std::uint32_t base = set * ways_;
-    const CacheTag* tags = &tags_[base];
-    if (wayPredict_) {
-        // MRU way first: the repeated same-block accesses of a protocol
-        // step resolve on the first 16-byte tag probed.
-        const std::uint32_t p = mru_[set];
-        if (tags[p].valid() && tags[p].blockAddr == blk)
-            return {this, base + p};
-    }
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (tags[w].valid() && tags[w].blockAddr == blk) {
-            mru_[set] = static_cast<std::uint8_t>(w);
-            return {this, base + w};
-        }
-    }
-    return {};
-}
-
-CacheArray::Line
-CacheArray::lookup(Addr addr) const
-{
-    return const_cast<CacheArray*>(this)->lookup(addr);
 }
 
 void
@@ -235,6 +200,7 @@ void
 CacheArray::invalidateFrame(std::uint32_t frame)
 {
     CacheTag& tag = tags_[frame];
+    tag.blockAddr = kInvalidTagAddr;   // keep invalid frames unmatchable
     tag.state = CoherenceState::Invalid;
     tag.dirty = 0;
     for (std::uint32_t c = 0; c < kMaxCheckpoints; ++c)

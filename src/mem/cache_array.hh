@@ -68,13 +68,21 @@ isValidState(CoherenceState s)
 }
 
 /**
+ * Tag sentinel held in CacheTag::blockAddr by every invalid frame. It
+ * is not block-aligned, so it can never compare equal to a lookup key
+ * — which lets the tag-probe loop drop its per-way valid() test and
+ * reduce to one address compare per way (a branch-free match bitmask).
+ */
+constexpr Addr kInvalidTagAddr = 1;
+
+/**
  * One tag-lane entry: everything a lookup/victim/flash scan reads,
  * packed into 16 bytes so a whole set scans within a host cache line
  * or two. Block data lives in the array's parallel data lane.
  */
 struct CacheTag
 {
-    Addr blockAddr = 0;
+    Addr blockAddr = kInvalidTagAddr;
     std::uint32_t lruStamp = 0;
     CoherenceState state = CoherenceState::Invalid;
     std::uint8_t dirty = 0;
@@ -218,7 +226,10 @@ class CacheArray
     CacheArray(std::uint64_t size_bytes, std::uint32_t ways,
                std::string name);
 
-    /** Line holding @p addr, or a null Line on miss. No LRU update. */
+    /** Line holding @p addr, or a null Line on miss. No LRU update.
+     *  Defined inline below: this is the hottest function in the
+     *  simulator (every load issue, SB drain probe, and protocol step
+     *  lands here), and the call overhead is measurable. */
     Line lookup(Addr addr);
     Line lookup(Addr addr) const;
 
@@ -285,7 +296,12 @@ class CacheArray
     const std::string& name() const { return name_; }
 
     /** Set index for @p addr (exposed for tests). */
-    std::uint32_t setIndex(Addr addr) const;
+    std::uint32_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>((addr >> kBlockShift) &
+                                          (num_sets_ - 1));
+    }
 
     /** @{ Test access: LRU-stamp wrap handling. The 32-bit stamps are
      *  renormalized (within-set order preserved exactly, so victim
@@ -327,6 +343,41 @@ class CacheArray
     std::vector<std::uint32_t> flashScratch_;
     std::uint32_t lruCounter_ = 0;
 };
+
+inline CacheArray::Line
+CacheArray::lookup(Addr addr)
+{
+    const Addr blk = blockAlign(addr);
+    const std::uint32_t set = setIndex(addr);
+    const std::uint32_t base = set * ways_;
+    const CacheTag* tags = &tags_[base];
+    // Invalid frames hold kInvalidTagAddr, which no aligned lookup key
+    // can equal — so the probes below need no valid() test.
+    if (wayPredict_) {
+        // MRU way first: the repeated same-block accesses of a protocol
+        // step resolve on the first 16-byte tag probed.
+        const std::uint32_t p = mru_[set];
+        if (tags[p].blockAddr == blk)
+            return {this, base + p};
+    }
+    // Branch-free set scan: accumulate a per-way match bitmask (the
+    // compiler can unroll/vectorize the compare loop), then pick the
+    // matching way — at most one way holds a block — with countr_zero.
+    std::uint64_t match = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        match |= std::uint64_t{tags[w].blockAddr == blk} << w;
+    if (match == 0)
+        return {};
+    const auto w = static_cast<std::uint32_t>(std::countr_zero(match));
+    mru_[set] = static_cast<std::uint8_t>(w);
+    return {this, base + w};
+}
+
+inline CacheArray::Line
+CacheArray::lookup(Addr addr) const
+{
+    return const_cast<CacheArray*>(this)->lookup(addr);
+}
 
 } // namespace invisifence
 

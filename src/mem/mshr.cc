@@ -1,29 +1,83 @@
 #include "mem/mshr.hh"
 
 #include <cassert>
+#include <cstdlib>
+
+#include "sim/log.hh"
 
 namespace invisifence {
+
+namespace {
+
+/** INVISIFENCE_MSHR_INDEX=0 disables the O(1) lookup index and the
+ *  waiter/fill dedup that relies on it (escape hatch; the legacy scan
+ *  path is behavior-identical). Parsed once per process. */
+bool
+mshrIndexEnabled()
+{
+    static const bool enabled = []() {
+        const char* text = std::getenv("INVISIFENCE_MSHR_INDEX");
+        if (!text || text[0] == '\0')
+            return true;
+        if (text[0] == '0' && text[1] == '\0')
+            return false;
+        if (text[0] == '1' && text[1] == '\0')
+            return true;
+        IF_FATAL("INVISIFENCE_MSHR_INDEX='%s' is not 0 or 1", text);
+    }();
+    return enabled;
+}
+
+} // namespace
+
+MshrFile::MshrFile(std::uint32_t capacity, int use_index)
+    : capacity_(capacity),
+      useIndex_(use_index < 0 ? mshrIndexEnabled() : use_index != 0),
+      slots_(capacity), live_(capacity, 0),
+      // 4x capacity keeps the index at <= 25% load, so probe chains are
+      // one or two slots; it is sized once and never grows.
+      index_(static_cast<std::size_t>(capacity) * 4)
+{
+    freeSlots_.reserve(capacity);
+    for (std::uint32_t i = 0; i < capacity; ++i)
+        freeSlots_.push_back(capacity - 1 - i);
+}
+
+Mshr*
+MshrFile::lookupScan(Addr blk, const Mshr::Kind* k)
+{
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+        if (live_[i] && slots_[i].blockAddr == blk &&
+            (!k || slots_[i].kind == *k)) {
+            return &slots_[i];
+        }
+    }
+    return nullptr;
+}
 
 Mshr*
 MshrFile::lookup(Addr addr)
 {
     const Addr blk = blockAlign(addr);
-    for (auto& m : active_) {
-        if (m.blockAddr == blk)
-            return &m;
-    }
-    return nullptr;
+    if (!useIndex_)
+        return lookupScan(blk, nullptr);
+    Mshr* m = lookup(blk, Mshr::Kind::Fetch);
+    if (!m)
+        m = lookup(blk, Mshr::Kind::Writeback);
+    return m;
 }
 
 Mshr*
 MshrFile::lookup(Addr addr, Mshr::Kind k)
 {
     const Addr blk = blockAlign(addr);
-    for (auto& m : active_) {
-        if (m.blockAddr == blk && m.kind == k)
-            return &m;
-    }
-    return nullptr;
+    if (!useIndex_)
+        return lookupScan(blk, &k);
+    const std::uint32_t* slot = index_.find(indexKey(blk, k));
+    Mshr* m = slot ? &slots_[*slot] : nullptr;
+    assert(m == lookupScan(blk, &k) &&
+           "MSHR index diverged from the linear scan");
+    return m;
 }
 
 Mshr*
@@ -33,14 +87,11 @@ MshrFile::allocate(Addr addr, Mshr::Kind k)
         ++statFullStalls;
         return nullptr;
     }
-    // Recycle a freed node when one exists (splice: no allocation);
-    // reused nodes carry stale fields, so reset everything.
-    if (free_.empty()) {
-        active_.emplace_back();
-    } else {
-        active_.splice(active_.end(), free_, free_.begin());
-    }
-    Mshr& m = active_.back();
+    const std::uint32_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    live_[slot] = 1;
+    // Recycled slots carry stale fields; reset everything.
+    Mshr& m = slots_[slot];
     m.blockAddr = blockAlign(addr);
     m.kind = k;
     m.wantWrite = false;
@@ -51,6 +102,11 @@ MshrFile::allocate(Addr addr, Mshr::Kind k)
     m.wbData = BlockData{};
     m.wbDirty = false;
     m.ownershipLost = false;
+    if (useIndex_) {
+        bool created = false;
+        index_.getOrCreate(indexKey(m.blockAddr, k), &created) = slot;
+        assert(created && "duplicate MSHR for one (block, kind)");
+    }
     ++count_;
     ++statAllocations;
     return &m;
@@ -72,23 +128,54 @@ MshrFile::releaseChain(WaiterChain& chain)
 void
 MshrFile::free(Mshr* m)
 {
-    for (auto it = active_.begin(); it != active_.end(); ++it) {
-        if (&*it == m) {
-            // Defensive: waiters still chained at free time go back to
-            // the slab (normal paths take the chains before freeing).
-            releaseChain(m->readWaiters);
-            releaseChain(m->writeWaiters);
-            free_.splice(free_.end(), active_, it);
-            --count_;
-            return;
+    const std::ptrdiff_t off = m - slots_.data();
+    assert(off >= 0 && off < static_cast<std::ptrdiff_t>(capacity_) &&
+           "freeing MSHR not in file");
+    const std::uint32_t slot = static_cast<std::uint32_t>(off);
+    assert(live_[slot] && "double free of MSHR slot");
+    // A populated chain here means fill callbacks are being dropped —
+    // loads waiting on them would hang (or silently replay): a protocol
+    // bug at the call site, not a cleanup detail. All current call
+    // sites (finishFill, handleWbAck) detach the chains first or can
+    // prove them empty; see the audit notes in cache_agent.cc.
+    assert(m->readWaiters.empty() && m->writeWaiters.empty() &&
+           "freeing MSHR with live waiters (lost fill callbacks)");
+    if (!m->readWaiters.empty() || !m->writeWaiters.empty()) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            IF_LOG("MshrFile::free dropping live waiters blk=%llx "
+                   "(protocol bug; further drops not logged)",
+                   static_cast<unsigned long long>(m->blockAddr));
         }
+        releaseChain(m->readWaiters);
+        releaseChain(m->writeWaiters);
     }
-    assert(false && "freeing MSHR not in file");
+    if (useIndex_) {
+        const bool erased = index_.erase(indexKey(m->blockAddr, m->kind));
+        assert(erased && "freeing MSHR missing from the index");
+        static_cast<void>(erased);
+    }
+    live_[slot] = 0;
+    freeSlots_.push_back(slot);
+    --count_;
 }
 
 void
-MshrFile::pushWaiter(WaiterChain& chain, const FillCallback& cb)
+MshrFile::pushWaiter(WaiterChain& chain, const FillWaiter& cb)
 {
+    if (useIndex_) {
+        // Merge-time dedup: a record equal to one already chained would
+        // repeat the same wake action at the same fill; drop it. Chains
+        // are short (typically one record per wake kind after dedup).
+        for (std::uint32_t i = chain.head; i != kNoWaiter;
+             i = waiterPool_[i].next) {
+            if (waiterPool_[i].cb == cb) {
+                ++statWaiterDedups;
+                return;
+            }
+        }
+    }
     std::uint32_t idx;
     if (waiterFree_ != kNoWaiter) {
         idx = waiterFree_;
@@ -116,12 +203,12 @@ MshrFile::takeWaiters(WaiterChain& chain)
     return head;
 }
 
-FillCallback
+FillWaiter
 MshrFile::takeWaiterAndAdvance(std::uint32_t& idx)
 {
     assert(idx != kNoWaiter);
     WaiterNode& node = waiterPool_[idx];
-    const FillCallback cb = node.cb;
+    const FillWaiter cb = node.cb;
     const std::uint32_t next = node.next;
     node.next = waiterFree_;
     waiterFree_ = idx;

@@ -7,25 +7,62 @@
  * acknowledgment. Requests to the same block merge into one MSHR; waiters
  * are called back when the transaction completes.
  *
- * Everything is pooled: freed MSHRs are spliced onto a free list and
- * recycled, and waiter callbacks live in one shared free-listed slab of
- * intrusive chain nodes (not per-MSHR vectors, whose capacities would
- * each have to converge separately) — so the steady state performs no
- * heap allocation per transaction.
+ * Storage is a fixed preallocated slot array (stable addresses, LIFO
+ * free list) with an open-addressed block-address -> slot index on the
+ * side, so lookup() — on the path of every fill, forward, and issued
+ * load — is O(1) instead of a linear scan over the active list. A fetch
+ * and a writeback MSHR may coexist for one block, so the index key tags
+ * the kind into the block address's low alignment bits.
+ * INVISIFENCE_MSHR_INDEX=0 falls back to the legacy linear scan (and
+ * disables waiter/fill dedup); debug builds cross-check every indexed
+ * lookup against the scan.
+ *
+ * Waiter callbacks are typed {function, owner, argument} records
+ * (FillWaiter, 24 bytes — down from the 40-byte InplaceFn closures),
+ * which makes identical waiters comparable: N same-block loads of one
+ * core collapse to a single chained record at merge time instead of N
+ * equivalent closures. The records live in one shared free-listed slab
+ * of intrusive chain nodes (not per-MSHR vectors, whose capacities
+ * would each have to converge separately) — so the steady state
+ * performs no heap allocation per transaction.
  */
 
 #ifndef INVISIFENCE_MEM_MSHR_HH
 #define INVISIFENCE_MEM_MSHR_HH
 
 #include <cstdint>
-#include <list>
 #include <vector>
 
 #include "mem/block.hh"
-#include "sim/inplace_fn.hh"
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace invisifence {
+
+/**
+ * Typed fill-completion callback: a plain function pointer applied to
+ * {owner, arg}. Trivially copyable and equality-comparable, so merged
+ * waiters for the same wake action deduplicate structurally. The load
+ * path uses {Core's wake thunk, core, block | write-wake bit}.
+ */
+struct FillWaiter
+{
+    using Fn = void (*)(void* owner, std::uint64_t arg);
+
+    Fn fn = nullptr;
+    void* owner = nullptr;
+    std::uint64_t arg = 0;
+
+    explicit operator bool() const { return fn != nullptr; }
+    bool operator==(const FillWaiter&) const = default;
+
+    void
+    operator()() const
+    {
+        if (fn)
+            fn(owner, arg);
+    }
+};
 
 /** Sentinel for an empty waiter chain / free-list end. */
 constexpr std::uint32_t kNoWaiter = 0xffffffffu;
@@ -61,13 +98,19 @@ struct Mshr
 };
 
 /**
- * Fixed-capacity pool of MSHRs with block-address lookup and a shared
- * waiter-callback slab.
+ * Fixed-capacity pool of MSHRs with O(1) block-address lookup and a
+ * shared waiter-callback slab.
  */
 class MshrFile
 {
   public:
-    explicit MshrFile(std::uint32_t capacity) : capacity_(capacity) {}
+    /**
+     * @param capacity total slots (fetch + writeback)
+     * @param use_index -1 follows INVISIFENCE_MSHR_INDEX (default on),
+     *        0/1 force the flat index (and waiter dedup) off/on — the
+     *        per-instance override the A/B equivalence tests use.
+     */
+    explicit MshrFile(std::uint32_t capacity, int use_index = -1);
 
     /** MSHR of any kind for @p addr's block, or nullptr. */
     Mshr* lookup(Addr addr);
@@ -78,11 +121,22 @@ class MshrFile
     /** Allocate a new MSHR; nullptr when the file is full. */
     Mshr* allocate(Addr addr, Mshr::Kind k);
 
-    /** Release @p m (must belong to this file). */
+    /**
+     * Release @p m (must belong to this file). Freeing an MSHR whose
+     * waiter chains are still populated would silently drop fill
+     * callbacks — a protocol bug, not a cleanup detail — so it asserts
+     * in debug builds and logs (once) in release before recycling the
+     * orphaned nodes.
+     */
     void free(Mshr* m);
 
-    /** Append @p cb to @p chain (slab node from the free list). */
-    void pushWaiter(WaiterChain& chain, const FillCallback& cb);
+    /**
+     * Append @p cb to @p chain (slab node from the free list). A record
+     * equal to one already chained is dropped: the wake action runs
+     * once per fill regardless, so duplicates only cost slab nodes and
+     * redundant calls. (Suppressed when the index/dedup hatch is off.)
+     */
+    void pushWaiter(WaiterChain& chain, const FillWaiter& cb);
 
     /**
      * Detach @p chain and return its head index (kNoWaiter when empty);
@@ -97,29 +151,47 @@ class MshrFile
      * @p idx to the next chain entry. The copy is returned so the node
      * is reusable while the callback runs.
      */
-    FillCallback takeWaiterAndAdvance(std::uint32_t& idx);
+    FillWaiter takeWaiterAndAdvance(std::uint32_t& idx);
 
     bool full() const { return count_ >= capacity_; }
     std::uint32_t inUse() const { return count_; }
     std::uint32_t capacity() const { return capacity_; }
 
+    /** True when the O(1) index (and with it waiter dedup) is active. */
+    bool indexEnabled() const { return useIndex_; }
+
     std::uint64_t statAllocations = 0;
+    /** Full-MSHR stall episodes (see CacheAgent/Core edge counting). */
     std::uint64_t statFullStalls = 0;
+    std::uint64_t statWaiterDedups = 0;
 
   private:
     struct WaiterNode
     {
-        FillCallback cb;
+        FillWaiter cb{};
         std::uint32_t next = kNoWaiter;
     };
 
-    /** Release every node of @p chain (MSHR freed with waiters). */
+    /** Index key: block address with the kind tagged into bit 0 (block
+     *  alignment keeps the low 6 bits free). */
+    static Addr
+    indexKey(Addr blk, Mshr::Kind k)
+    {
+        return blk | (k == Mshr::Kind::Writeback ? 1u : 0u);
+    }
+
+    Mshr* lookupScan(Addr blk, const Mshr::Kind* k);
+
+    /** Release every node of @p chain back to the slab. */
     void releaseChain(WaiterChain& chain);
 
     std::uint32_t capacity_;
     std::uint32_t count_ = 0;
-    std::list<Mshr> active_;   //!< stable addresses for outstanding txns
-    std::list<Mshr> free_;     //!< recycled nodes
+    bool useIndex_;
+    std::vector<Mshr> slots_;              //!< preallocated, stable
+    std::vector<std::uint8_t> live_;       //!< slot occupancy flags
+    std::vector<std::uint32_t> freeSlots_; //!< LIFO free list
+    FlatAddrMap<std::uint32_t> index_;     //!< tagged block -> slot
     std::vector<WaiterNode> waiterPool_;   //!< shared callback slab
     std::uint32_t waiterFree_ = kNoWaiter;
 };

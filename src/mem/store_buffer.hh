@@ -106,6 +106,20 @@ class CoalescingStoreBuffer
         bool fillRequested = false;       //!< GetM issued for this block
         bool held = false;     //!< must wait for older checkpoint's commit
         InstSeq firstSeq = 0;  //!< age of oldest merged store (for stats)
+        /** An MSHR-full rejection of this entry's write fetch was
+         *  already counted (cleared when a fetch is accepted): drain
+         *  loops count stall episodes, not per-cycle retries, so the
+         *  statistic is identical under legacy and fast-forward tick
+         *  loops. */
+        bool fullStallNoted = false;
+
+        /** Dormant while the write fetch this entry issued is in
+         *  flight: a non-writable block can only become writable
+         *  through CacheAgent::installL1, whose onL1Install hook
+         *  clears this, so skipping the per-tick L1/L2 probe until
+         *  then is exact (the probe resumes the same tick writability
+         *  can first be observed). */
+        bool waitingFill = false;
     };
 
     enum class StoreResult

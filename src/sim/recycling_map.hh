@@ -80,6 +80,15 @@ class RecyclingMap
         pool_.push_back(std::move(node));
     }
 
+    /** Visit every live entry as fn(key, value) (verifiers, audits). */
+    template <typename Fn>
+    void
+    forEach(Fn&& fn) const
+    {
+        for (const auto& [key, value] : map_)
+            fn(key, value);
+    }
+
     bool contains(const K& key) const { return map_.count(key) != 0; }
     bool empty() const { return map_.empty(); }
     std::size_t size() const { return map_.size(); }

@@ -17,10 +17,33 @@ using namespace invisifence;
 
 namespace {
 
+/** FillWaiter record that sets *@p flag when the fill completes. */
+FillWaiter
+flagWaiter(bool* flag)
+{
+    return {[](void* owner, std::uint64_t) {
+                *static_cast<bool*>(owner) = true;
+            },
+            flag, 0};
+}
+
+/** FillWaiter record that bumps *@p count. @p tag keeps otherwise
+ *  identical records distinct where the MSHR merge dedup would
+ *  deliberately collapse them. */
+FillWaiter
+countWaiter(int* count, std::uint64_t tag = 0)
+{
+    return {[](void* owner, std::uint64_t) {
+                ++*static_cast<int*>(owner);
+            },
+            count, tag};
+}
+
 /** A bare multiprocessor memory system: agents + directories, no cores. */
 struct Rig
 {
-    explicit Rig(std::uint32_t nodes, AgentParams ap = AgentParams{})
+    explicit Rig(std::uint32_t nodes, AgentParams ap = AgentParams{},
+                 DirectoryParams dp = DirectoryParams{40, 5})
         : numNodes(nodes),
           net(eq, NetworkParams{nodes, 1, 20, 1}, nodes)
     {
@@ -28,7 +51,7 @@ struct Rig
         ap.l1Size = 4 * 1024;
         for (NodeId n = 0; n < nodes; ++n) {
             dirs.push_back(std::make_unique<DirectorySlice>(
-                n, nodes, net, eq, mem, DirectoryParams{40, 5}));
+                n, nodes, net, eq, mem, dp));
             agents.push_back(
                 std::make_unique<CacheAgent>(n, nodes, net, eq, ap));
         }
@@ -46,7 +69,7 @@ struct Rig
     fetch(NodeId n, Addr addr, bool write)
     {
         bool done = false;
-        ASSERT_TRUE(agents[n]->request(addr, write, [&]() { done = true; }));
+        ASSERT_TRUE(agents[n]->request(addr, write, flagWaiter(&done)));
         settle();
         ASSERT_TRUE(done);
     }
@@ -206,9 +229,9 @@ TEST(Protocol, RequestsMergeIntoOneFetch)
     Rig rig(2);
     int done = 0;
     ASSERT_TRUE(rig.agents[0]->request(0x6000, false,
-                                       [&]() { ++done; }));
+                                       countWaiter(&done, 0)));
     ASSERT_TRUE(rig.agents[0]->request(0x6000, false,
-                                       [&]() { ++done; }));
+                                       countWaiter(&done, 1)));
     EXPECT_TRUE(rig.agents[0]->fetchOutstanding(0x6000));
     rig.settle();
     EXPECT_EQ(done, 2);
@@ -221,7 +244,7 @@ TEST(Protocol, ReadThenWriteWaiterUpgrades)
     rig.fetch(0, 0x7000, false);
     int write_ok = 0;
     ASSERT_TRUE(rig.agents[0]->request(0x7000, true,
-                                       [&]() { ++write_ok; }));
+                                       countWaiter(&write_ok)));
     rig.settle();
     EXPECT_EQ(write_ok, 1);
     EXPECT_TRUE(rig.agents[0]->l1Writable(0x7000));
@@ -233,7 +256,7 @@ TEST(Protocol, DirectoryQueuesConcurrentWriters)
     int done = 0;
     for (NodeId n = 0; n < 4; ++n)
         ASSERT_TRUE(rig.agents[n]->request(0x8000, true,
-                                           [&]() { ++done; }));
+                                           countWaiter(&done, n)));
     rig.settle();
     EXPECT_EQ(done, 4);
     // Exactly one writable copy at the end.
@@ -283,7 +306,7 @@ TEST(Protocol, ExternalBlockingDefersAndReplays)
     rig.agents[0]->setExternalBlocked(true);
     bool done = false;
     ASSERT_TRUE(rig.agents[1]->request(0xa000, false,
-                                       [&]() { done = true; }));
+                                       flagWaiter(&done)));
     rig.settle();
     EXPECT_FALSE(done);    // parked behind the blocked interface
     EXPECT_TRUE(rig.agents[0]->hasDeferred());
@@ -324,7 +347,7 @@ TEST_P(ProtocolRandom, SingleWriterInvariantUnderRandomTraffic)
             const Addr addr = static_cast<Addr>(rng.below(kBlocks)) *
                               kBlockBytes;
             const bool write = rng.below(2) == 0;
-            rig.agents[n]->request(addr, write, []() {});
+            rig.agents[n]->request(addr, write);
         }
         rig.settle(50000);
 
@@ -361,3 +384,116 @@ INSTANTIATE_TEST_SUITE_P(
                       RandomParam{3, 11}, RandomParam{4, 3},
                       RandomParam{4, 13}, RandomParam{8, 5},
                       RandomParam{8, 17}, RandomParam{16, 23}));
+
+// --------------------------------------- flat directory vs map oracle
+
+TEST(DirectoryFlat, RandomizedFlatVsMapSystemEquivalence)
+{
+    // Two identical rigs, one with the flat per-block table forced on
+    // (at a deliberately tiny capacity, so the table grows and
+    // rehashes under live traffic) and one forced back to the
+    // unordered_map, driven by the same deterministic request/prime
+    // stream. Every directory slice must end bit-equivalent.
+    constexpr std::uint32_t kNodes = 4;
+    constexpr std::uint32_t kBlocks = 192;   // >> 16-slot initial table
+    DirectoryParams flat_dp{40, 5};
+    flat_dp.flatTable = 1;
+    flat_dp.flatCapacity = 16;
+    DirectoryParams map_dp{40, 5};
+    map_dp.flatTable = 0;
+    Rig flat_rig(kNodes, AgentParams{}, flat_dp);
+    Rig map_rig(kNodes, AgentParams{}, map_dp);
+
+    // Prime a slab of blocks outside the traffic range identically.
+    for (std::uint32_t b = 0; b < 32; ++b) {
+        const Addr addr =
+            static_cast<Addr>(kBlocks + b) * kBlockBytes;
+        for (Rig* rig : {&flat_rig, &map_rig}) {
+            DirectorySlice& d = *rig->dirs[homeOf(addr, kNodes)];
+            if (b % 2 == 0)
+                d.primeShared(addr, (1u << (b % kNodes)) | 1u);
+            else
+                d.primeOwned(addr, b % kNodes);
+        }
+    }
+
+    Rng rng(20090613);
+    for (int round = 0; round < 60; ++round) {
+        for (int burst = 0; burst < 8; ++burst) {
+            const NodeId n = static_cast<NodeId>(rng.below(kNodes));
+            const Addr addr =
+                static_cast<Addr>(rng.below(kBlocks)) * kBlockBytes;
+            const bool write = rng.below(2) == 0;
+            // Identical accept/reject decisions are part of the
+            // equivalence claim.
+            ASSERT_EQ(flat_rig.agents[n]->request(addr, write),
+                      map_rig.agents[n]->request(addr, write));
+        }
+        flat_rig.settle(2000);
+        map_rig.settle(2000);
+    }
+    flat_rig.settle();
+    map_rig.settle();
+
+    for (std::uint32_t b = 0; b < kBlocks + 32; ++b) {
+        const Addr addr = static_cast<Addr>(b) * kBlockBytes;
+        const NodeId home = homeOf(addr, kNodes);
+        const DirectorySlice::EntryView fv =
+            flat_rig.dirs[home]->inspect(addr);
+        const DirectorySlice::EntryView mv =
+            map_rig.dirs[home]->inspect(addr);
+        ASSERT_EQ(static_cast<int>(fv.state), static_cast<int>(mv.state))
+            << "block " << b;
+        ASSERT_EQ(fv.sharers, mv.sharers) << "block " << b;
+        ASSERT_EQ(fv.owner, mv.owner) << "block " << b;
+    }
+    for (NodeId n = 0; n < kNodes; ++n) {
+        ASSERT_TRUE(flat_rig.dirs[n]->quiescent());
+        ASSERT_TRUE(map_rig.dirs[n]->quiescent());
+        EXPECT_EQ(flat_rig.dirs[n]->statStaleWritebacks,
+                  map_rig.dirs[n]->statStaleWritebacks);
+        EXPECT_EQ(flat_rig.dirs[n]->statQueuedRequests,
+                  map_rig.dirs[n]->statQueuedRequests);
+    }
+}
+
+// --------------------------------------------- local-fill event batching
+
+TEST(CacheAgentBatch, SameTickLocalFillsShareOneEvent)
+{
+    Rig rig(2);
+    const Addr addr = 0xb000;
+    rig.fetch(0, addr, false);   // make the block locally resident
+
+    const std::uint64_t before = rig.eq.scheduledCount();
+    constexpr int kLoads = 5;
+    int done = 0;
+    for (int i = 0; i < kLoads; ++i)
+        ASSERT_TRUE(rig.agents[0]->request(
+            addr, false, countWaiter(&done, static_cast<std::uint64_t>(i))));
+    const std::uint64_t scheduled = rig.eq.scheduledCount() - before;
+    if (rig.agents[0]->mshrs().indexEnabled()) {
+        // One batch event carries all five waiters.
+        EXPECT_EQ(scheduled, 1u);
+    } else {
+        // Escape hatch: the legacy one-event-per-request path.
+        EXPECT_EQ(scheduled, static_cast<std::uint64_t>(kLoads));
+    }
+    rig.settle();
+    EXPECT_EQ(done, kLoads);
+}
+
+TEST(CacheAgentBatch, DifferentBlocksDoNotMerge)
+{
+    Rig rig(2);
+    rig.fetch(0, 0xc000, false);
+    rig.fetch(0, 0xd000, false);
+
+    const std::uint64_t before = rig.eq.scheduledCount();
+    int done = 0;
+    ASSERT_TRUE(rig.agents[0]->request(0xc000, false, countWaiter(&done, 0)));
+    ASSERT_TRUE(rig.agents[0]->request(0xd000, false, countWaiter(&done, 1)));
+    EXPECT_EQ(rig.eq.scheduledCount() - before, 2u);
+    rig.settle();
+    EXPECT_EQ(done, 2);
+}

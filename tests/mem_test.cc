@@ -5,12 +5,15 @@
 
 #include <vector>
 
+#include <unordered_map>
+
 #include "mem/block.hh"
 #include "mem/cache_array.hh"
 #include "mem/functional_mem.hh"
 #include "mem/mshr.hh"
 #include "mem/store_buffer.hh"
 #include "mem/victim_cache.hh"
+#include "sim/flat_map.hh"
 #include "sim/rng.hh"
 
 using namespace invisifence;
@@ -714,16 +717,31 @@ TEST(Mshr, KindsCoexistPerBlock)
     EXPECT_EQ(f.lookup(0x100, Mshr::Kind::Writeback), wb);
 }
 
+namespace {
+
+/** FillWaiter that bumps *@p count; @p tag keeps records distinct so
+ *  the merge dedup does not collapse them where a test counts calls. */
+FillWaiter
+bumpWaiter(int* count, std::uint64_t tag = 0)
+{
+    return {[](void* owner, std::uint64_t) {
+                ++*static_cast<int*>(owner);
+            },
+            count, tag};
+}
+
+} // namespace
+
 TEST(Mshr, WaitersAccumulate)
 {
     MshrFile f(4);
     Mshr* m = f.allocate(0x100, Mshr::Kind::Fetch);
     int fired = 0;
-    f.pushWaiter(m->readWaiters, [&]() { ++fired; });
-    f.pushWaiter(m->readWaiters, [&]() { ++fired; });
+    f.pushWaiter(m->readWaiters, bumpWaiter(&fired, 0));
+    f.pushWaiter(m->readWaiters, bumpWaiter(&fired, 1));
     std::uint32_t idx = f.takeWaiters(m->readWaiters);
     while (idx != kNoWaiter) {
-        FillCallback cb = f.takeWaiterAndAdvance(idx);
+        FillWaiter cb = f.takeWaiterAndAdvance(idx);
         cb();
     }
     EXPECT_EQ(fired, 2);
@@ -739,10 +757,11 @@ TEST(Mshr, WaiterSlabRecyclesNodes)
         Mshr* m = f.allocate(0x200, Mshr::Kind::Fetch);
         int fired = 0;
         for (int i = 0; i < 8; ++i)
-            f.pushWaiter(m->readWaiters, [&]() { ++fired; });
+            f.pushWaiter(m->readWaiters,
+                         bumpWaiter(&fired, static_cast<std::uint64_t>(i)));
         std::uint32_t idx = f.takeWaiters(m->readWaiters);
         while (idx != kNoWaiter) {
-            FillCallback cb = f.takeWaiterAndAdvance(idx);
+            FillWaiter cb = f.takeWaiterAndAdvance(idx);
             cb();
         }
         EXPECT_EQ(fired, 8);
@@ -940,3 +959,173 @@ TEST(FunctionalMem, BlockRoundTrip)
     m.writeBlock(0x2000, b);
     EXPECT_EQ(m.readBlock(0x2010).readWord(24), 0x55u);
 }
+
+// ------------------------------------------------------------- flat map
+
+TEST(FlatMap, InsertFindEraseBasics)
+{
+    FlatAddrMap<int> m(16);
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.find(0x40), nullptr);
+    bool created = false;
+    m.getOrCreate(0x40, &created) = 7;
+    EXPECT_TRUE(created);
+    ASSERT_NE(m.find(0x40), nullptr);
+    EXPECT_EQ(*m.find(0x40), 7);
+    m.getOrCreate(0x40, &created);
+    EXPECT_FALSE(created);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_TRUE(m.erase(0x40));
+    EXPECT_FALSE(m.erase(0x40));
+    EXPECT_EQ(m.find(0x40), nullptr);
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(FlatMap, RandomizedOracleWithGrowthAndErase)
+{
+    // Drive the open-addressed table and an unordered_map oracle with
+    // the same interleaved insert/update/erase stream, starting from a
+    // deliberately tiny capacity so the table rehashes many times, and
+    // with a narrow key universe so backward-shift erase constantly
+    // relocates probe chains.
+    FlatAddrMap<std::uint64_t> flat(4);
+    std::unordered_map<Addr, std::uint64_t> oracle;
+    Rng rng(20090609);
+    for (std::uint64_t step = 0; step < 20000; ++step) {
+        const Addr key = (rng.below(512) + 1) << 6;
+        const std::uint64_t op = rng.below(10);
+        if (op < 6) {
+            bool created = false;
+            flat.getOrCreate(key, &created) = step;
+            EXPECT_EQ(created, oracle.find(key) == oracle.end());
+            oracle[key] = step;
+        } else if (op < 8) {
+            const std::uint64_t* v = flat.find(key);
+            auto it = oracle.find(key);
+            if (it == oracle.end()) {
+                EXPECT_EQ(v, nullptr);
+            } else {
+                ASSERT_NE(v, nullptr);
+                EXPECT_EQ(*v, it->second);
+            }
+        } else {
+            EXPECT_EQ(flat.erase(key), oracle.erase(key) == 1);
+        }
+        ASSERT_EQ(flat.size(), oracle.size());
+    }
+    // Full sweep both ways: forEach hits exactly the oracle's entries.
+    std::size_t seen = 0;
+    flat.forEach([&](Addr k, const std::uint64_t& v) {
+        ++seen;
+        auto it = oracle.find(k);
+        ASSERT_NE(it, oracle.end());
+        EXPECT_EQ(v, it->second);
+    });
+    EXPECT_EQ(seen, oracle.size());
+    for (const auto& [k, v] : oracle) {
+        ASSERT_NE(flat.find(k), nullptr);
+        EXPECT_EQ(*flat.find(k), v);
+    }
+}
+
+// -------------------------------------------------- MSHR index + dedup
+
+TEST(MshrIndex, OnOffLookupEquivalence)
+{
+    // The same allocate/lookup/free stream through an indexed file and
+    // a forced-scan file must agree call for call.
+    MshrFile indexed(8, /*use_index=*/1);
+    MshrFile scanned(8, /*use_index=*/0);
+    ASSERT_TRUE(indexed.indexEnabled());
+    ASSERT_FALSE(scanned.indexEnabled());
+    Rng rng(42);
+    for (int step = 0; step < 4000; ++step) {
+        const Addr blk = (rng.below(24) + 1) << 6;
+        const auto kind = rng.below(2) == 0 ? Mshr::Kind::Fetch
+                                            : Mshr::Kind::Writeback;
+        switch (rng.below(3)) {
+          case 0: {
+            Mshr* a = indexed.lookup(blk, kind) == nullptr
+                          ? indexed.allocate(blk, kind)
+                          : nullptr;
+            Mshr* b = scanned.lookup(blk, kind) == nullptr
+                          ? scanned.allocate(blk, kind)
+                          : nullptr;
+            EXPECT_EQ(a == nullptr, b == nullptr);
+            break;
+          }
+          case 1:
+            EXPECT_EQ(indexed.lookup(blk, kind) == nullptr,
+                      scanned.lookup(blk, kind) == nullptr);
+            EXPECT_EQ(indexed.lookup(blk) == nullptr,
+                      scanned.lookup(blk) == nullptr);
+            break;
+          case 2:
+            if (Mshr* a = indexed.lookup(blk, kind)) {
+                Mshr* b = scanned.lookup(blk, kind);
+                ASSERT_NE(b, nullptr);
+                indexed.free(a);
+                scanned.free(b);
+            }
+            break;
+        }
+        ASSERT_EQ(indexed.inUse(), scanned.inUse());
+    }
+}
+
+TEST(MshrIndex, IdenticalWaitersDedupWithStat)
+{
+    MshrFile f(4, /*use_index=*/1);
+    Mshr* m = f.allocate(0x300, Mshr::Kind::Fetch);
+    int fired = 0;
+    // Three pushes of the same record collapse to one waiter node;
+    // a distinct-arg record still chains separately.
+    f.pushWaiter(m->readWaiters, bumpWaiter(&fired, 7));
+    f.pushWaiter(m->readWaiters, bumpWaiter(&fired, 7));
+    f.pushWaiter(m->readWaiters, bumpWaiter(&fired, 7));
+    f.pushWaiter(m->readWaiters, bumpWaiter(&fired, 8));
+    EXPECT_EQ(f.statWaiterDedups, 2u);
+    std::uint32_t idx = f.takeWaiters(m->readWaiters);
+    while (idx != kNoWaiter) {
+        FillWaiter cb = f.takeWaiterAndAdvance(idx);
+        cb();
+    }
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(MshrIndex, ScanModeKeepsDuplicateWaiters)
+{
+    // The escape hatch restores the legacy chain: no dedup.
+    MshrFile f(4, /*use_index=*/0);
+    Mshr* m = f.allocate(0x300, Mshr::Kind::Fetch);
+    int fired = 0;
+    f.pushWaiter(m->readWaiters, bumpWaiter(&fired, 7));
+    f.pushWaiter(m->readWaiters, bumpWaiter(&fired, 7));
+    EXPECT_EQ(f.statWaiterDedups, 0u);
+    std::uint32_t idx = f.takeWaiters(m->readWaiters);
+    while (idx != kNoWaiter) {
+        FillWaiter cb = f.takeWaiterAndAdvance(idx);
+        cb();
+    }
+    EXPECT_EQ(fired, 2);
+}
+
+#ifndef NDEBUG
+using MshrDeathTest = ::testing::Test;
+
+TEST(MshrDeathTest, FreeWithLiveWaitersAsserts)
+{
+    // Freeing an MSHR that still holds waiter records silently lost
+    // wakeups before; in debug builds it is now fatal.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            MshrFile f(4);
+            Mshr* m = f.allocate(0x400, Mshr::Kind::Fetch);
+            int fired = 0;
+            f.pushWaiter(m->readWaiters, bumpWaiter(&fired));
+            f.free(m);
+        },
+        "waiter");
+}
+#endif

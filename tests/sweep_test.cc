@@ -177,5 +177,43 @@ TEST(Sweep, JsonOutputIsDeterministicAndTagged)
               std::string::npos);
 }
 
+TEST(Sweep, JsonSchemaV2AddsMemoryCountersV1Unchanged)
+{
+    // Hand-built stats with known counter values: schema 1 (the
+    // committed-golden revision) must not mention the v2 fields at
+    // all; schema 2 must carry them verbatim.
+    SweepStats s;
+    s.workload = "W";
+    s.impl = "sc";
+    RunResult r;
+    r.seed = 7;
+    r.retired = 100;
+    r.coreCycles = 400;
+    r.mshrFullStalls = 13;
+    r.dirStaleWritebacks = 5;
+    r.dirQueuedRequests = 29;
+    s.runs.push_back(r);
+
+    const RunConfig cfg = smallConfig();
+    std::ostringstream v1, v2;
+    writeSweepJson(v1, {s}, cfg, 1, 1);
+    writeSweepJson(v2, {s}, cfg, 1, 2);
+
+    EXPECT_NE(v1.str().find("\"schema\": \"invisifence-sweep-v1\""),
+              std::string::npos);
+    EXPECT_EQ(v1.str().find("mshr_full_stalls"), std::string::npos);
+    EXPECT_EQ(v1.str().find("dir_stale_writebacks"), std::string::npos);
+    EXPECT_EQ(v1.str().find("dir_queued_requests"), std::string::npos);
+
+    EXPECT_NE(v2.str().find("\"schema\": \"invisifence-sweep-v2\""),
+              std::string::npos);
+    EXPECT_NE(v2.str().find("\"mshr_full_stalls\": 13"),
+              std::string::npos);
+    EXPECT_NE(v2.str().find("\"dir_stale_writebacks\": 5"),
+              std::string::npos);
+    EXPECT_NE(v2.str().find("\"dir_queued_requests\": 29"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace invisifence
