@@ -47,17 +47,20 @@ run_asan() {
     INVISIFENCE_WAY_PREDICT=0 ctest --test-dir build-asan \
         --output-on-failure -R '(golden_figures_test|fastforward_test)'
     # Flat-directory escape hatch: forced back to the unordered_map the
-    # goldens and the memory/coherence unit suites must be unchanged
-    # (the flat table is a host-side layout swap only).
+    # goldens (including the 64-core hashed-home scale golden) and the
+    # memory/coherence/scale unit suites must be unchanged (the flat
+    # table is a host-side layout swap only). scale_test rides along so
+    # the 64/256-core sharded-home paths run under sanitizers with the
+    # hatch off too.
     INVISIFENCE_DIR_FLAT=0 ctest --test-dir build-asan \
         --output-on-failure \
-        -R '(golden_figures_test|fastforward_test|mem_test|coh_test)'
+        -R '(golden_figures_test|fastforward_test|mem_test|coh_test|scale_test)'
     # MSHR-index escape hatch: forced off, lookups take the linear scan
     # and waiter/local-fill merging is disabled — goldens and the same
     # suites must be byte-identical either way.
     INVISIFENCE_MSHR_INDEX=0 ctest --test-dir build-asan \
         --output-on-failure \
-        -R '(golden_figures_test|fastforward_test|mem_test|coh_test)'
+        -R '(golden_figures_test|fastforward_test|mem_test|coh_test|scale_test)'
 }
 
 run_tsan() {

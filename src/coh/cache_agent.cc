@@ -39,9 +39,9 @@ putScratch(std::vector<std::vector<T>>& pool, std::vector<T> v)
 
 } // namespace
 
-CacheAgent::CacheAgent(NodeId node, std::uint32_t num_nodes, Network& net,
+CacheAgent::CacheAgent(NodeId node, const HomeMap& home_map, Network& net,
                        EventQueue& eq, const AgentParams& params)
-    : node_(node), numNodes_(num_nodes), net_(net), eq_(eq),
+    : node_(node), homeMap_(home_map), net_(net), eq_(eq),
       params_(params),
       l1_(params.l1Size, params.l1Ways,
           "node" + std::to_string(node) + ".l1d"),
@@ -835,7 +835,7 @@ CacheAgent::sendToHome(MsgType type, Addr block, const BlockData* data,
     m.type = type;
     m.blockAddr = blockAlign(block);
     m.src = node_;
-    m.dst = homeOf(block, numNodes_);
+    m.dst = homeMap_.homeOf(block);
     m.dstUnit = Unit::Directory;
     m.requester = node_;
     if (data) {

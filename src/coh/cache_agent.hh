@@ -55,7 +55,7 @@ struct AgentParams
 class CacheAgent
 {
   public:
-    CacheAgent(NodeId node, std::uint32_t num_nodes, Network& net,
+    CacheAgent(NodeId node, const HomeMap& home_map, Network& net,
                EventQueue& eq, const AgentParams& params);
 
     void setListener(CoherenceListener* l) { listener_ = l; }
@@ -269,7 +269,7 @@ class CacheAgent
     std::uint32_t fetchCount() const { return fetchCount_; }
 
     NodeId node_;
-    std::uint32_t numNodes_;
+    HomeMap homeMap_;
     Network& net_;
     EventQueue& eq_;
     AgentParams params_;

@@ -30,11 +30,11 @@ dirFlatEnabled()
 
 } // namespace
 
-DirectorySlice::DirectorySlice(NodeId node, std::uint32_t num_nodes,
+DirectorySlice::DirectorySlice(NodeId node, const HomeMap& home_map,
                                Network& net, EventQueue& eq,
                                FunctionalMemory& mem,
                                const DirectoryParams& params)
-    : node_(node), numNodes_(num_nodes), net_(net), eq_(eq), mem_(mem),
+    : node_(node), homeMap_(home_map), net_(net), eq_(eq), mem_(mem),
       params_(params),
       useFlat_(params.flatTable < 0 ? dirFlatEnabled()
                                     : params.flatTable != 0),
@@ -194,28 +194,28 @@ DirectorySlice::registerStats(StatRegistry& reg,
 void
 DirectorySlice::primeOwned(Addr block, NodeId owner)
 {
-    assert(homeOf(block, numNodes_) == node_);
+    assert(homeMap_.homeOf(block) == node_);
     DirEntry& e = entry(block);
     e.state = DirState::Owned;
     e.owner = owner;
-    e.sharers = 0;
+    e.sharers.reset();
 }
 
 void
-DirectorySlice::primeShared(Addr block, std::uint32_t sharer_mask)
+DirectorySlice::primeShared(Addr block, const SharerSet& sharers)
 {
-    assert(homeOf(block, numNodes_) == node_);
-    assert(sharer_mask != 0);
+    assert(homeMap_.homeOf(block) == node_);
+    assert(sharers.any());
     DirEntry& e = entry(block);
     e.state = DirState::Shared;
-    e.sharers = sharer_mask;
+    e.sharers = sharers;
     e.owner = 0;
 }
 
 void
 DirectorySlice::deliver(const Msg& msg)
 {
-    assert(homeOf(msg.blockAddr, numNodes_) == node_);
+    assert(homeMap_.homeOf(msg.blockAddr) == node_);
     if (!isRequest(msg.type)) {
         handleResponse(msg);
         return;
@@ -317,14 +317,14 @@ DirectorySlice::handleGetM(Txn& txn, DirEntry& e)
       case DirState::Shared: {
         txn.needMem = true;
         beginMemRead(txn.req.blockAddr);
-        for (NodeId n = 0; n < numNodes_; ++n) {
-            if (n == req || !(e.sharers & (1u << n)))
-                continue;
+        e.sharers.forEach([&](NodeId n) {
+            if (n == req)
+                return;
             sendToAgent(n, MsgType::Inv, txn.req.blockAddr, nullptr,
                         false, req);
             ++txn.pendingAcks;
             ++statInvalidationsSent;
-        }
+        });
         break;
       }
       case DirState::Owned:
@@ -354,15 +354,15 @@ DirectorySlice::handlePut(const Msg& req, DirEntry& e)
                 mem_.writeBlock(req.blockAddr, req.data);
             }
             e.state = DirState::Idle;
-            e.sharers = 0;
+            e.sharers.reset();
         } else {
             stale = true;
         }
         break;
       case MsgType::PutS:
-        if (e.state == DirState::Shared && (e.sharers & (1u << src))) {
-            e.sharers &= ~(1u << src);
-            if (e.sharers == 0)
+        if (e.state == DirState::Shared && e.sharers.test(src)) {
+            e.sharers.clear(src);
+            if (e.sharers.none())
                 e.state = DirState::Idle;
         } else {
             stale = true;
@@ -458,18 +458,19 @@ DirectorySlice::finishGetS(Txn& txn, DirEntry& e)
         // Grant Exclusive when no one else holds the block.
         e.state = DirState::Owned;
         e.owner = req;
-        e.sharers = 0;
+        e.sharers.reset();
         sendToAgent(req, MsgType::DataE, txn.req.blockAddr, &txn.data,
                     false, req);
     } else if (e.state == DirState::Shared) {
-        e.sharers |= (1u << req);
+        e.sharers.set(req);
         sendToAgent(req, MsgType::DataS, txn.req.blockAddr, &txn.data,
                     false, req);
     } else {
         // Owner provided the data and downgraded itself to Shared.
         assert(txn.dataFromOwner);
         e.state = DirState::Shared;
-        e.sharers = (1u << e.owner) | (1u << req);
+        e.sharers = SharerSet::single(e.owner);
+        e.sharers.set(req);
         sendToAgent(req, MsgType::DataS, txn.req.blockAddr, &txn.data,
                     false, req);
     }
@@ -481,7 +482,7 @@ DirectorySlice::finishGetM(Txn& txn, DirEntry& e)
     const NodeId req = txn.req.src;
     e.state = DirState::Owned;
     e.owner = req;
-    e.sharers = 0;
+    e.sharers.reset();
     sendToAgent(req, MsgType::DataM, txn.req.blockAddr, &txn.data,
                 txn.dataDirty, req);
 }

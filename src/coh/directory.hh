@@ -24,8 +24,10 @@
 
 #include <string>
 
+#include "coh/home_map.hh"
 #include "coh/message.hh"
 #include "coh/network.hh"
+#include "coh/sharer_set.hh"
 #include "mem/functional_mem.hh"
 #include "sim/event_queue.hh"
 #include "sim/flat_map.hh"
@@ -51,18 +53,18 @@ struct DirectoryParams
     int flatTable = -1;
 };
 
-/** Home node of a block: blocks interleave across nodes. */
+/** Home node of a block under the legacy modulo interleave (tests). */
 constexpr NodeId
 homeOf(Addr addr, std::uint32_t num_nodes)
 {
-    return static_cast<NodeId>((addr >> kBlockShift) % num_nodes);
+    return HomeMap(num_nodes).homeOf(addr);
 }
 
 /** One node's slice of the directory plus its local memory bank. */
 class DirectorySlice
 {
   public:
-    DirectorySlice(NodeId node, std::uint32_t num_nodes, Network& net,
+    DirectorySlice(NodeId node, const HomeMap& home_map, Network& net,
                    EventQueue& eq, FunctionalMemory& mem,
                    const DirectoryParams& params);
 
@@ -90,14 +92,14 @@ class DirectorySlice
     struct EntryView
     {
         DirState state = DirState::Idle;
-        std::uint32_t sharers = 0;
+        SharerSet sharers{};
         NodeId owner = 0;
     };
     EntryView inspect(Addr block) const;
 
     /** @{ Warm-start utilities: set directory state directly. */
     void primeOwned(Addr block, NodeId owner);
-    void primeShared(Addr block, std::uint32_t sharer_mask);
+    void primeShared(Addr block, const SharerSet& sharers);
     /** @} */
 
     /** Register this slice's statistics under @p prefix. */
@@ -115,7 +117,7 @@ class DirectorySlice
     struct DirEntry
     {
         DirState state = DirState::Idle;
-        std::uint32_t sharers = 0;   //!< bitmask over nodes
+        SharerSet sharers{};
         NodeId owner = 0;
 
         bool operator==(const DirEntry&) const = default;
@@ -183,7 +185,7 @@ class DirectorySlice
                      const BlockData* data, bool dirty, NodeId requester);
 
     NodeId node_;
-    std::uint32_t numNodes_;
+    HomeMap homeMap_;
     Network& net_;
     EventQueue& eq_;
     FunctionalMemory& mem_;

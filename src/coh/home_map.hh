@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Placement of block homes across directory slices.
+ *
+ * The legacy layout interleaves homes by the low block-address bits
+ * (block % nodes). That is exact for the paper's 16-node machine, but
+ * at 64-256 nodes the strided region bases of the synthetic workloads
+ * alias onto a handful of slices. The hashed mode mixes the block
+ * address first (Fibonacci multiply), sharding homes uniformly. The
+ * mode changes traffic patterns, so it is strictly opt-in: the default
+ * keeps every committed golden byte-identical.
+ */
+
+#ifndef INVISIFENCE_COH_HOME_MAP_HH
+#define INVISIFENCE_COH_HOME_MAP_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace invisifence {
+
+/** Maps a block address to its home directory slice. */
+struct HomeMap
+{
+    std::uint32_t numNodes = 1;
+    bool hashed = false;   //!< block-hash sharding vs low-bits interleave
+
+    /** Implicit from a node count: the legacy modulo interleave. */
+    constexpr HomeMap(std::uint32_t num_nodes, bool hash = false)
+        : numNodes(num_nodes), hashed(hash)
+    {
+    }
+
+    constexpr NodeId
+    homeOf(Addr addr) const
+    {
+        const Addr blk = addr >> kBlockShift;
+        if (!hashed)
+            return static_cast<NodeId>(blk % numNodes);
+        const Addr mixed = (blk * 0x9e3779b97f4a7c15ull) >> 24;
+        return static_cast<NodeId>(mixed % numNodes);
+    }
+
+    constexpr bool operator==(const HomeMap&) const = default;
+};
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_COH_HOME_MAP_HH

@@ -9,13 +9,42 @@
 
 namespace invisifence {
 
+TorusDims
+torusDims(const NetworkParams& params, std::uint32_t num_nodes)
+{
+    if (num_nodes == 0)
+        IF_FATAL("torus with zero nodes");
+    std::uint32_t x = params.dimX;
+    std::uint32_t y = params.dimY;
+    if (x == 0 && y == 0) {
+        // Near-square factorization: the largest divisor <= sqrt(n)
+        // becomes the Y extent. Every count has the trivial n x 1
+        // fallback, so derivation never fails.
+        std::uint32_t best = 1;
+        for (std::uint32_t d = 2; d * d <= num_nodes; ++d) {
+            if (num_nodes % d == 0)
+                best = d;
+        }
+        y = best;
+        x = num_nodes / best;
+    } else if (x == 0) {
+        x = num_nodes / y;
+    } else if (y == 0) {
+        y = num_nodes / x;
+    }
+    if (x == 0 || y == 0 || x * y != num_nodes)
+        IF_FATAL("torus %ux%u does not tile %u nodes", params.dimX,
+                 params.dimY, num_nodes);
+    return TorusDims{x, y};
+}
+
 Network::Network(EventQueue& eq, const NetworkParams& params,
                  std::uint32_t num_nodes)
     : eq_(eq), params_(params), numNodes_(num_nodes)
 {
-    if (params_.dimX * params_.dimY < num_nodes)
-        IF_FATAL("torus %ux%u too small for %u nodes", params_.dimX,
-                 params_.dimY, num_nodes);
+    const TorusDims dims = torusDims(params, num_nodes);
+    params_.dimX = dims.x;
+    params_.dimY = dims.y;
     endpoints_.resize(static_cast<std::size_t>(num_nodes) * 2);
     eq_.setMsgDispatcher(&Network::dispatchThunk, this);
 }

@@ -33,14 +33,31 @@ namespace invisifence {
 class CacheAgent;
 class DirectorySlice;
 
-/** Parameters of the torus. */
+/**
+ * Parameters of the torus. Dimensions of 0 are derived from the node
+ * count at construction (near-square factorization, see torusDims);
+ * explicit dimensions must tile the node count exactly.
+ */
 struct NetworkParams
 {
-    std::uint32_t dimX = 4;
-    std::uint32_t dimY = 4;
+    std::uint32_t dimX = 0;      //!< 0 = derive from the node count
+    std::uint32_t dimY = 0;      //!< 0 = derive from the node count
     Cycle perHopLatency = 100;   //!< 25 ns at 4 GHz
     Cycle localLatency = 1;      //!< node-local unit-to-unit latency
 };
+
+/** The torus dimensions (x, y) that @p params yields for @p num_nodes.
+ *  Unspecified (zero) dimensions are derived: both zero picks the
+ *  near-square factorization (16 -> 4x4, 64 -> 8x8, 12 -> 4x3); one
+ *  zero divides the other out. A non-rectangular combination
+ *  (dimX * dimY != num_nodes) is a fatal configuration error — the old
+ *  coordinate math silently computed wrong distances for it. */
+struct TorusDims
+{
+    std::uint32_t x = 0;
+    std::uint32_t y = 0;
+};
+TorusDims torusDims(const NetworkParams& params, std::uint32_t num_nodes);
 
 /**
  * Message fabric connecting cache agents and directory slices.
@@ -73,6 +90,11 @@ class Network
 
     /** Delivery delay for a message from @p a to @p b. */
     Cycle delay(NodeId a, NodeId b) const;
+
+    /** @{ Resolved torus dimensions (derived when the params were 0). */
+    std::uint32_t dimX() const { return params_.dimX; }
+    std::uint32_t dimY() const { return params_.dimY; }
+    /** @} */
 
     std::uint64_t statMessages = 0;
     std::uint64_t statDataMessages = 0;

@@ -76,6 +76,17 @@ parseBenchEnv()
         e.warmSharers =
             parseEnvFrac("INVISIFENCE_WARM_SHARERS", frac, 0.0, 1.0);
     }
+    e.numCores = static_cast<std::uint32_t>(
+        envOr("INVISIFENCE_NUM_CORES", 0, 1, SharerSet::kMaxNodes));
+    e.dimX = static_cast<std::uint32_t>(
+        envOr("INVISIFENCE_DIM_X", 0, 1, SharerSet::kMaxNodes));
+    e.dimY = static_cast<std::uint32_t>(
+        envOr("INVISIFENCE_DIM_Y", 0, 1, SharerSet::kMaxNodes));
+    e.hopLatency = static_cast<Cycle>(
+        envOr("INVISIFENCE_HOP_LATENCY", 0, 1, 1'000'000));
+    e.dirHash =
+        static_cast<int>(envOr("INVISIFENCE_DIR_HASH", std::uint64_t(-1),
+                               0, 1));
     return e;
 }
 
@@ -99,6 +110,16 @@ RunConfig::fromEnv()
     }
     if (env.seed > 0)
         cfg.seed = env.seed;
+    if (env.numCores > 0)
+        cfg.system.numCores = env.numCores;
+    if (env.dimX > 0)
+        cfg.system.net.dimX = env.dimX;
+    if (env.dimY > 0)
+        cfg.system.net.dimY = env.dimY;
+    if (env.hopLatency > 0)
+        cfg.system.net.perHopLatency = env.hopLatency;
+    if (env.dirHash >= 0)
+        cfg.system.dirHashHome = env.dirHash != 0;
     return cfg;
 }
 
@@ -161,15 +182,13 @@ sample(System& sys)
 
 } // namespace
 
-std::uint32_t
+SharerSet
 warmSharerMask(Addr block, std::uint32_t num_nodes, double sharer_fraction)
 {
-    const std::uint32_t all_mask =
-        num_nodes >= 32 ? ~0u : ((1u << num_nodes) - 1);
     if (sharer_fraction <= 0.0 || sharer_fraction >= 1.0)
-        return all_mask;
+        return SharerSet::firstN(num_nodes);
     // ceil(fraction * n), clamped to [1, n]: at least one sharer, and a
-    // fraction of 1.0 degenerates to the legacy everywhere mask above.
+    // fraction of 1.0 degenerates to the legacy everywhere set above.
     std::uint32_t k = static_cast<std::uint32_t>(
         sharer_fraction * num_nodes + 0.999999);
     if (k < 1)
@@ -182,10 +201,10 @@ warmSharerMask(Addr block, std::uint32_t num_nodes, double sharer_fraction)
     // matters for the Inv storm is the count, not the identity.
     const std::uint32_t start =
         static_cast<std::uint32_t>(block >> kBlockShift) % num_nodes;
-    std::uint32_t mask = 0;
+    SharerSet sharers;
     for (std::uint32_t i = 0; i < k; ++i)
-        mask |= 1u << ((start + i) % num_nodes);
-    return mask;
+        sharers.set((start + i) % num_nodes);
+    return sharers;
 }
 
 void
@@ -201,16 +220,14 @@ warmSystem(System& sys, const SyntheticParams& params,
     const std::uint32_t priv_cap = l2_blocks / 2;
     const std::uint32_t shared_cap = l2_blocks / 4;
 
+    const HomeMap& homes = sys.homeMap();
     const auto prime_shared = [&](Addr block) {
-        const std::uint32_t mask =
+        const SharerSet sharers =
             warmSharerMask(block, n, sharer_fraction);
-        for (std::uint32_t t = 0; t < n; ++t) {
-            if (mask & (1u << t)) {
-                sys.agent(t).primeBlock(block, CoherenceState::Shared,
-                                        zero);
-            }
-        }
-        sys.directory(homeOf(block, n)).primeShared(block, mask);
+        sharers.forEach([&](NodeId t) {
+            sys.agent(t).primeBlock(block, CoherenceState::Shared, zero);
+        });
+        sys.directory(homes.homeOf(block)).primeShared(block, sharers);
     };
 
     // Private working sets: Exclusive at their owning core.
@@ -222,7 +239,7 @@ warmSystem(System& sys, const SyntheticParams& params,
             const Addr block = base + static_cast<Addr>(b) * kBlockBytes;
             sys.agent(t).primeBlock(block, CoherenceState::Exclusive,
                                     zero);
-            sys.directory(homeOf(block, n)).primeOwned(block, t);
+            sys.directory(homes.homeOf(block)).primeOwned(block, t);
         }
     }
 
@@ -247,7 +264,7 @@ warmSystem(System& sys, const SyntheticParams& params,
             const Addr block = base + static_cast<Addr>(b) * kBlockBytes;
             sys.agent(owner).primeBlock(block, CoherenceState::Exclusive,
                                         zero);
-            sys.directory(homeOf(block, n)).primeOwned(block, owner);
+            sys.directory(homes.homeOf(block)).primeOwned(block, owner);
         }
     }
 }

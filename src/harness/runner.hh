@@ -44,6 +44,17 @@ struct BenchEnv
      *  (0 = off, the default — preserves the committed goldens; 1 is
      *  equivalent to off, i.e. every node shares). */
     double warmSharers = 0.0;
+    /** @{ Machine-scale knobs (0/-1 = unset, keep the config default):
+     *  INVISIFENCE_NUM_CORES, INVISIFENCE_DIM_X / _DIM_Y (0 also means
+     *  "derive from the core count", see torusDims),
+     *  INVISIFENCE_HOP_LATENCY in cycles, and INVISIFENCE_DIR_HASH for
+     *  block-hash home placement. */
+    std::uint32_t numCores = 0;
+    std::uint32_t dimX = 0;
+    std::uint32_t dimY = 0;
+    Cycle hopLatency = 0;
+    int dirHash = -1;
+    /** @} */
 };
 
 /** The parsed environment (first call parses; later calls are free). */
@@ -81,12 +92,14 @@ void warmSystem(System& sys, const SyntheticParams& params,
                 double sharer_fraction = 0.0);
 
 /**
- * Sharer mask for @p block under sharer-precise warming: the
+ * Sharer set for @p block under sharer-precise warming: the
  * deterministic subset of @p num_nodes nodes (never empty, at most all)
- * that warmSystem primes when @p sharer_fraction is in (0, 1].
+ * that warmSystem primes when @p sharer_fraction is in (0, 1]. Works at
+ * any node count up to SharerSet::kMaxNodes — the old uint32_t mask
+ * silently capped warm sharers at 32 nodes.
  */
-std::uint32_t warmSharerMask(Addr block, std::uint32_t num_nodes,
-                             double sharer_fraction);
+SharerSet warmSharerMask(Addr block, std::uint32_t num_nodes,
+                         double sharer_fraction);
 
 /** Result of one measured run. */
 struct RunResult

@@ -210,8 +210,16 @@ writeSweepJson(std::ostream& os, const std::vector<SweepStats>& stats,
        << ", \"measure_cycles\": " << base.measureCycles
        << ", \"base_seed\": " << base.seed
        << ", \"seeds\": " << numSeeds
-       << ", \"num_cores\": " << base.system.numCores
-       << ", \"warm_start\": " << (base.warmStart ? "true" : "false")
+       << ", \"num_cores\": " << base.system.numCores;
+    if (schema >= 2) {
+        // Machine topology (v2 only: the v1 goldens are byte-frozen).
+        const TorusDims dims =
+            torusDims(base.system.net, base.system.numCores);
+        os << ", \"dim_x\": " << dims.x << ", \"dim_y\": " << dims.y
+           << ", \"dir_hash\": "
+           << (base.system.dirHashHome ? "true" : "false");
+    }
+    os << ", \"warm_start\": " << (base.warmStart ? "true" : "false")
        << "},\n"
        << "  \"points\": [\n";
     for (std::size_t i = 0; i < stats.size(); ++i) {

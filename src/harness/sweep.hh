@@ -180,7 +180,8 @@ class SweepRunner
  * the emitted revision: 1 ("invisifence-sweep-v1", the default — keeps
  * committed goldens byte-identical) or 2, which adds the per-run
  * mshr_full_stalls / dir_stale_writebacks / dir_queued_requests
- * counters.
+ * counters plus the machine topology (dim_x / dim_y / dir_hash) in the
+ * config object.
  */
 void writeSweepJson(std::ostream& os, const std::vector<SweepStats>& stats,
                     const RunConfig& base, std::uint32_t numSeeds,

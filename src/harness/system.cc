@@ -1,5 +1,6 @@
 #include "harness/system.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
@@ -143,20 +144,26 @@ System::System(const SystemParams& params,
                std::vector<std::unique_ptr<ThreadProgram>> programs,
                ImplKind kind)
     : params_(params), kind_(kind),
+      homeMap_(params.numCores, params.dirHashHome),
       net_(eq_, params.net, params.numCores),
       programs_(std::move(programs)),
       fastForward_(params.fastForward < 0 ? fastForwardEnvDefault()
                                           : params.fastForward != 0)
 {
+    if (params_.numCores == 0 ||
+        params_.numCores > SharerSet::kMaxNodes) {
+        IF_FATAL("numCores=%u outside [1, %u]", params_.numCores,
+                 SharerSet::kMaxNodes);
+    }
     if (programs_.size() != params_.numCores) {
         IF_FATAL("system needs %u programs, got %zu", params_.numCores,
                  programs_.size());
     }
     for (NodeId n = 0; n < params_.numCores; ++n) {
         dirs_.push_back(std::make_unique<DirectorySlice>(
-            n, params_.numCores, net_, eq_, mem_, params_.dir));
+            n, homeMap_, net_, eq_, mem_, params_.dir));
         agents_.push_back(std::make_unique<CacheAgent>(
-            n, params_.numCores, net_, eq_, params_.agent));
+            n, homeMap_, net_, eq_, params_.agent));
     }
     for (NodeId n = 0; n < params_.numCores; ++n) {
         cores_.push_back(std::make_unique<Core>(n, params_.core,
@@ -174,11 +181,40 @@ System::System(const SystemParams& params,
     }
     stats_.registerStat("system.fastfwd.cycles", &statFastForwardedCycles);
     stats_.registerStat("system.fastfwd.jumps", &statFastForwards);
+    stats_.registerStat("system.fastfwd.shard_skips", &statShardSkips);
     wakeAt_.assign(params_.numCores, 0);
     lastTicked_.assign(params_.numCores, 0);
+    shardWake_.assign((params_.numCores + kShardSize - 1) / kShardSize, 0);
     eq_.setWakeHook([this](std::uint32_t node, Cycle when) {
         onEventWake(node, when);
     });
+}
+
+void
+System::setFastForward(bool on)
+{
+    // Turning fast-forward on after a stretch of per-cycle ticking must
+    // not trust stale dormancy info: wake everything for the next cycle
+    // (spurious ticks are harmless; missed ones are not).
+    if (on && !fastForward_) {
+        std::fill(wakeAt_.begin(), wakeAt_.end(), Cycle{0});
+        std::fill(shardWake_.begin(), shardWake_.end(), Cycle{0});
+    }
+    fastForward_ = on;
+}
+
+void
+System::recomputeShardWake(std::uint32_t shard)
+{
+    const std::uint32_t lo = shard << kShardShift;
+    const std::uint32_t hi =
+        std::min<std::uint32_t>(lo + kShardSize, params_.numCores);
+    Cycle min = kNeverCycle;
+    for (std::uint32_t i = lo; i < hi; ++i) {
+        if (wakeAt_[i] < min)
+            min = wakeAt_[i];
+    }
+    shardWake_[shard] = min;
 }
 
 void
@@ -214,32 +250,50 @@ System::onEventWake(std::uint32_t node, Cycle when)
         settleCore(node, when - 1);
     if (wakeAt_[node] > when)
         wakeAt_[node] = when;
+    const std::uint32_t shard = node >> kShardShift;
+    if (shardWake_[shard] > when)
+        shardWake_[shard] = when;
 }
 
 void
 System::tickCores(Cycle now)
 {
-    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
-        if (fastForward_ && wakeAt_[i] > now)
-            continue;   // dormant: provably nothing but stall accounting
-        settleCore(i, now - 1);
-        Core& core = *cores_[i];
-        const std::uint64_t version = core.workVersion();
-        const std::uint64_t scheduled = eq_.scheduledCount();
-        core.tick(now);
-        lastTicked_[i] = now;
-        if (!fastForward_)
-            continue;
-        // A tick that changed no state and scheduled nothing would only
-        // repeat the same stall accounting next cycle: sleep until the
-        // core's own time threshold or an event wake.
-        if (core.workVersion() != version ||
-            eq_.scheduledCount() != scheduled) {
-            wakeAt_[i] = now + 1;
+    const std::uint32_t shards =
+        static_cast<std::uint32_t>(shardWake_.size());
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        if (fastForward_ && shardWake_[s] > now) {
+            // Every member is dormant: one compare instead of a walk
+            // over the shard's cores.
+            ++statShardSkips;
             continue;
         }
-        const Cycle at = core.nextWorkAt();
-        wakeAt_[i] = at <= now ? now + 1 : at;
+        const std::uint32_t lo = s << kShardShift;
+        const std::uint32_t hi = std::min<std::uint32_t>(
+            lo + kShardSize, static_cast<std::uint32_t>(cores_.size()));
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            if (fastForward_ && wakeAt_[i] > now)
+                continue;   // dormant: nothing but stall accounting
+            settleCore(i, now - 1);
+            Core& core = *cores_[i];
+            const std::uint64_t version = core.workVersion();
+            const std::uint64_t scheduled = eq_.scheduledCount();
+            core.tick(now);
+            lastTicked_[i] = now;
+            if (!fastForward_)
+                continue;
+            // A tick that changed no state and scheduled nothing would
+            // only repeat the same stall accounting next cycle: sleep
+            // until the core's own time threshold or an event wake.
+            if (core.workVersion() != version ||
+                eq_.scheduledCount() != scheduled) {
+                wakeAt_[i] = now + 1;
+                continue;
+            }
+            const Cycle at = core.nextWorkAt();
+            wakeAt_[i] = at <= now ? now + 1 : at;
+        }
+        if (fastForward_)
+            recomputeShardWake(s);
     }
 }
 
@@ -249,7 +303,7 @@ System::maybeJump(Cycle end)
     if (!fastForward_)
         return;
     Cycle next = kNeverCycle;
-    for (const Cycle at : wakeAt_) {
+    for (const Cycle at : shardWake_) {
         if (at < next)
             next = at;
     }

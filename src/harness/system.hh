@@ -61,6 +61,13 @@ struct SystemParams
     /** Override for the engine's speculative footprint cap (0 = keep). */
     std::uint32_t specFootprintCap = 0;
     /**
+     * Block-hash home placement (HomeMap::hashed): shards directory
+     * homes uniformly instead of by the low block-address bits. Changes
+     * traffic patterns, so it is opt-in; the default preserves the
+     * committed 16-core goldens.
+     */
+    bool dirHashHome = false;
+    /**
      * Quiescence-aware cycle skipping: -1 = follow INVISIFENCE_FASTFWD
      * (default on), 0 = legacy per-cycle loop, 1 = force on. Both modes
      * produce bit-identical RunResults (see tests/fastforward_test.cc).
@@ -98,12 +105,14 @@ class System
     bool runUntilDone(Cycle max_cycles);
 
     /** @{ Quiescence-aware fast-forward control and introspection. */
-    void setFastForward(bool on) { fastForward_ = on; }
+    void setFastForward(bool on);
     bool fastForwardEnabled() const { return fastForward_; }
     /** Cycles skipped (bulk-accrued) instead of ticked. */
     std::uint64_t statFastForwardedCycles = 0;
     /** Number of fast-forward jumps taken. */
     std::uint64_t statFastForwards = 0;
+    /** Whole-shard visits skipped because every member was dormant. */
+    std::uint64_t statShardSkips = 0;
     /** @} */
 
     Cycle now() const { return now_; }
@@ -118,6 +127,8 @@ class System
     Network& network() { return net_; }
     StatRegistry& stats() { return stats_; }
     ImplKind kind() const { return kind_; }
+    /** Block-to-home placement shared by every agent and slice. */
+    const HomeMap& homeMap() const { return homeMap_; }
 
     /** Sum of all cores' cycle breakdowns. */
     Breakdown totalBreakdown() const;
@@ -151,8 +162,23 @@ class System
     /** Advance now_ to just before the next due event/wake, <= @p end. */
     void maybeJump(Cycle end);
 
+    /**
+     * Hierarchical quiescence: cores group into shards of
+     * 2^kShardShift, and shardWake_[s] holds the exact minimum of its
+     * members' wakeAt_. tickCores skips a whole dormant shard with one
+     * compare, and maybeJump scans numShards slots instead of numCores
+     * — the difference between usable and unusable kcyc/s when most of
+     * a 256-core machine is idle. The minima are maintained exactly
+     * (lowered by onEventWake, recomputed after a shard ticks), so
+     * observable behavior is bit-identical to the per-core scan.
+     */
+    static constexpr std::uint32_t kShardShift = 4;
+    static constexpr std::uint32_t kShardSize = 1u << kShardShift;
+    void recomputeShardWake(std::uint32_t shard);
+
     SystemParams params_;
     ImplKind kind_;
+    HomeMap homeMap_;
     EventQueue eq_;
     FunctionalMemory mem_;
     Network net_;
@@ -166,6 +192,7 @@ class System
     bool fastForward_ = true;
     std::vector<Cycle> wakeAt_;      //!< next cycle each core must tick
     std::vector<Cycle> lastTicked_;  //!< last ticked/settled cycle
+    std::vector<Cycle> shardWake_;   //!< exact per-shard min of wakeAt_
 };
 
 /** Build the consistency implementation @p kind for one core. */

@@ -41,6 +41,16 @@ MshrFile::MshrFile(std::uint32_t capacity, int use_index)
     freeSlots_.reserve(capacity);
     for (std::uint32_t i = 0; i < capacity; ++i)
         freeSlots_.push_back(capacity - 1 - i);
+    // Waiter nodes are bounded by the in-flight ops that can block on a
+    // fill (roughly the window per MSHR), so claim the slab up front:
+    // reaching the high-water mark mid-run must not allocate.
+    const std::size_t waiters = static_cast<std::size_t>(capacity) * 8;
+    waiterPool_.resize(waiters);
+    for (std::size_t i = 0; i < waiters; ++i) {
+        waiterPool_[i].next =
+            i + 1 < waiters ? static_cast<std::uint32_t>(i + 1) : kNoWaiter;
+    }
+    waiterFree_ = 0;
 }
 
 Mshr*

@@ -160,6 +160,9 @@ class MshrFile
     /** True when the O(1) index (and with it waiter dedup) is active. */
     bool indexEnabled() const { return useIndex_; }
 
+    /** Waiter-slab node count (pool-sizing diagnostics and tests). */
+    std::size_t waiterSlabSize() const { return waiterPool_.size(); }
+
     std::uint64_t statAllocations = 0;
     /** Full-MSHR stall episodes (see CacheAgent/Core edge counting). */
     std::uint64_t statFullStalls = 0;

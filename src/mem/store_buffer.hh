@@ -38,7 +38,12 @@ constexpr std::uint32_t kNonSpecCtx = 0xffffffffu;
 class FifoStoreBuffer
 {
   public:
-    explicit FifoStoreBuffer(std::uint32_t capacity) : capacity_(capacity) {}
+    explicit FifoStoreBuffer(std::uint32_t capacity) : capacity_(capacity)
+    {
+        // The capacity is architectural (a fixed SRAM): claim it up
+        // front so filling the buffer never allocates mid-run.
+        entries_.reserve(capacity);
+    }
 
     struct Entry
     {

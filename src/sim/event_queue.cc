@@ -18,6 +18,22 @@ EventQueue::allocNode()
     return static_cast<std::uint32_t>(pool_.size() - 1);
 }
 
+EventQueue::Chain&
+EventQueue::farChain(Cycle when)
+{
+    auto it = far_.lower_bound(when);
+    if (it != far_.end() && it->first == when)
+        return it->second;
+    if (!farPool_.empty()) {
+        auto node = std::move(farPool_.back());
+        farPool_.pop_back();
+        node.key() = when;
+        node.mapped() = Chain{};
+        return far_.insert(it, std::move(node))->second;
+    }
+    return far_.emplace_hint(it, when, Chain{})->second;
+}
+
 Event&
 EventQueue::emplaceSlot(Cycle when, std::uint32_t wake_node)
 {
@@ -41,7 +57,7 @@ EventQueue::emplaceSlot(Cycle when, std::uint32_t wake_node)
     ++size_;
     const std::uint32_t idx = allocNode();
     Chain& chain = when - now_ < kWheelSize ? wheel_[when & kWheelMask]
-                                            : far_[when];
+                                            : farChain(when);
     appendNode(chain, idx);
     Node& node = pool_[idx];
     node.ev.when = when;
@@ -86,7 +102,7 @@ EventQueue::advanceTo(Cycle tick)
         auto far_it = far_.find(t);
         if (far_it != far_.end()) {
             Chain farc = far_it->second;
-            far_.erase(far_it);
+            farPool_.push_back(far_.extract(far_it));
             if (!farc.empty()) {
                 pool_[farc.tail].next = slot.head;
                 if (slot.empty())

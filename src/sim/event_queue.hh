@@ -257,11 +257,20 @@ class EventQueue
      *  have when in [now_, now_ + kWheelSize), so each slot holds at
      *  most one tick's events at a time. */
     std::vector<Chain> wheel_;
+    /** Chain for a far event at @p when, creating the map entry from
+     *  the recycled-node pool when possible. Under heavy contention
+     *  (large machines), link backlogs push deliveries past the wheel
+     *  span every cycle — far_ churn is steady-state there, so its map
+     *  nodes are pooled exactly like the event slab. */
+    Chain& farChain(Cycle when);
+
     /** Events scheduled >= kWheelSize cycles out, ordered by tick. A
      *  chain migrates in front of its wheel slot at execution time
      *  (far-scheduled events always predate wheel appends for the same
      *  tick, so prepending preserves insertion order). */
     std::map<Cycle, Chain> far_;
+    /** Extracted far_ nodes awaiting reuse (see farChain()). */
+    std::vector<std::map<Cycle, Chain>::node_type> farPool_;
     std::size_t size_ = 0;
     /** Lower bound on the earliest pending tick (lazily advanced). */
     mutable Cycle nextTick_ = 0;

@@ -60,6 +60,24 @@ class RingDeque
         size_ = 0;
     }
 
+    /**
+     * Presize the ring to at least @p n slots. Structures with an
+     * architectural capacity (store buffers, bounded queues) reserve it
+     * up front — fixed SRAM in the modeled hardware — so the high-water
+     * march never allocates mid-simulation.
+     */
+    void
+    reserve(std::size_t n)
+    {
+        if (n <= slots_.size())
+            return;
+        std::vector<T> next(n);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = slots_[index(i)];
+        slots_.swap(next);
+        head_ = 0;
+    }
+
     T& operator[](std::size_t i) { return slots_[index(i)]; }
     const T& operator[](std::size_t i) const { return slots_[index(i)]; }
 

@@ -1,5 +1,6 @@
 #include "workload/synthetic.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace invisifence {
@@ -12,6 +13,18 @@ SyntheticProgram::SyntheticProgram(const SyntheticParams& params,
     state_.rng = Rng(seed * 7919 + tid * 104729 + 1);
     // Stagger private cursors so threads do not start in lockstep.
     state_.privCursor = state_.rng.next();
+    if (params_.zipfShared != 0 && params_.sharedBlocks > 0) {
+        // Integer Zipf(s=1): block i carries weight K/(i+1). Integer
+        // division keeps the table bit-identical on every host (no libm
+        // pow), which the committed goldens require.
+        constexpr std::uint64_t kScale = std::uint64_t{1} << 32;
+        zipfCdf_.reserve(params_.sharedBlocks);
+        std::uint64_t cum = 0;
+        for (std::uint32_t i = 0; i < params_.sharedBlocks; ++i) {
+            cum += kScale / (i + 1);
+            zipfCdf_.push_back(cum);
+        }
+    }
 }
 
 void
@@ -69,6 +82,18 @@ SyntheticProgram::randomPrivateAddr()
 Addr
 SyntheticProgram::randomSharedAddr()
 {
+    if (!zipfCdf_.empty()) {
+        // Hot-key skew: rank 0 is the hottest block. Two rng draws
+        // (block, then byte within it) keep the stream rewindable —
+        // both live in the snapshot-captured Rng.
+        const std::uint64_t r = state_.rng.next() % zipfCdf_.back();
+        const auto it =
+            std::upper_bound(zipfCdf_.begin(), zipfCdf_.end(), r);
+        const Addr blk =
+            static_cast<Addr>(it - zipfCdf_.begin());
+        return kSharedRegion + blk * kBlockBytes +
+               (state_.rng.next() % kBlockBytes);
+    }
     const Addr span =
         static_cast<Addr>(params_.sharedBlocks) * kBlockBytes;
     return kSharedRegion + (state_.rng.next() % span);

@@ -15,6 +15,7 @@
 #define INVISIFENCE_WORKLOAD_SYNTHETIC_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "cpu/program.hh"
 #include "sim/rng.hh"
@@ -48,6 +49,12 @@ struct SyntheticParams
     std::uint32_t storeBurst = 1;         //!< consecutive stores per store
     std::uint8_t aluLatency = 1;
     std::uint8_t backoffLatency = 12;     //!< spin backoff ALU latency
+    /** Shared-region addressing: 0 = uniform (the legacy behavior every
+     *  committed golden depends on), 1 = Zipf(s=1) over the shared
+     *  blocks — the hot-key skew of server workloads. Sampling is
+     *  integer-only (a precomputed cumulative-weight table), so results
+     *  are bit-identical across hosts. */
+    std::uint32_t zipfShared = 0;
 };
 
 /** Base of the shared address map (locks, lock data, shared region). */
@@ -113,6 +120,9 @@ class SyntheticProgram : public ThreadProgram
     SyntheticParams params_;
     std::uint32_t tid_;
     State state_;
+    /** Cumulative Zipf block weights (immutable after construction, so
+     *  snapshot/restore need not capture it); empty = uniform. */
+    std::vector<std::uint64_t> zipfCdf_;
 };
 
 } // namespace invisifence

@@ -159,6 +159,50 @@ ocean()
     return w;
 }
 
+Workload
+zipfKv()
+{
+    Workload w;
+    w.name = "ZipfKV";
+    SyntheticParams& p = w.params;
+    p.aluPermille = 480;
+    p.loadPermille = 360;      // get-heavy key-value mix
+    p.lockPer64k = 120;
+    p.fencePer64k = 180;       // lock-free index updates
+    p.atomicPer64k = 80;
+    p.privateBlocks = 1024;
+    p.sharedBlocks = 4096;     // the key space
+    p.numLocks = 256;
+    p.lockDataBlocks = 4;
+    p.sharedPermille = 220;    // most traffic hits the shared keys
+    p.sharedWritePermille = 450;
+    p.csLength = 4;
+    p.zipfShared = 1;          // hot keys contended by every sharer
+    return w;
+}
+
+Workload
+readerHotLock()
+{
+    Workload w;
+    w.name = "ReaderHotLock";
+    SyntheticParams& p = w.params;
+    p.aluPermille = 420;
+    p.loadPermille = 480;      // reader-mostly
+    p.lockPer64k = 400;        // frequent acquires...
+    p.fencePer64k = 60;
+    p.atomicPer64k = 30;
+    p.privateBlocks = 1024;
+    p.sharedBlocks = 2048;
+    p.numLocks = 4;            // ...of a handful of hot locks
+    p.lockDataBlocks = 8;
+    p.sharedPermille = 120;
+    p.sharedWritePermille = 250;  // read-heavy critical sections
+    p.csLength = 6;
+    p.zipfShared = 1;
+    return w;
+}
+
 } // namespace
 
 const std::vector<Workload>&
@@ -171,10 +215,23 @@ workloadSuite()
     return suite;
 }
 
+const std::vector<Workload>&
+serverSuite()
+{
+    static const std::vector<Workload> suite = {
+        zipfKv(), readerHotLock(),
+    };
+    return suite;
+}
+
 const Workload&
 workloadByName(const std::string& name)
 {
     for (const auto& w : workloadSuite()) {
+        if (w.name == name)
+            return w;
+    }
+    for (const auto& w : serverSuite()) {
         if (w.name == name)
             return w;
     }

@@ -31,7 +31,16 @@ struct Workload
 /** The paper's workload suite, in Figure 7 order. */
 const std::vector<Workload>& workloadSuite();
 
-/** Look up one workload by name (fatal if unknown). */
+/**
+ * Server-shaped additions for the 64-256-core scale study (not part of
+ * Figure 7, so not in workloadSuite — the committed 16-core goldens
+ * iterate that suite and must not change): a zipfian shared-key
+ * get/put mix (hot keys contended by every sharer) and a reader-mostly
+ * mix serialized by a handful of hot locks.
+ */
+const std::vector<Workload>& serverSuite();
+
+/** Look up one workload by name, in either suite (fatal if unknown). */
 const Workload& workloadByName(const std::string& name);
 
 } // namespace invisifence

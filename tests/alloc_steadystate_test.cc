@@ -219,6 +219,67 @@ TEST(SteadyStateAllocs, ZeroPerCycleAcrossAllImplKinds)
     }
 }
 
+TEST(SteadyStateAllocs, ZeroPerCycleAt64And256Cores)
+{
+    // The scale work (SharerSet entries, sharded wake tracking, the
+    // derived torus) must not reintroduce per-cycle heap traffic at the
+    // machine sizes it enables. One conventional and one speculative
+    // kind keep the runtime bounded; the 4-core test above already
+    // sweeps all ten, locks included. Locks are deliberately absent
+    // here: hundreds of cores spinning on a shared lock set ever-deeper
+    // waiter-chain depth records (each one pool-growth allocation) for
+    // millions of cycles — a statistical tail of the workload, not a
+    // per-cycle path. The wide read-shared footprint below still drives
+    // multi-word SharerSet fan-out, the sharded wake tracking, and
+    // cross-torus traffic, which are the paths this test pins.
+    SyntheticParams params = smallParams();
+    params.sharedBlocks = 64;
+    params.numLocks = 0;
+    params.lockPer64k = 0;
+    params.atomicPer64k = 0;
+    for (const std::uint32_t cores : {64u, 256u}) {
+        for (const ImplKind kind :
+             {ImplKind::ConvTSO, ImplKind::Continuous}) {
+            SCOPED_TRACE(std::to_string(cores) + " cores, " +
+                         implKindName(kind));
+            SystemParams sp = SystemParams::small(cores);
+            std::vector<std::unique_ptr<ThreadProgram>> programs;
+            for (std::uint32_t t = 0; t < sp.numCores; ++t) {
+                programs.push_back(
+                    std::make_unique<SyntheticProgram>(params, t, 7));
+            }
+            System sys(sp, std::move(programs), kind);
+            warmSystem(sys, params);
+            touchFootprint(sys, params);
+            // Pool high-water marks converge slowly on the big machines
+            // (more in-flight messages, waiters, and queued directory
+            // requests can coexist, and each new concurrency record is
+            // one pool growth): warm in chunks and demand a measured
+            // 3000-cycle window with zero allocations. A residual
+            // high-water record may fall in a warmup chunk — that is
+            // amortized pool growth, not per-cycle traffic — but a
+            // regression to per-cycle allocation dirties every window
+            // and fails all rounds.
+            bool clean_window = false;
+            for (int round = 0; round < 12 && !clean_window; ++round) {
+                sys.run(200000);
+                const std::uint64_t before = g_allocCount;
+                g_numSites = 0;
+                g_captureSites = true;
+                sys.run(3000);
+                g_captureSites = false;
+                clean_window = g_allocCount == before;
+            }
+            if (!clean_window)
+                dumpSites();
+            EXPECT_TRUE(clean_window)
+                << "no allocation-free 3000-cycle steady-state window "
+                << "in 2.4M post-warmup cycles at " << cores
+                << " cores under " << implKindName(kind);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Pooled event path equivalence: kinds x seeds x workloads.
 // ---------------------------------------------------------------------

@@ -410,10 +410,13 @@ TEST(DirectoryFlat, RandomizedFlatVsMapSystemEquivalence)
             static_cast<Addr>(kBlocks + b) * kBlockBytes;
         for (Rig* rig : {&flat_rig, &map_rig}) {
             DirectorySlice& d = *rig->dirs[homeOf(addr, kNodes)];
-            if (b % 2 == 0)
-                d.primeShared(addr, (1u << (b % kNodes)) | 1u);
-            else
+            if (b % 2 == 0) {
+                SharerSet sharers = SharerSet::single(b % kNodes);
+                sharers.set(0);
+                d.primeShared(addr, sharers);
+            } else {
                 d.primeOwned(addr, b % kNodes);
+            }
         }
     }
 

@@ -112,6 +112,85 @@ TEST(GoldenFigures, JsonMatchesCommittedGolden)
            "commit the new golden";
 }
 
+// ---------------------------------------------------------------------
+// 64-core scale golden: server-shaped workloads, hashed home placement,
+// schema 2 (which records the machine topology). Separate file so the
+// 16-core fig0809 golden stays byte-identical.
+// ---------------------------------------------------------------------
+
+std::string
+scaleGoldenPath()
+{
+    return std::string(INVISIFENCE_GOLDEN_DIR) + "/fig_scale64_small.json";
+}
+
+RunConfig
+scaleGoldenConfig()
+{
+    RunConfig cfg;
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 1000;
+    cfg.seed = 20090620;
+    cfg.system = SystemParams::bench();
+    cfg.system.numCores = 64;            // derived 8x8 torus
+    cfg.system.dirHashHome = true;       // sharded home placement
+    cfg.system.agent.l2Size = 512 * 1024;   // bounds the 64-agent footprint
+    return cfg;
+}
+
+const std::vector<ImplKind>&
+scaleGoldenKinds()
+{
+    static const std::vector<ImplKind> kinds = {
+        ImplKind::ConvSC, ImplKind::ConvRMO, ImplKind::InvisiSC,
+        ImplKind::Continuous};
+    return kinds;
+}
+
+const std::vector<SweepStats>&
+scaleGoldenStats()
+{
+    static const std::vector<SweepStats> stats = SweepRunner().runStats(
+        serverSuite(), scaleGoldenKinds(), scaleGoldenConfig(), 1);
+    return stats;
+}
+
+TEST(GoldenFigures, ScaleJsonMatchesCommittedGolden)
+{
+    std::ostringstream os;
+    writeSweepJson(os, scaleGoldenStats(), scaleGoldenConfig(), 1,
+                   /*schema=*/2);
+    const std::string json = os.str();
+    if (std::getenv("INVISIFENCE_REGOLD") != nullptr) {
+        std::ofstream out(scaleGoldenPath());
+        ASSERT_TRUE(out) << "cannot write " << scaleGoldenPath();
+        out << json;
+        std::cout << "regenerated " << scaleGoldenPath() << std::endl;
+        return;
+    }
+    std::ifstream in(scaleGoldenPath());
+    ASSERT_TRUE(in) << "missing golden file " << scaleGoldenPath()
+                    << "; create it with INVISIFENCE_REGOLD=1";
+    std::stringstream committed;
+    committed << in.rdbuf();
+    EXPECT_EQ(json, committed.str())
+        << "64-core sweep output diverged from the committed golden; if "
+           "the change is intentional, rerun with INVISIFENCE_REGOLD=1 "
+           "and commit the new golden";
+}
+
+TEST(GoldenFigures, ScaleGoldenRecordsTheTopology)
+{
+    std::ostringstream os;
+    writeSweepJson(os, scaleGoldenStats(), scaleGoldenConfig(), 1,
+                   /*schema=*/2);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"num_cores\": 64"), std::string::npos);
+    EXPECT_NE(json.find("\"dim_x\": 8"), std::string::npos);
+    EXPECT_NE(json.find("\"dim_y\": 8"), std::string::npos);
+    EXPECT_NE(json.find("\"dir_hash\": true"), std::string::npos);
+}
+
 TEST(GoldenFigures, InvisiScAtLeastMatchesConventionalSc)
 {
     EXPECT_GE(geomeanSpeedup("Invisi_sc", "sc"), 1.0);

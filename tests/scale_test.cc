@@ -1,0 +1,370 @@
+/** @file Scale suite: the machine past 32 cores.
+ *
+ *  The directory used to track sharers in a bare uint32 (`1u << n` is
+ *  undefined behavior at n >= 32) and the torus hardcoded 4x4, so
+ *  nothing above 16 cores was trustworthy. This file pins the lifted
+ *  ceiling: SharerSet semantics (including the fatal bounds check),
+ *  derived torus dimensions and hop distances at 16 and 64 nodes, and
+ *  the full correctness battery — determinism, the litmus matrix, and
+ *  fastfwd on/off bit-identity — at 64 cores across every
+ *  implementation kind, plus shard-level quiescence actually skipping
+ *  dormant shards on a 256-core mostly-idle machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "coh/network.hh"
+#include "coh/sharer_set.hh"
+#include "harness/runner.hh"
+#include "sim/event_queue.hh"
+#include "test_util.hh"
+#include "workload/workloads.hh"
+
+namespace invisifence {
+namespace {
+
+using test::allImplKinds;
+using test::expectIdenticalResults;
+using test::makeScripted;
+using test::modelOf;
+
+// ---------------------------------------------------------------------
+// SharerSet semantics.
+// ---------------------------------------------------------------------
+
+TEST(SharerSet, StartsEmptyAndTracksMembership)
+{
+    SharerSet s;
+    EXPECT_TRUE(s.none());
+    EXPECT_EQ(s.count(), 0u);
+    s.set(0);
+    s.set(31);
+    s.set(32);    // first bit the old uint32 mask could not hold
+    s.set(255);
+    EXPECT_TRUE(s.any());
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_TRUE(s.test(32));
+    EXPECT_FALSE(s.test(33));
+    s.clear(32);
+    EXPECT_FALSE(s.test(32));
+    EXPECT_EQ(s.count(), 3u);
+    s.reset();
+    EXPECT_TRUE(s.none());
+}
+
+TEST(SharerSet, ForEachVisitsAscendingAcrossWords)
+{
+    SharerSet s;
+    const std::vector<NodeId> members = {3, 31, 32, 63, 64, 200, 255};
+    for (const NodeId n : members)
+        s.set(n);
+    std::vector<NodeId> seen;
+    s.forEach([&](NodeId n) { seen.push_back(n); });
+    EXPECT_EQ(seen, members);   // ascending order is a golden-stability
+                                // contract, not a convenience
+}
+
+TEST(SharerSet, FirstNFillsExactPrefix)
+{
+    for (const std::uint32_t n : {1u, 16u, 32u, 33u, 64u, 100u, 256u}) {
+        const SharerSet s = SharerSet::firstN(n);
+        EXPECT_EQ(s.count(), n);
+        EXPECT_TRUE(s.test(n - 1));
+        if (n < SharerSet::kMaxNodes) {
+            EXPECT_FALSE(s.test(n));
+        }
+    }
+}
+
+TEST(SharerSet, SingleAndEquality)
+{
+    const SharerSet a = SharerSet::single(200);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_TRUE(a.test(200));
+    SharerSet b;
+    b.set(200);
+    EXPECT_EQ(a, b);
+    b.set(0);
+    EXPECT_NE(a, b);
+}
+
+TEST(SharerSetDeathTest, OutOfRangeNodeIsFatalInEveryBuild)
+{
+    // The bug this type exists to fix: `1u << 32` silently truncated.
+    // The check is IF_FATAL, not assert, so it fires in the Release
+    // builds the tier-1 suite runs.
+    SharerSet s;
+    EXPECT_DEATH(s.set(SharerSet::kMaxNodes),
+                 "exceeds SharerSet capacity");
+    EXPECT_DEATH(s.clear(SharerSet::kMaxNodes),
+                 "exceeds SharerSet capacity");
+}
+
+// ---------------------------------------------------------------------
+// Parametric torus: derived dimensions and hop distances.
+// ---------------------------------------------------------------------
+
+TEST(TorusDims, NearSquareDerivationFromNodeCount)
+{
+    const auto derived = [](std::uint32_t nodes) {
+        return torusDims(NetworkParams{}, nodes);
+    };
+    EXPECT_EQ(derived(16).x, 4u);
+    EXPECT_EQ(derived(16).y, 4u);
+    EXPECT_EQ(derived(64).x, 8u);
+    EXPECT_EQ(derived(64).y, 8u);
+    EXPECT_EQ(derived(256).x, 16u);
+    EXPECT_EQ(derived(256).y, 16u);
+    EXPECT_EQ(derived(12).x, 4u);   // non-square counts still tile
+    EXPECT_EQ(derived(12).y, 3u);
+    EXPECT_EQ(derived(2).x, 2u);
+    EXPECT_EQ(derived(2).y, 1u);
+    EXPECT_EQ(derived(1).x, 1u);
+    EXPECT_EQ(derived(1).y, 1u);
+}
+
+TEST(TorusDims, OneExplicitDimensionDividesTheOtherOut)
+{
+    NetworkParams p;
+    p.dimX = 16;
+    const TorusDims a = torusDims(p, 64);
+    EXPECT_EQ(a.x, 16u);
+    EXPECT_EQ(a.y, 4u);
+    NetworkParams q;
+    q.dimY = 2;
+    const TorusDims b = torusDims(q, 64);
+    EXPECT_EQ(b.x, 32u);
+    EXPECT_EQ(b.y, 2u);
+}
+
+TEST(TorusDimsDeathTest, NonRectangularDimensionsAreFatal)
+{
+    // The old code silently computed wrong coordinates when
+    // dimX * dimY != numNodes; now it refuses to build.
+    NetworkParams p;
+    p.dimX = 5;
+    p.dimY = 5;
+    EXPECT_DEATH(torusDims(p, 16), "does not tile");
+    NetworkParams q;
+    q.dimX = 3;   // 3 does not divide 16
+    EXPECT_DEATH(torusDims(q, 16), "does not tile");
+}
+
+TEST(TorusHops, KnownDistancesAndSymmetryAt16And64Nodes)
+{
+    for (const std::uint32_t nodes : {16u, 64u}) {
+        SCOPED_TRACE("nodes=" + std::to_string(nodes));
+        EventQueue eq;
+        Network net(eq, NetworkParams{}, nodes);
+        const std::uint32_t dim = nodes == 16 ? 4 : 8;
+        EXPECT_EQ(net.dimX(), dim);
+        EXPECT_EQ(net.dimY(), dim);
+        // Known distances on the derived square torus.
+        EXPECT_EQ(net.hops(0, 0), 0u);
+        EXPECT_EQ(net.hops(0, 1), 1u);
+        EXPECT_EQ(net.hops(0, dim - 1), 1u);         // x wraparound
+        EXPECT_EQ(net.hops(0, dim), 1u);             // one row down
+        EXPECT_EQ(net.hops(0, nodes - dim), 1u);     // y wraparound
+        EXPECT_EQ(net.hops(0, dim + 1), 2u);
+        // The farthest node sits half the ring away in both axes.
+        const std::uint32_t far = (dim / 2) * dim + dim / 2;
+        EXPECT_EQ(net.hops(0, far), dim);
+        // Symmetry and range over every pair.
+        for (NodeId a = 0; a < nodes; ++a) {
+            for (NodeId b = 0; b < nodes; ++b) {
+                const std::uint32_t h = net.hops(a, b);
+                EXPECT_EQ(h, net.hops(b, a));
+                EXPECT_LE(h, dim);   // 2 * (dim/2) on a square torus
+                EXPECT_EQ(h == 0, a == b);
+            }
+        }
+    }
+}
+
+TEST(TorusHops, SixtyFourNodeDistancesNeedTheDerivedDims)
+{
+    // Regression for the mis-mapping bug: with the old hardcoded 4x4
+    // coordinate math, node 63 of a 64-node machine landed at (3, 15)
+    // of a 4-wide torus and hops(0, 63) came out 2 + min(15, ...) —
+    // nonsense. On the correct 8x8 torus it is 1 + 1.
+    EventQueue eq;
+    Network net(eq, NetworkParams{}, 64);
+    EXPECT_EQ(net.hops(0, 63), 2u);
+    EXPECT_EQ(net.hops(0, 36), 8u);   // (4,4): the 8x8 antipode
+}
+
+// ---------------------------------------------------------------------
+// Correctness battery at 64 cores, across all 10 implementation kinds.
+// ---------------------------------------------------------------------
+
+RunConfig
+scaleConfig(std::uint64_t seed, int fast_forward)
+{
+    RunConfig cfg;
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 1200;
+    cfg.seed = seed;
+    cfg.system = SystemParams::small(64);
+    cfg.system.fastForward = fast_forward;
+    return cfg;
+}
+
+TEST(Scale64, DeterministicAcrossAllImplKinds)
+{
+    // 64 cores exercises the multi-word sharer path and the derived
+    // 64x1 small-system torus; repeat runs must be bit-identical.
+    const Workload& wl = serverSuite().front();   // ZipfKV: hot keys
+    for (const ImplKind kind : allImplKinds()) {
+        SCOPED_TRACE(implKindName(kind));
+        const RunResult a = runExperiment(wl, kind, scaleConfig(5, 1));
+        const RunResult b = runExperiment(wl, kind, scaleConfig(5, 1));
+        expectIdenticalResults(a, b);
+    }
+}
+
+TEST(Scale64, FastForwardStaysBitIdentical)
+{
+    for (const ImplKind kind : allImplKinds()) {
+        SCOPED_TRACE(implKindName(kind));
+        const RunResult off = runExperiment(serverSuite().front(), kind,
+                                            scaleConfig(9, 0));
+        const RunResult on = runExperiment(serverSuite().front(), kind,
+                                           scaleConfig(9, 1));
+        expectIdenticalResults(off, on);
+    }
+}
+
+/** Run @p test on a 64-core machine (idle cores halt immediately). */
+std::unique_ptr<System>
+runLitmus64(const LitmusTest& test, ImplKind kind, std::uint32_t jitter)
+{
+    std::vector<std::vector<ScriptOp>> scripts;
+    std::uint32_t t = 0;
+    for (const auto& thread : test.threads) {
+        std::vector<ScriptOp> s;
+        for (const auto& th : test.threads)
+            for (const auto& op : th)
+                if (isMemOp(op.inst.type))
+                    s.push_back(opLoad(op.inst.addr));
+        s.push_back(opAlu(200));
+        const std::uint32_t delay = (jitter * (t + 3) * 7) % 40;
+        for (std::uint32_t d = 0; d < delay; ++d)
+            s.push_back(opAlu(1));
+        for (const auto& op : thread)
+            s.push_back(op);
+        scripts.push_back(std::move(s));
+        ++t;
+    }
+    auto sys = makeScripted(std::move(scripts), kind,
+                            SystemParams::small(64));
+    EXPECT_TRUE(sys->runUntilDone(500000));
+    return sys;
+}
+
+std::vector<std::uint64_t>
+observe(System& sys, const LitmusTest& test)
+{
+    std::vector<std::uint64_t> out;
+    for (const auto& p : test.probes)
+        out.push_back(test::lastLoadOf(sys, p.thread, p.addr));
+    return out;
+}
+
+TEST(Scale64, LitmusMatrixForbiddenOutcomesNeverAppear)
+{
+    // The SB/MP/LB/IRIW matrix of litmus_test.cc, re-run on a 64-core
+    // machine: the ordering guarantees must not depend on the machine
+    // being small. Rows mirror litmus_test.cc's weakest-allowing table.
+    struct Row
+    {
+        const char* name;
+        LitmusTest (*make)();
+        bool (*relaxed)(const std::vector<std::uint64_t>&);
+        std::optional<Model> weakestAllowing;
+    };
+    const std::vector<Row> rows = {
+        {"SB", litmusSb,
+         [](const std::vector<std::uint64_t>& r) {
+             return r[0] == 0 && r[1] == 0;
+         },
+         Model::TSO},
+        {"MP", litmusMp,
+         [](const std::vector<std::uint64_t>& r) {
+             return r[0] == 1 && r[1] == 0;
+         },
+         Model::RMO},
+        {"LB", litmusLb,
+         [](const std::vector<std::uint64_t>& r) {
+             return r[0] == 1 && r[1] == 1;
+         },
+         std::nullopt},
+        {"IRIW", litmusIriw,
+         [](const std::vector<std::uint64_t>& r) {
+             return r[0] == 1 && r[1] == 0 && r[2] == 1 && r[3] == 0;
+         },
+         std::nullopt},
+    };
+    for (const ImplKind kind : allImplKinds()) {
+        const Model model = modelOf(kind);
+        for (const Row& row : rows) {
+            if (row.weakestAllowing &&
+                static_cast<int>(model) >=
+                    static_cast<int>(*row.weakestAllowing)) {
+                continue;   // relaxed outcome is legal for this kind
+            }
+            SCOPED_TRACE(std::string(implKindName(kind)) + "/" + row.name);
+            const LitmusTest t = row.make();
+            for (std::uint32_t i = 0; i < 4; ++i) {
+                auto sys = runLitmus64(t, kind, i);
+                EXPECT_FALSE(row.relaxed(observe(*sys, t)))
+                    << "iteration " << i;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard-level quiescence on a mostly-dormant 256-core machine.
+// ---------------------------------------------------------------------
+
+TEST(ShardQuiescence, DormantShardsAreSkippedAt256Cores)
+{
+    // One busy core on an otherwise idle 256-core machine: the
+    // fast-forward loop must handle the 15 all-dormant shards with one
+    // compare each instead of walking their 240 cores. The skip counter
+    // is the guard against the optimization silently disabling itself
+    // (fastforward_test.cc's SkipsCyclesOnStallDominatedRuns pattern).
+    SystemParams sp = SystemParams::small(256);
+    sp.fastForward = 1;
+    std::vector<std::vector<ScriptOp>> scripts(256);
+    for (std::uint32_t i = 0; i < 300; ++i)
+        scripts[0].push_back(opAlu(1));   // keeps shard 0 ticking
+    auto sys = makeScripted(std::move(scripts), ImplKind::ConvSC, sp);
+    ASSERT_TRUE(sys->runUntilDone(100000));
+    EXPECT_GT(sys->statShardSkips, 0u);
+    EXPECT_TRUE(sys->fastForwardEnabled());
+}
+
+TEST(ShardQuiescence, SkippingIsInvisibleAt256Cores)
+{
+    // Shard skipping must be a pure optimization: a sharing-heavy run
+    // with it (fastfwd on) and without (legacy loop) stays
+    // bit-identical even at 256 cores.
+    const Workload& wl = serverSuite().back();   // ReaderHotLock
+    RunConfig cfg;
+    cfg.warmupCycles = 150;
+    cfg.measureCycles = 700;
+    cfg.seed = 3;
+    cfg.system = SystemParams::small(256);
+    cfg.system.fastForward = 0;
+    const RunResult off = runExperiment(wl, ImplKind::InvisiSC, cfg);
+    cfg.system.fastForward = 1;
+    const RunResult on = runExperiment(wl, ImplKind::InvisiSC, cfg);
+    expectIdenticalResults(off, on);
+}
+
+} // namespace
+} // namespace invisifence

@@ -24,8 +24,9 @@ TEST(SystemConfig, PaperParametersMatchFigure6)
     EXPECT_EQ(p.agent.l2Latency, 25u);
     EXPECT_EQ(p.agent.victimEntries, 16u);     // 16-entry victim cache
     EXPECT_EQ(p.agent.mshrs, 32u);
-    EXPECT_EQ(p.net.dimX, 4u);                 // 4x4 torus
-    EXPECT_EQ(p.net.dimY, 4u);
+    const TorusDims dims = torusDims(p.net, p.numCores);
+    EXPECT_EQ(dims.x, 4u);                     // 4x4 torus (derived)
+    EXPECT_EQ(dims.y, 4u);
     EXPECT_EQ(p.dir.memLatency, 160u);         // 40 ns at 4 GHz
     EXPECT_EQ(p.covTimeout, 4000u);            // CoV timeout interval
     EXPECT_EQ(p.minChunkSize, 100u);           // ~100-instruction chunks

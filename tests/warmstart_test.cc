@@ -28,60 +28,82 @@ using test::expectIdenticalResults;
 using test::lastLoadOf;
 using test::makeScripted;
 
-std::uint32_t
-popcount(std::uint32_t v)
-{
-    std::uint32_t n = 0;
-    for (; v; v &= v - 1)
-        ++n;
-    return n;
-}
-
 TEST(WarmSharerMask, FractionControlsPopcountDeterministically)
 {
     const std::uint32_t n = 16;
     for (const double frac : {0.25, 0.5, 0.75}) {
         for (std::uint32_t b = 0; b < 64; ++b) {
             const Addr block = kSharedRegion + b * kBlockBytes;
-            const std::uint32_t mask = warmSharerMask(block, n, frac);
+            const SharerSet mask = warmSharerMask(block, n, frac);
             EXPECT_EQ(mask, warmSharerMask(block, n, frac));
             const std::uint32_t expect = static_cast<std::uint32_t>(
                 frac * n + 0.999999);
-            EXPECT_EQ(popcount(mask), expect)
+            EXPECT_EQ(mask.count(), expect)
                 << "frac=" << frac << " block=" << b;
         }
     }
     // Degenerate fractions produce the legacy everywhere mask.
-    EXPECT_EQ(warmSharerMask(kSharedRegion, n, 0.0), 0xffffu);
-    EXPECT_EQ(warmSharerMask(kSharedRegion, n, 1.0), 0xffffu);
+    EXPECT_EQ(warmSharerMask(kSharedRegion, n, 0.0), SharerSet::firstN(n));
+    EXPECT_EQ(warmSharerMask(kSharedRegion, n, 1.0), SharerSet::firstN(n));
     // Tiny fractions never yield an empty sharer set.
-    EXPECT_EQ(popcount(warmSharerMask(kSharedRegion, n, 0.001)), 1u);
+    EXPECT_EQ(warmSharerMask(kSharedRegion, n, 0.001).count(), 1u);
+}
+
+TEST(WarmSharerMask, ScalesPastThirtyTwoNodes)
+{
+    // The old uint32 mask silently truncated above node 31: nodes 32+
+    // could never be primed as sharers. SharerSet must cover the whole
+    // 64-node range and keep the fraction contract exact.
+    const std::uint32_t n = 64;
+    EXPECT_EQ(warmSharerMask(kSharedRegion, n, 0.0), SharerSet::firstN(n));
+    EXPECT_EQ(warmSharerMask(kSharedRegion, n, 0.0).count(), 64u);
+    bool high_node_seen = false;
+    for (std::uint32_t b = 0; b < 256; ++b) {
+        const Addr block = kSharedRegion + b * kBlockBytes;
+        const SharerSet mask = warmSharerMask(block, n, 0.5);
+        EXPECT_EQ(mask.count(), 32u);
+        mask.forEach([&](NodeId node) {
+            ASSERT_LT(node, n);
+            if (node >= 32)
+                high_node_seen = true;
+        });
+    }
+    EXPECT_TRUE(high_node_seen)
+        << "no sharer above node 31 across 256 blocks";
 }
 
 TEST(WarmSharers, DirectoryAndAgentsAgreeOnTheSubset)
 {
-    SyntheticParams params;
-    params.privateBlocks = 8;
-    params.sharedBlocks = 8;
-    params.numLocks = 2;
-    SystemParams sp = SystemParams::small(4);
-    std::vector<std::unique_ptr<ThreadProgram>> programs;
-    for (std::uint32_t t = 0; t < sp.numCores; ++t)
-        programs.push_back(std::make_unique<SyntheticProgram>(params, t, 1));
-    System sys(sp, std::move(programs), ImplKind::ConvSC);
-    warmSystem(sys, params, 0.5);
+    // 64 cores exercises the multi-word SharerSet path the old uint32
+    // mask could not represent.
+    for (const std::uint32_t cores : {4u, 64u}) {
+        SCOPED_TRACE("cores=" + std::to_string(cores));
+        SyntheticParams params;
+        params.privateBlocks = 8;
+        params.sharedBlocks = 8;
+        params.numLocks = 2;
+        SystemParams sp = SystemParams::small(cores);
+        std::vector<std::unique_ptr<ThreadProgram>> programs;
+        for (std::uint32_t t = 0; t < sp.numCores; ++t) {
+            programs.push_back(
+                std::make_unique<SyntheticProgram>(params, t, 1));
+        }
+        System sys(sp, std::move(programs), ImplKind::ConvSC);
+        warmSystem(sys, params, 0.5);
 
-    for (std::uint32_t b = 0; b < params.sharedBlocks; ++b) {
-        const Addr block = kSharedRegion + b * kBlockBytes;
-        const std::uint32_t mask =
-            warmSharerMask(block, sys.numCores(), 0.5);
-        const auto view = sys.directory(homeOf(block, 4)).inspect(block);
-        EXPECT_EQ(view.sharers, mask);
-        for (std::uint32_t t = 0; t < sys.numCores(); ++t) {
-            const bool primed = sys.agent(t).probe(block) !=
-                                CacheAgent::Where::Remote;
-            EXPECT_EQ(primed, (mask & (1u << t)) != 0)
-                << "agent " << t << " block " << b;
+        for (std::uint32_t b = 0; b < params.sharedBlocks; ++b) {
+            const Addr block = kSharedRegion + b * kBlockBytes;
+            const SharerSet mask =
+                warmSharerMask(block, sys.numCores(), 0.5);
+            const auto view =
+                sys.directory(sys.homeMap().homeOf(block)).inspect(block);
+            EXPECT_EQ(view.sharers, mask);
+            for (std::uint32_t t = 0; t < sys.numCores(); ++t) {
+                const bool primed = sys.agent(t).probe(block) !=
+                                    CacheAgent::Where::Remote;
+                EXPECT_EQ(primed, mask.test(t))
+                    << "agent " << t << " block " << b;
+            }
         }
     }
 }
@@ -154,13 +176,11 @@ runWarmLitmus(const LitmusTest& test, ImplKind kind, double frac,
                 DirectorySlice::DirState::Idle) {
                 continue;   // already primed
             }
-            const std::uint32_t mask = warmSharerMask(block, n, frac);
-            for (std::uint32_t node = 0; node < n; ++node) {
-                if (mask & (1u << node)) {
-                    sys->agent(node).primeBlock(
-                        block, CoherenceState::Shared, zero);
-                }
-            }
+            const SharerSet mask = warmSharerMask(block, n, frac);
+            mask.forEach([&](NodeId node) {
+                sys->agent(node).primeBlock(
+                    block, CoherenceState::Shared, zero);
+            });
             sys->directory(homeOf(block, n)).primeShared(block, mask);
         }
     }
