@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification: Release, Debug+ASan/UBSan, and a format check.
+# Tier-1 verification: lint, Release, Debug+ASan/UBSan, TSan, and a
+# format check.
 #
 #   ./ci.sh            run everything
+#   ./ci.sh lint       iflint source rules + binary hot-path allocation
+#                      proof (ctest -L lint; see tools/iflint/)
 #   ./ci.sh release    Release build + full ctest suite
 #   ./ci.sh asan       Debug ASan/UBSan build + unit + stress suites
-#   ./ci.sh tsan       TSan build + sweep/fuzz suites (if supported)
+#   ./ci.sh tsan       TSan build + sweep/fuzz suites. GATED: a data
+#                      race fails CI; skipped only when the compiler
+#                      lacks -fsanitize=thread. Known-benign races go
+#                      in tsan.supp with a justification.
+#   ./ci.sh tidy       clang-tidy over src/ with the tree's .clang-tidy
+#                      (skipped when clang-tidy is not installed)
 #   ./ci.sh format     clang-format check (skipped when not installed)
 #   ./ci.sh perfsmoke  event-queue microbench + bench_wallclock at a
 #                      small budget, failing if kcps_fastfwd regresses
@@ -17,6 +25,18 @@ cd "$(dirname "$0")"
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 STAGE="${1:-all}"
+
+run_lint() {
+    echo "== iflint: source rules + hot-path allocation proof =="
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+    # The pass-2 proof objects (invisifence_lint, fixture objects) are
+    # compiled at a pinned -O2 -DNDEBUG by tools/iflint/CMakeLists.txt,
+    # so the lint verdict is identical in every build type.
+    cmake --build build-release -j "$JOBS" --target \
+        iflint iflint_test invisifence_lint iflint_fixture_hot_bad \
+        iflint_fixture_hot_good iflint_fixture_hot_cold_cut
+    ctest --test-dir build-release --output-on-failure -j "$JOBS" -L lint
+}
 
 run_release() {
     echo "== Release build + full test pyramid =="
@@ -64,9 +84,10 @@ run_asan() {
 }
 
 run_tsan() {
-    echo "== ThreadSanitizer build + sweep/fuzz suites (best effort) =="
+    echo "== ThreadSanitizer build + sweep/fuzz suites (gated) =="
     # Probe the same compiler CMake will use, or the probe can disagree
-    # with the build.
+    # with the build. Lacking TSan support is the ONLY skip condition;
+    # when the build runs, any unsuppressed race report fails CI.
     local cxx="${CXX:-c++}"
     if ! echo 'int main(){}' | "$cxx" -fsanitize=thread -x c++ - \
             -o /tmp/tsan_probe 2>/dev/null; then
@@ -80,8 +101,26 @@ run_tsan() {
         -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
     cmake --build build-tsan -j "$JOBS" --target sweep_test \
         fuzz_litmus_test
-    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    # Suppressions live in tsan.supp (each entry must carry a comment
+    # explaining why the race is benign); halt_on_error makes the first
+    # unsuppressed report fatal instead of a warning that exits 0.
+    TSAN_OPTIONS="suppressions=$PWD/tsan.supp halt_on_error=1" \
+        ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
         -R '(sweep_test|stress_sweep|fuzz_litmus_test)'
+}
+
+run_tidy() {
+    echo "== clang-tidy (config: .clang-tidy) =="
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "clang-tidy not installed; skipping tidy stage"
+        return 0
+    fi
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    local files
+    files=$(git ls-files 'src/*.cc')
+    # shellcheck disable=SC2086
+    clang-tidy -p build-release --warnings-as-errors='*' $files
 }
 
 run_perfsmoke() {
@@ -118,13 +157,16 @@ run_format() {
 }
 
 case "$STAGE" in
+  lint)      run_lint ;;
   release)   run_release ;;
   asan)      run_asan ;;
   tsan)      run_tsan ;;
+  tidy)      run_tidy ;;
   format)    run_format ;;
   perfsmoke) run_perfsmoke ;;
-  all)       run_format; run_release; run_asan; run_perfsmoke ;;
-  *) echo "usage: $0 [all|release|asan|tsan|format|perfsmoke]" >&2
+  all)       run_format; run_tidy; run_lint; run_release; run_asan
+             run_tsan; run_perfsmoke ;;
+  *) echo "usage: $0 [all|lint|release|asan|tsan|tidy|format|perfsmoke]" >&2
      exit 2 ;;
 esac
 echo "ci.sh: $STAGE OK"

@@ -1,6 +1,6 @@
 #include "coh/cache_agent.hh"
 
-#include <cassert>
+#include "sim/annotations.hh"
 
 #include "sim/log.hh"
 
@@ -14,15 +14,26 @@ namespace {
  *  starts with working capacity: the swap dance then keeps all
  *  participants at or above it, and the steady state never grows a
  *  vector one push at a time. */
+/** Pool-miss slow path of takeScratch (cold allocation frontier). */
+template <typename T>
+IF_COLD_FN std::vector<T>
+freshScratch()
+{
+    IF_COLD_ALLOC("scratch-pool miss: a fresh vector is built only "
+                  "until the pool covers peak drain reentrancy; every "
+                  "vector is returned via putScratch with capacity "
+                  "intact");
+    std::vector<T> v;
+    v.reserve(16);
+    return v;
+}
+
 template <typename T>
 std::vector<T>
 takeScratch(std::vector<std::vector<T>>& pool)
 {
-    if (pool.empty()) {
-        std::vector<T> v;
-        v.reserve(16);
-        return v;
-    }
+    if (pool.empty())
+        return freshScratch<T>();
     std::vector<T> v = std::move(pool.back());
     pool.pop_back();
     return v;
@@ -162,7 +173,7 @@ CacheAgent::request(Addr addr, bool write, FillWaiter cb)
             if (mshrs_.indexEnabled() &&
                 lastLocalSeqAfter_ == eq_.scheduledCount() &&
                 lastLocalBlock_ == block && lastLocalDue_ == due) {
-                localBatches_[lastLocalSlot_].waiters.push_back(cb);
+                hotPush(localBatches_[lastLocalSlot_].waiters, cb);
                 return true;
             }
             std::uint32_t slot;
@@ -175,7 +186,7 @@ CacheAgent::request(Addr addr, bool write, FillWaiter cb)
             }
             LocalFillBatch& b = localBatches_[slot];
             b.block = block;
-            b.waiters.push_back(cb);
+            hotPush(b.waiters, cb);
             eq_.schedule(lat, [this, slot]() {
                 runLocalFillBatch(slot);
             }, node_);
@@ -221,7 +232,7 @@ std::uint64_t
 CacheAgent::readWordL1(Addr addr) const
 {
     const CacheArray::Line l1line = l1_.lookup(addr);
-    assert(l1line && "readWordL1 of absent block");
+    IF_DBG_ASSERT(l1line && "readWordL1 of absent block");
     return l1line.data().readWord(blockOffset(wordAlign(addr)));
 }
 
@@ -255,14 +266,14 @@ CacheAgent::writeMaskedL1(const BlockView& view, const MaskedBlock& data,
 {
     const CacheArray::Line l1line = view.l1;
     const CacheArray::Line l2line = view.l2;
-    assert(l1line && l2line && isWritable(l2line.state()) &&
+    IF_DBG_ASSERT(l1line && l2line && isWritable(l2line.state()) &&
            "write to non-writable block");
     if (speculative) {
         // The cleaning writeback must already have preserved the
         // pre-speculative value of a dirty block (Section 3.2).
-        assert(!(l1line.dirty() && !l1line.specWrittenAny()) &&
+        IF_DBG_ASSERT(!(l1line.dirty() && !l1line.specWrittenAny()) &&
                "speculative write to unclean non-speculative dirty block");
-        assert(ctx < kMaxCheckpoints);
+        IF_DBG_ASSERT(ctx < kMaxCheckpoints);
         if (!l1line.speculative())
             ++specLines_;
         l1line.setSpecWritten(ctx);
@@ -277,8 +288,8 @@ void
 CacheAgent::setSpecRead(Addr addr, std::uint32_t ctx)
 {
     const CacheArray::Line l1line = l1_.lookup(addr);
-    assert(l1line && "setSpecRead of absent block");
-    assert(ctx < kMaxCheckpoints);
+    IF_DBG_ASSERT(l1line && "setSpecRead of absent block");
+    IF_DBG_ASSERT(ctx < kMaxCheckpoints);
     if (!l1line.speculative())
         ++specLines_;
     l1line.setSpecRead(ctx);
@@ -290,7 +301,7 @@ CacheAgent::markSpecReadIfPresent(Addr addr, std::uint32_t ctx)
     const CacheArray::Line l1line = l1_.lookup(addr);
     if (!l1line)
         return false;
-    assert(ctx < kMaxCheckpoints);
+    IF_DBG_ASSERT(ctx < kMaxCheckpoints);
     if (!l1line.speculative())
         ++specLines_;
     l1line.setSpecRead(ctx);
@@ -364,6 +375,7 @@ CacheAgent::setExternalBlocked(bool blocked)
 void
 CacheAgent::deliver(const Msg& msg)
 {
+    IF_HOT;
     switch (msg.type) {
       case MsgType::DataS:
       case MsgType::DataE:
@@ -437,7 +449,7 @@ CacheAgent::handleFill(const Msg& msg)
                  msgTypeName(msg.type).data(),
                  static_cast<unsigned long long>(msg.blockAddr));
     }
-    assert(msg.hasData);
+    IF_DBG_ASSERT(msg.hasData);
 
     CoherenceState state = CoherenceState::Shared;
     if (msg.type == MsgType::DataE || msg.type == MsgType::DataM)
@@ -565,9 +577,9 @@ CacheAgent::serveExternal(const Msg& msg, CacheArray::Handle l1h)
     // flash-invalidated the frame (generation mismatch -> null), but
     // nothing between resolution and service can *install* the block.
     CacheArray::Line l1line = l1_.resolve(l1h);
-    assert(l1line == l1_.lookup(block) &&
+    IF_DBG_ASSERT(l1line == l1_.lookup(block) &&
            "revalidated handle disagrees with a fresh lookup");
-    assert(!(l1line && l1line.specWrittenAny()) &&
+    IF_DBG_ASSERT(!(l1line && l1line.specWrittenAny()) &&
            "serving external request from speculatively-written block");
 
     switch (msg.type) {
@@ -635,7 +647,7 @@ CacheAgent::serveDeferred()
     // (CoV windows) or re-enter serveDeferred via an abort.
     auto pending = takeScratch(msgScratchPool_);
     for (const Msg& msg : deferred_)
-        pending.push_back(msg);
+        hotPush(pending, msg);
     deferred_.clear();
     for (const Msg& msg : pending)
         handleExternal(msg);
@@ -697,12 +709,12 @@ CacheAgent::installL2(Addr block, const BlockData& data,
     };
     CacheArray::Line victim = l2_.findVictim(block, avoid, &forced);
     if (forced) {
-        assert(listener_);
+        IF_DBG_ASSERT(listener_);
         ++statForcedSpecEvictions;
         if (!listener_->resolveSpecEviction(victim.blockAddr()))
             listener_->resolveSpecEvictionHard(victim.blockAddr());
         victim = l2_.findVictim(block, avoid, &forced);
-        assert(!forced && "speculation unresolved after forced eviction");
+        IF_DBG_ASSERT(!forced && "speculation unresolved after forced eviction");
     }
     if (victim.valid())
         evictL2Line(victim);
@@ -716,7 +728,7 @@ CacheAgent::installL2(Addr block, const BlockData& data,
 CacheArray::Line
 CacheAgent::installL1(Addr block, CacheArray::Line l2line)
 {
-    assert(l2line && l2line.valid() &&
+    IF_DBG_ASSERT(l2line && l2line.valid() &&
            "L1 install without L2 backing (inclusion violated)");
 
     if (CacheArray::Line existing = l1_.lookup(block)) {
@@ -737,17 +749,17 @@ CacheAgent::installL1(Addr block, CacheArray::Line l2line)
     };
     CacheArray::Line victim = l1_.findVictim(block, avoid, &forced);
     if (forced) {
-        assert(listener_);
+        IF_DBG_ASSERT(listener_);
         ++statForcedSpecEvictions;
         if (!listener_->resolveSpecEviction(victim.blockAddr()))
             return {};   // caller defers the fill and retries
         victim = l1_.findVictim(block, avoid, &forced);
-        assert(!forced && "speculation unresolved after forced eviction");
+        IF_DBG_ASSERT(!forced && "speculation unresolved after forced eviction");
     }
     if (victim.valid()) {
         // Non-speculative L1 victim: propagate dirty data to the L2 and
         // keep a clean low-latency copy in the victim cache.
-        assert(!victim.speculative());
+        IF_DBG_ASSERT(!victim.speculative());
         if (victim.dirty())
             syncL2FromL1(victim, l2_.lookup(victim.blockAddr()));
         vc_.insertFrom(victim.blockAddr(), victim.state(),
@@ -774,7 +786,7 @@ CacheAgent::syncL2FromL1(CacheArray::Line l1line, CacheArray::Line l2line)
 {
     if (!l1line || !l1line.dirty())
         return;
-    assert(l2line && isWritable(l2line.state()) &&
+    IF_DBG_ASSERT(l2line && isWritable(l2line.state()) &&
            "dirty L1 line without writable L2 backing");
     l2line.data() = l1line.data();
     l2line.setState(CoherenceState::Modified);
@@ -790,7 +802,7 @@ CacheAgent::evictL2Line(CacheArray::Line line)
     // Inclusion: purge the L1 copy (speculative lines were resolved by
     // the avoidance logic in installL2) and the victim cache copy.
     if (CacheArray::Line l1line = l1_.lookup(block)) {
-        assert(!l1line.speculative());
+        IF_DBG_ASSERT(!l1line.speculative());
         if (l1line.dirty()) {
             line.data() = l1line.data();
             line.setState(CoherenceState::Modified);

@@ -1,6 +1,6 @@
 #include "coh/directory.hh"
 
-#include <cassert>
+#include "sim/annotations.hh"
 #include <cstdlib>
 
 #include "sim/log.hh"
@@ -48,7 +48,7 @@ DirectorySlice::entry(Addr block)
 {
     const Addr blk = blockAlign(block);
     if (!useFlat_)
-        return dir_[blk];
+        return legacyEntry(blk);
 #ifndef NDEBUG
     // Fold the mutations made through the previous entry() reference
     // into the oracle before taking a new one.
@@ -65,13 +65,23 @@ DirectorySlice::entry(Addr block)
         dir_.emplace(blk, DirEntry{});
     } else {
         auto it = dir_.find(blk);
-        assert(it != dir_.end() && it->second == e &&
+        IF_DBG_ASSERT(it != dir_.end() && it->second == e &&
                "flat directory diverged from the map oracle");
         static_cast<void>(it);
     }
     lastEntryKey_ = blk;
 #endif
     return e;
+}
+
+DirectorySlice::DirEntry&
+DirectorySlice::legacyEntry(Addr blk)
+{
+    IF_COLD_ALLOC("INVISIFENCE_DIR_FLAT=0 escape hatch: the legacy "
+                  "unordered_map directory allocates per distinct "
+                  "block; the production flat path does not run "
+                  "through here");
+    return dir_[blk];
 }
 
 #ifndef NDEBUG
@@ -81,7 +91,7 @@ DirectorySlice::syncOracleFlush() const
     if (!useFlat_ || lastEntryKey_ == ~Addr{0})
         return;
     const DirEntry* cur = dirFlat_.find(lastEntryKey_);
-    assert(cur && "oracle-tracked block vanished from the flat table");
+    IF_DBG_ASSERT(cur && "oracle-tracked block vanished from the flat table");
     dir_[lastEntryKey_] = *cur;
     lastEntryKey_ = ~Addr{0};
 }
@@ -91,11 +101,11 @@ DirectorySlice::verifyQuiescence() const
 {
     if (useFlat_) {
         syncOracleFlush();
-        assert(dirFlat_.size() == dir_.size() &&
+        IF_DBG_ASSERT(dirFlat_.size() == dir_.size() &&
                "flat directory and map oracle disagree on entry count");
         dirFlat_.forEach([this](Addr key, const DirEntry& value) {
             auto it = dir_.find(key);
-            assert(it != dir_.end() && it->second == value &&
+            IF_DBG_ASSERT(it != dir_.end() && it->second == value &&
                    "flat directory diverged from the map oracle");
             static_cast<void>(it);
         });
@@ -111,11 +121,11 @@ DirectorySlice::verifyQuiescence() const
         active += h.txnActive ? 1 : 0;
         busy += h.busy ? 1 : 0;
     });
-    assert(waiting == waitingTotal_ &&
+    IF_DBG_ASSERT(waiting == waitingTotal_ &&
            "waitingTotal_ diverged from the waiting queues");
-    assert(active == activeTxns_ &&
+    IF_DBG_ASSERT(active == activeTxns_ &&
            "activeTxns_ diverged from the live transactions");
-    assert(busy == busyBlocks_ &&
+    IF_DBG_ASSERT(busy == busyBlocks_ &&
            "busyBlocks_ diverged from the busy flags");
     static_cast<void>(waiting);
     static_cast<void>(active);
@@ -160,9 +170,9 @@ DirectorySlice::inspect(Addr block) const
             // Skip the one key whose latest mutations are still only in
             // the flat table (folded in at the next entry()/verify).
             auto it = dir_.find(blk);
-            assert((e == nullptr) == (it == dir_.end()) &&
+            IF_DBG_ASSERT((e == nullptr) == (it == dir_.end()) &&
                    "flat directory and map oracle disagree on presence");
-            assert((!e || *e == it->second) &&
+            IF_DBG_ASSERT((!e || *e == it->second) &&
                    "flat directory diverged from the map oracle");
             static_cast<void>(it);
         }
@@ -194,7 +204,7 @@ DirectorySlice::registerStats(StatRegistry& reg,
 void
 DirectorySlice::primeOwned(Addr block, NodeId owner)
 {
-    assert(homeMap_.homeOf(block) == node_);
+    IF_DBG_ASSERT(homeMap_.homeOf(block) == node_);
     DirEntry& e = entry(block);
     e.state = DirState::Owned;
     e.owner = owner;
@@ -204,8 +214,8 @@ DirectorySlice::primeOwned(Addr block, NodeId owner)
 void
 DirectorySlice::primeShared(Addr block, const SharerSet& sharers)
 {
-    assert(homeMap_.homeOf(block) == node_);
-    assert(sharers.any());
+    IF_DBG_ASSERT(homeMap_.homeOf(block) == node_);
+    IF_DBG_ASSERT(sharers.any());
     DirEntry& e = entry(block);
     e.state = DirState::Shared;
     e.sharers = sharers;
@@ -215,7 +225,8 @@ DirectorySlice::primeShared(Addr block, const SharerSet& sharers)
 void
 DirectorySlice::deliver(const Msg& msg)
 {
-    assert(homeMap_.homeOf(msg.blockAddr) == node_);
+    IF_HOT;
+    IF_DBG_ASSERT(homeMap_.homeOf(msg.blockAddr) == node_);
     if (!isRequest(msg.type)) {
         handleResponse(msg);
         return;
@@ -236,7 +247,7 @@ void
 DirectorySlice::startNextIfQueued(Addr block)
 {
     BlockHome* h = home_.find(blockAlign(block));
-    assert(h && h->busy && "finishing a transaction with no home state");
+    IF_DBG_ASSERT(h && h->busy && "finishing a transaction with no home state");
     if (h->waiting.empty()) {
         h->busy = false;
         --busyBlocks_;
@@ -265,7 +276,7 @@ DirectorySlice::startTxn(const Msg& req)
     }
 
     BlockHome& h = home(req.blockAddr);
-    assert(!h.txnActive && "transaction already active on block");
+    IF_DBG_ASSERT(!h.txnActive && "transaction already active on block");
     h.txnActive = true;
     ++activeTxns_;
     h.txn = Txn{};
@@ -276,7 +287,7 @@ DirectorySlice::startTxn(const Msg& req)
         ++statGetS;
         handleGetS(txn, e);
     } else {
-        assert(req.type == MsgType::GetM);
+        IF_DBG_ASSERT(req.type == MsgType::GetM);
         ++statGetM;
         handleGetM(txn, e);
     }
@@ -350,7 +361,7 @@ DirectorySlice::handlePut(const Msg& req, DirEntry& e)
       case MsgType::PutE:
         if (e.state == DirState::Owned && e.owner == src) {
             if (req.type == MsgType::PutM) {
-                assert(req.hasData);
+                IF_DBG_ASSERT(req.hasData);
                 mem_.writeBlock(req.blockAddr, req.data);
             }
             e.state = DirState::Idle;
@@ -407,11 +418,11 @@ DirectorySlice::handleResponse(const Msg& msg)
     Txn& txn = h->txn;
     switch (msg.type) {
       case MsgType::InvAck:
-        assert(txn.pendingAcks > 0);
+        IF_DBG_ASSERT(txn.pendingAcks > 0);
         --txn.pendingAcks;
         break;
       case MsgType::DataToHome:
-        assert(txn.needOwnerData && msg.hasData);
+        IF_DBG_ASSERT(txn.needOwnerData && msg.hasData);
         txn.ownerDataDone = true;
         txn.data = msg.data;
         txn.dataFromOwner = true;
@@ -467,7 +478,7 @@ DirectorySlice::finishGetS(Txn& txn, DirEntry& e)
                     false, req);
     } else {
         // Owner provided the data and downgraded itself to Shared.
-        assert(txn.dataFromOwner);
+        IF_DBG_ASSERT(txn.dataFromOwner);
         e.state = DirState::Shared;
         e.sharers = SharerSet::single(e.owner);
         e.sharers.set(req);

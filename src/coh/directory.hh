@@ -24,6 +24,7 @@
 
 #include <string>
 
+#include "sim/annotations.hh"
 #include "coh/home_map.hh"
 #include "coh/message.hh"
 #include "coh/network.hh"
@@ -151,6 +152,8 @@ class DirectorySlice
     };
 
     DirEntry& entry(Addr block);
+    /** Legacy-map path of entry() (escape-hatch allocation frontier). */
+    IF_COLD_FN DirEntry& legacyEntry(Addr blk);
 
 #ifndef NDEBUG
     /**

@@ -1,6 +1,6 @@
 #include "coh/network.hh"
 
-#include <cassert>
+#include "sim/annotations.hh"
 #include <cstdlib>
 
 #include "coh/cache_agent.hh"
@@ -52,7 +52,7 @@ Network::Network(EventQueue& eq, const NetworkParams& params,
 void
 Network::attachAgent(NodeId node, CacheAgent* agent)
 {
-    assert(node < numNodes_ && agent);
+    IF_DBG_ASSERT(node < numNodes_ && agent);
     Endpoint& ep =
         endpoints_[node * 2 + static_cast<std::size_t>(Unit::Agent)];
     ep = Endpoint{};
@@ -62,7 +62,7 @@ Network::attachAgent(NodeId node, CacheAgent* agent)
 void
 Network::attachDirectory(NodeId node, DirectorySlice* dir)
 {
-    assert(node < numNodes_ && dir);
+    IF_DBG_ASSERT(node < numNodes_ && dir);
     Endpoint& ep =
         endpoints_[node * 2 + static_cast<std::size_t>(Unit::Directory)];
     ep = Endpoint{};
@@ -75,7 +75,7 @@ Network::attach(NodeId node, Unit unit, Sink sink)
     // A late attach() replaces whatever was registered (tests intercept
     // traffic on endpoints whose agent/directory self-registered at
     // construction), so the typed pointers are cleared too.
-    assert(node < numNodes_);
+    IF_DBG_ASSERT(node < numNodes_);
     Endpoint& ep = endpoints_[node * 2 + static_cast<std::size_t>(unit)];
     ep = Endpoint{};
     ep.fn = std::move(sink);
@@ -119,7 +119,7 @@ Network::dispatch(std::uint32_t sink_idx, const Msg& msg)
     } else if (ep.dir) {
         ep.dir->deliver(msg);
     } else {
-        assert(ep.fn && "message dispatched to unattached endpoint");
+        IF_DBG_ASSERT(ep.fn && "message dispatched to unattached endpoint");
         ep.fn(msg);
     }
 }
@@ -127,14 +127,15 @@ Network::dispatch(std::uint32_t sink_idx, const Msg& msg)
 void
 Network::send(const Msg& msg)
 {
-    assert(msg.src < numNodes_ && msg.dst < numNodes_);
+    IF_HOT;
+    IF_DBG_ASSERT(msg.src < numNodes_ && msg.dst < numNodes_);
     ++statMessages;
     if (msg.hasData)
         ++statDataMessages;
     statTotalHops += hops(msg.src, msg.dst);
     const std::uint32_t idx = static_cast<std::uint32_t>(
         msg.dst * 2 + static_cast<std::uint32_t>(msg.dstUnit));
-    assert(endpoints_[idx].attached() &&
+    IF_DBG_ASSERT(endpoints_[idx].attached() &&
            "message sent to unattached endpoint");
     IF_TRACE("net: %s blk=%llx %u->%u", msgTypeName(msg.type).data(),
              static_cast<unsigned long long>(msg.blockAddr), msg.src,

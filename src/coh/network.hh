@@ -69,6 +69,7 @@ TorusDims torusDims(const NetworkParams& params, std::uint32_t num_nodes);
 class Network
 {
   public:
+    // iflint:allow(std-function) test-only fallback sink: production traffic dispatches through the typed endpoint table below; attach() is never on the steady-state path.
     using Sink = std::function<void(const Msg&)>;
 
     Network(EventQueue& eq, const NetworkParams& params,

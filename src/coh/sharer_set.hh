@@ -16,7 +16,7 @@
 #define INVISIFENCE_COH_SHARER_SET_HH
 
 #include <bit>
-#include <cassert>
+#include "sim/annotations.hh"
 #include <cstdint>
 
 #include "sim/log.hh"
@@ -77,7 +77,7 @@ class SharerSet
     bool
     test(NodeId n) const
     {
-        assert(n < kMaxNodes);
+        IF_DBG_ASSERT(n < kMaxNodes);
         return (w_[n >> 6] >> (n & 63)) & 1;
     }
 

@@ -1,7 +1,7 @@
 #include "core/invisifence.hh"
 
 #include <algorithm>
-#include <cassert>
+#include "sim/annotations.hh"
 
 #include "sim/log.hh"
 
@@ -65,10 +65,10 @@ SpeculativeImpl::SpeculativeImpl(const SpecConfig& cfg, Core& core,
     : ConsistencyImpl(cfg.name(), core, agent), cfg_(cfg),
       sb_(cfg.sbEntries)
 {
-    assert(cfg_.numCheckpoints >= 1 &&
+    IF_DBG_ASSERT(cfg_.numCheckpoints >= 1 &&
            cfg_.numCheckpoints <= kMaxCheckpoints);
     if (cfg_.continuous)
-        assert(cfg_.numCheckpoints == 2);
+        IF_DBG_ASSERT(cfg_.numCheckpoints == 2);
 }
 
 // ---------------------------------------------------------------------
@@ -84,7 +84,7 @@ SpeculativeImpl::hasOpenCkpt() const
 std::uint32_t
 SpeculativeImpl::openCtx() const
 {
-    assert(hasOpenCkpt());
+    IF_DBG_ASSERT(hasOpenCkpt());
     return order_.back();
 }
 
@@ -102,14 +102,14 @@ void
 SpeculativeImpl::openCkpt()
 {
     const std::uint32_t c = freeSlot();
-    assert(c != kNoSpecCtx && "no free checkpoint slot");
+    IF_DBG_ASSERT(c != kNoSpecCtx && "no free checkpoint slot");
     Ckpt& k = ckpts_[c];
     k = Ckpt{};
     k.active = true;
     k.snap = core_.retiredSnapshot();
     k.boundarySeq = core_.lastRetiredSeq();
     k.startedAt = core_.now();
-    order_.push_back(c);
+    hotPush(order_, c);
     ++statSpeculations;
     core_.noteWork();
 }
@@ -219,7 +219,7 @@ SpeculativeImpl::doStore(Addr addr, std::uint64_t value, bool spec,
         routeMemoCtx_ == ctx) {
         route = routeMemoRoute_;
         view = routeMemoView_;
-        assert(route == routeStore(addr, spec, ctx) &&
+        IF_DBG_ASSERT(route == routeStore(addr, spec, ctx) &&
                "memoized store route drifted from a fresh resolution");
     } else {
         route = routeStore(addr, spec, ctx, &view);
@@ -235,7 +235,7 @@ SpeculativeImpl::doStore(Addr addr, std::uint64_t value, bool spec,
       case StoreRoute::NewEntryHeld: {
         const auto res =
             sb_.store(addr, kWordBytes, value, spec, label, seq);
-        assert(res != CoalescingStoreBuffer::StoreResult::Full);
+        IF_DBG_ASSERT(res != CoalescingStoreBuffer::StoreResult::Full);
         (void)res;
         if (route == StoreRoute::NewEntryHeld) {
             for (auto& e : sb_.entries()) {
@@ -324,7 +324,7 @@ SpeculativeImpl::canRetire(RobEntry& entry)
     // Forward progress after an abort: complete one instruction under
     // the strictest non-speculative rules before speculating again.
     if (needNonSpecProgress_) {
-        assert(!speculating());
+        IF_DBG_ASSERT(!speculating());
         switch (entry.inst.type) {
           case OpType::Alu:
           case OpType::Nop:
@@ -666,7 +666,7 @@ SpeculativeImpl::finishCommit(std::uint32_t ctx)
     statSpecRetired += k.retiredInsts;
     ++statCommits;
     k = Ckpt{};
-    assert(!order_.empty() && order_.front() == ctx);
+    IF_DBG_ASSERT(!order_.empty() && order_.front() == ctx);
     order_.erase(order_.begin());
     for (auto& e : sb_.entries())
         e.held = false;
@@ -676,7 +676,7 @@ SpeculativeImpl::finishCommit(std::uint32_t ctx)
 void
 SpeculativeImpl::abortAll()
 {
-    assert(speculating());
+    IF_DBG_ASSERT(speculating());
     ++statAborts;
     const ProgSnapshot snap = ckpts_[order_.front()].snap;
     const InstSeq boundary = ckpts_[order_.front()].boundarySeq;
@@ -747,7 +747,7 @@ SpeculativeImpl::drainStoreBuffer()
         const bool first = std::find(drainSeen_.begin(), drainSeen_.end(),
                                      e.blockAddr) == drainSeen_.end();
         if (first)
-            drainSeen_.push_back(e.blockAddr);
+            hotPush(drainSeen_, e.blockAddr);
         if (!first || e.held || e.waitingFill) {
             ++i;
             continue;
@@ -789,7 +789,7 @@ SpeculativeImpl::drainStoreBuffer()
                 // Preserve the pre-speculative value before the first
                 // speculative byte lands in the L1 (Section 3.2).
                 if (!cleaningPendingContains(e.blockAddr)) {
-                    cleaningPending_.push_back(e.blockAddr);
+                    hotPush(cleaningPending_, e.blockAddr);
                     ++statCleanings;
                     core_.noteWork();
                     const Addr blk = e.blockAddr;
@@ -820,6 +820,7 @@ SpeculativeImpl::drainStoreBuffer()
 void
 SpeculativeImpl::tick()
 {
+    IF_HOT;
     if (speculating())
         ++statCyclesSpeculating;
 

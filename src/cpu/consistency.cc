@@ -1,6 +1,6 @@
 #include "cpu/consistency.hh"
 
-#include <cassert>
+#include "sim/annotations.hh"
 #include <memory>
 
 #include "cpu/core.hh"
@@ -55,7 +55,7 @@ ConventionalFifoImpl::ConventionalFifoImpl(Model model, Core& core,
     : ConsistencyImpl(modelName(model), core, agent), model_(model),
       sb_(sb_entries)
 {
-    assert(model == Model::SC || model == Model::TSO);
+    IF_DBG_ASSERT(model == Model::SC || model == Model::TSO);
 }
 
 RetireCheck
@@ -130,6 +130,7 @@ ConventionalFifoImpl::forwardStore(Addr addr) const
 void
 ConventionalFifoImpl::tick()
 {
+    IF_HOT;
     // In-order drain of the FIFO head, up to two stores per cycle.
     for (int k = 0; k < 2 && !sb_.empty(); ++k) {
         FifoStoreBuffer::Entry& head = sb_.front();
@@ -253,7 +254,7 @@ ConventionalRmoImpl::onRetire(RobEntry& entry)
         }
         const auto res = sb_.store(addr, kWordBytes, entry.inst.value,
                                    false, kNonSpecCtx, entry.seq);
-        assert(res != CoalescingStoreBuffer::StoreResult::Full);
+        IF_DBG_ASSERT(res != CoalescingStoreBuffer::StoreResult::Full);
         (void)res;
         break;
       }
@@ -280,6 +281,7 @@ ConventionalRmoImpl::forwardStore(Addr addr) const
 void
 ConventionalRmoImpl::tick()
 {
+    IF_HOT;
     // Unordered drain: any entry whose block is writable retires into
     // the L1; others acquire permission in the background.
     int drained = 0;

@@ -1,6 +1,6 @@
 #include "cpu/core.hh"
 
-#include <cassert>
+#include "sim/annotations.hh"
 
 #include "cpu/consistency.hh"
 #include "sim/log.hh"
@@ -96,7 +96,8 @@ Core::done() const
 void
 Core::tick(Cycle now)
 {
-    assert(impl_ && "core ticked without a consistency implementation");
+    IF_HOT;
+    IF_DBG_ASSERT(impl_ && "core ticked without a consistency implementation");
     now_ = now;
     ++statCycles;
     impl_->tick();
@@ -105,6 +106,16 @@ Core::tick(Cycle now)
     dispatchStage();
     if (halted_ && rob_.empty())
         impl_->onIdle();
+}
+
+void
+Core::journalAppend(const RobEntry& h)
+{
+    IF_COLD_ALLOC("retire journal: diagnostic capture mode "
+                  "(journalEnabled_), off on production runs; while "
+                  "enabled the journal grows with retired memory ops "
+                  "by design");
+    journal_.push_back({h.seq, h.inst.type, h.inst.addr, h.result});
 }
 
 void
@@ -143,7 +154,7 @@ Core::retireStage()
         retiredSnap_ = rob_.snapAt(0);
         lastRetiredSeq_ = h.seq;
         if (journalEnabled_ && isMemOp(h.inst.type))
-            journal_.push_back({h.seq, h.inst.type, h.inst.addr, h.result});
+            journalAppend(h);
         switch (inst.type) {
           case OpType::Load: ++statLoads; break;
           case OpType::Store: ++statStores; break;
@@ -223,7 +234,7 @@ Core::verifyRobCounters() const
         }
         if (e.valueBound && isLoadLike(e.inst.type)) {
             ++bound;
-            assert((boundLoadFilter_ & blockFilterBit(e.inst.addr)) &&
+            IF_DBG_ASSERT((boundLoadFilter_ & blockFilterBit(e.inst.addr)) &&
                    "bound-load filter missed a bound load");
         }
         if (isStoreLike(e.inst.type)) {
@@ -232,16 +243,16 @@ Core::verifyRobCounters() const
             InstSeq s = wordMapYoungest(wordAlign(e.inst.addr));
             while (s != 0 && s != e.seq) {
                 const std::ptrdiff_t j = rob_.indexOf(s);
-                assert(j >= 0 && "store CAM chain left the window "
+                IF_DBG_ASSERT(j >= 0 && "store CAM chain left the window "
                                  "before reaching a live store");
                 s = rob_.at(static_cast<std::size_t>(j)).prevSameWord;
             }
-            assert(s == e.seq && "store CAM chain missed a live store");
+            IF_DBG_ASSERT(s == e.seq && "store CAM chain missed a live store");
         }
     }
-    assert(complete == pendingComplete_ && "pendingComplete_ drifted");
-    assert(dispatch == pendingDispatch_ && "pendingDispatch_ drifted");
-    assert(bound == boundLoads_ && "boundLoads_ drifted");
+    IF_DBG_ASSERT(complete == pendingComplete_ && "pendingComplete_ drifted");
+    IF_DBG_ASSERT(dispatch == pendingDispatch_ && "pendingDispatch_ drifted");
+    IF_DBG_ASSERT(bound == boundLoads_ && "boundLoads_ drifted");
 }
 #endif
 
@@ -357,7 +368,7 @@ Core::forwardFromChain(std::size_t idx, Addr addr) const
             s = f.prevSameWord;
             continue;
         }
-        assert(isStoreLike(f.inst.type) &&
+        IF_DBG_ASSERT(isStoreLike(f.inst.type) &&
                wordAlign(f.inst.addr) == word);
         fw.producerSeq = f.seq;
         if (f.inst.type == OpType::Store) {
@@ -403,7 +414,7 @@ Core::forwardFromChain(std::size_t idx, Addr addr) const
 void
 Core::bindLoadValue(RobEntry& entry, std::uint64_t value, Cycle ready)
 {
-    assert(entry.status == RobEntry::Status::Dispatched &&
+    IF_DBG_ASSERT(entry.status == RobEntry::Status::Dispatched &&
            isLoadLike(entry.inst.type));
     entry.result = value;
     entry.valueBound = true;
@@ -435,7 +446,7 @@ Core::tryIssueLoad(std::size_t idx)
             if (p.status != RobEntry::Status::Done && !p.valueBound) {
 #ifndef NDEBUG
                 const RobForward chk = forwardFromRob(idx, addr);
-                assert(chk.producerFound && !chk.valueKnown &&
+                IF_DBG_ASSERT(chk.producerFound && !chk.valueKnown &&
                        chk.producerSeq == e.waitSeq &&
                        "stale producer-wait memo");
 #endif
@@ -449,7 +460,7 @@ Core::tryIssueLoad(std::size_t idx)
     {
         // The CAM walk must agree with the naive age-ordered scan.
         const RobForward oracle = forwardFromRob(idx, addr);
-        assert(oracle.producerFound == fw.producerFound &&
+        IF_DBG_ASSERT(oracle.producerFound == fw.producerFound &&
                oracle.valueKnown == fw.valueKnown &&
                (!fw.producerFound ||
                 oracle.producerSeq == fw.producerSeq) &&

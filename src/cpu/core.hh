@@ -22,6 +22,7 @@
 #include "cpu/accounting.hh"
 #include "cpu/program.hh"
 #include "cpu/rob.hh"
+#include "sim/annotations.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -123,6 +124,8 @@ class Core
     /** Record retired memory operations (litmus outcome checking). */
     void enableJournal() { journalEnabled_ = true; }
     const std::vector<RetireRecord>& journal() const { return journal_; }
+    /** Journal-capture slow path of retireStage (cold, diagnostics). */
+    IF_COLD_FN void journalAppend(const RobEntry& h);
 
     /**
      * In-window snoop: an invalidation hit @p block. Replay from the

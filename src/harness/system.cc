@@ -1,7 +1,7 @@
 #include "harness/system.hh"
 
 #include <algorithm>
-#include <cassert>
+#include "sim/annotations.hh"
 #include <cstdlib>
 #include <cstring>
 
@@ -185,9 +185,11 @@ System::System(const SystemParams& params,
     wakeAt_.assign(params_.numCores, 0);
     lastTicked_.assign(params_.numCores, 0);
     shardWake_.assign((params_.numCores + kShardSize - 1) / kShardSize, 0);
-    eq_.setWakeHook([this](std::uint32_t node, Cycle when) {
-        onEventWake(node, when);
-    });
+    eq_.setWakeHook(
+        [](void* ctx, std::uint32_t node, Cycle when) {
+            static_cast<System*>(ctx)->onEventWake(node, when);
+        },
+        this);
 }
 
 void
@@ -245,7 +247,7 @@ System::onEventWake(std::uint32_t node, Cycle when)
     // it tick this cycle, as it would have in the per-cycle loop.
     if (!fastForward_)
         return;
-    assert(node < cores_.size());
+    IF_DBG_ASSERT(node < cores_.size());
     if (when > 0)
         settleCore(node, when - 1);
     if (wakeAt_[node] > when)
@@ -258,6 +260,7 @@ System::onEventWake(std::uint32_t node, Cycle when)
 void
 System::tickCores(Cycle now)
 {
+    IF_HOT;
     const std::uint32_t shards =
         static_cast<std::uint32_t>(shardWake_.size());
     for (std::uint32_t s = 0; s < shards; ++s) {
@@ -300,6 +303,7 @@ System::tickCores(Cycle now)
 void
 System::maybeJump(Cycle end)
 {
+    IF_HOT;
     if (!fastForward_)
         return;
     Cycle next = kNeverCycle;
@@ -323,6 +327,7 @@ System::maybeJump(Cycle end)
 void
 System::run(Cycle cycles)
 {
+    IF_HOT;
     const Cycle end = now_ + cycles;
     while (now_ < end) {
         ++now_;
@@ -336,6 +341,7 @@ System::run(Cycle cycles)
 bool
 System::runUntilDone(Cycle max_cycles)
 {
+    IF_HOT;
     const Cycle end = now_ + max_cycles;
     while (now_ < end) {
         ++now_;

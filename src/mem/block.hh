@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "sim/annotations.hh"
+
 #include "sim/types.hh"
 
 namespace invisifence {
@@ -100,7 +102,7 @@ struct MaskedBlock
                 continue;
             }
             for (std::uint32_t i = 0; i < 8; ++i) {
-                if (sub & (1u << i))
+                if (sub & bitOf<std::uint32_t>(i))
                     base.bytes[off + i] = data.bytes[off + i];
             }
         }

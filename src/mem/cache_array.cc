@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdlib>
 
+#include "sim/annotations.hh"
 #include "sim/log.hh"
 
 namespace invisifence {
@@ -73,7 +74,8 @@ CacheArray::CacheArray(std::uint64_t size_bytes, std::uint32_t ways,
 void
 CacheArray::touch(const Line& line)
 {
-    assert(line.arr_ == this);
+    IF_HOT;
+    IF_DBG_ASSERT(line.arr_ == this);
     if (lruCounter_ == ~std::uint32_t{0})
         renormalizeLru();
     tags_[line.frame_].lruStamp = ++lruCounter_;
@@ -86,7 +88,7 @@ CacheArray::renormalizeLru()
     // selection compares stamps only within a set, so preserving the
     // within-set order preserves every future LRU decision exactly.
     std::uint32_t order[64];
-    assert(ways_ <= 64);
+    IF_DBG_ASSERT(ways_ <= 64);
     for (std::uint32_t s = 0; s < num_sets_; ++s) {
         CacheTag* tags = &tags_[static_cast<std::size_t>(s) * ways_];
         for (std::uint32_t w = 0; w < ways_; ++w)
@@ -105,6 +107,7 @@ CacheArray::Line
 CacheArray::findVictim(Addr addr, FunctionRef<bool(const Line&)> avoid,
                        bool* forced_avoided)
 {
+    IF_HOT;
     const std::uint32_t base = setIndex(addr) * ways_;
     const CacheTag* tags = &tags_[base];
     if (forced_avoided)
@@ -132,7 +135,7 @@ CacheArray::findVictim(Addr addr, FunctionRef<bool(const Line&)> avoid,
         return {this, best};
     if (forced_avoided)
         *forced_avoided = true;
-    assert(best_any != kNoFrame);
+    IF_DBG_ASSERT(best_any != kNoFrame);
     return {this, best_any};
 }
 
@@ -146,15 +149,16 @@ void
 CacheArray::setSpecBit(std::uint32_t frame, std::uint32_t ctx,
                        bool written)
 {
-    assert(ctx < kMaxCheckpoints);
-    assert(tags_[frame].valid() &&
+    IF_HOT;
+    IF_DBG_ASSERT(ctx < kMaxCheckpoints);
+    IF_DBG_ASSERT(tags_[frame].valid() &&
            "speculative bit on an invalid line");
     CacheTag& tag = tags_[frame];
-    const std::uint8_t bit = static_cast<std::uint8_t>(1u << ctx);
+    const std::uint8_t bit = bitOf<std::uint8_t>(ctx);
     if (((tag.specRead | tag.specWritten) & bit) == 0) {
         specPos_[ctx][frame] =
             static_cast<std::uint32_t>(specFrames_[ctx].size());
-        specFrames_[ctx].push_back(frame);
+        hotPush(specFrames_[ctx], frame);
     }
     if (written)
         tag.specWritten |= bit;
@@ -165,15 +169,16 @@ CacheArray::setSpecBit(std::uint32_t frame, std::uint32_t ctx,
 void
 CacheArray::clearSpecCtx(std::uint32_t frame, std::uint32_t ctx)
 {
+    IF_HOT;
     CacheTag& tag = tags_[frame];
-    const std::uint8_t bit = static_cast<std::uint8_t>(1u << ctx);
+    const std::uint8_t bit = bitOf<std::uint8_t>(ctx);
     if (((tag.specRead | tag.specWritten) & bit) == 0)
         return;
     tag.specRead &= static_cast<std::uint8_t>(~bit);
     tag.specWritten &= static_cast<std::uint8_t>(~bit);
     // Swap-with-back removal from the ctx index, O(1).
     const std::uint32_t pos = specPos_[ctx][frame];
-    assert(pos != kNoFrame && specFrames_[ctx][pos] == frame);
+    IF_DBG_ASSERT(pos != kNoFrame && specFrames_[ctx][pos] == frame);
     const std::uint32_t moved = specFrames_[ctx].back();
     specFrames_[ctx][pos] = moved;
     specPos_[ctx][moved] = pos;
@@ -185,9 +190,10 @@ void
 CacheArray::installFrame(std::uint32_t frame, Addr block_addr,
                          CoherenceState s)
 {
+    IF_HOT;
     CacheTag& tag = tags_[frame];
-    assert(!tag.valid() && "installing over a live line");
-    assert(isValidState(s));
+    IF_DBG_ASSERT(!tag.valid() && "installing over a live line");
+    IF_DBG_ASSERT(isValidState(s));
     tag.blockAddr = blockAlign(block_addr);
     tag.state = s;
     tag.dirty = 0;
@@ -199,6 +205,7 @@ CacheArray::installFrame(std::uint32_t frame, Addr block_addr,
 void
 CacheArray::invalidateFrame(std::uint32_t frame)
 {
+    IF_HOT;
     CacheTag& tag = tags_[frame];
     tag.blockAddr = kInvalidTagAddr;   // keep invalid frames unmatchable
     tag.state = CoherenceState::Invalid;
@@ -211,12 +218,12 @@ CacheArray::invalidateFrame(std::uint32_t frame)
 void
 CacheArray::flashClearSpecBits(std::uint32_t ctx)
 {
-    assert(ctx < kMaxCheckpoints);
+    IF_DBG_ASSERT(ctx < kMaxCheckpoints);
 #ifndef NDEBUG
     verifySpecIndex();
 #endif
     const std::uint8_t mask =
-        static_cast<std::uint8_t>(~(1u << ctx));
+        static_cast<std::uint8_t>(~bitOf<std::uint8_t>(ctx));
     for (const std::uint32_t frame : specFrames_[ctx]) {
         tags_[frame].specRead &= mask;
         tags_[frame].specWritten &= mask;
@@ -228,16 +235,17 @@ CacheArray::flashClearSpecBits(std::uint32_t ctx)
 void
 CacheArray::flashInvalidateSpecWritten(std::uint32_t ctx)
 {
-    assert(ctx < kMaxCheckpoints);
+    IF_DBG_ASSERT(ctx < kMaxCheckpoints);
 #ifndef NDEBUG
     verifySpecIndex();
 #endif
-    const std::uint8_t bit = static_cast<std::uint8_t>(1u << ctx);
+    const std::uint8_t bit = bitOf<std::uint8_t>(ctx);
     // Detach the ctx index first: invalidateFrame() below edits the
     // *other* context's index through clearSpecCtx, and must not see a
     // half-cleared entry for this one.
-    flashScratch_.assign(specFrames_[ctx].begin(),
-                         specFrames_[ctx].end());
+    flashScratch_.clear();
+    for (const std::uint32_t f : specFrames_[ctx])
+        hotPush(flashScratch_, f);
     for (const std::uint32_t frame : flashScratch_)
         specPos_[ctx][frame] = kNoFrame;
     specFrames_[ctx].clear();
@@ -269,7 +277,7 @@ CacheArray::verifySpecIndex() const
     // same pattern as the ROB occupancy counters: O(1) in release,
     // re-derived from scratch in debug builds.
     for (std::uint32_t c = 0; c < kMaxCheckpoints; ++c) {
-        const std::uint8_t bit = static_cast<std::uint8_t>(1u << c);
+        const std::uint8_t bit = bitOf<std::uint8_t>(c);
         std::uint32_t marked = 0;
         for (std::uint32_t f = 0;
              f < static_cast<std::uint32_t>(tags_.size()); ++f) {
@@ -277,19 +285,19 @@ CacheArray::verifySpecIndex() const
             const bool has =
                 ((tag.specRead | tag.specWritten) & bit) != 0;
             if (has) {
-                assert(tag.valid() &&
+                IF_DBG_ASSERT(tag.valid() &&
                        "speculative bit on an invalid line");
                 const std::uint32_t pos = specPos_[c][f];
-                assert(pos != kNoFrame && pos < specFrames_[c].size() &&
+                IF_DBG_ASSERT(pos != kNoFrame && pos < specFrames_[c].size() &&
                        specFrames_[c][pos] == f &&
                        "spec index missing a marked frame");
                 ++marked;
             } else {
-                assert(specPos_[c][f] == kNoFrame &&
+                IF_DBG_ASSERT(specPos_[c][f] == kNoFrame &&
                        "spec index holds an unmarked frame");
             }
         }
-        assert(marked == specFrames_[c].size() && "spec index drifted");
+        IF_DBG_ASSERT(marked == specFrames_[c].size() && "spec index drifted");
     }
 }
 #endif

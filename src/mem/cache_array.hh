@@ -30,7 +30,7 @@
 #ifndef INVISIFENCE_MEM_CACHE_ARRAY_HH
 #define INVISIFENCE_MEM_CACHE_ARRAY_HH
 
-#include <cassert>
+#include "sim/annotations.hh"
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -171,7 +171,7 @@ class CacheArray
         void
         setState(CoherenceState s) const
         {
-            assert(isValidState(s));
+            IF_DBG_ASSERT(isValidState(s));
             tag().state = s;
         }
 
@@ -284,7 +284,7 @@ class CacheArray
     std::uint32_t
     countSpeculative(std::uint32_t ctx) const
     {
-        assert(ctx < kMaxCheckpoints);
+        IF_DBG_ASSERT(ctx < kMaxCheckpoints);
         return static_cast<std::uint32_t>(specFrames_[ctx].size());
     }
 

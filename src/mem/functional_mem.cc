@@ -1,12 +1,13 @@
 #include "mem/functional_mem.hh"
 
-#include <cassert>
+#include "sim/annotations.hh"
 
 namespace invisifence {
 
 BlockData
 FunctionalMemory::readBlock(Addr addr) const
 {
+    IF_HOT;
     auto it = blocks_.find(blockAlign(addr));
     return it == blocks_.end() ? BlockData{} : it->second;
 }
@@ -14,20 +15,26 @@ FunctionalMemory::readBlock(Addr addr) const
 void
 FunctionalMemory::writeBlock(Addr addr, const BlockData& data)
 {
+    IF_COLD_ALLOC("sparse backing store: operator[] allocates once per "
+                  "distinct touched block, bounded by workload "
+                  "footprint rather than simulated time");
     blocks_[blockAlign(addr)] = data;
 }
 
 std::uint64_t
 FunctionalMemory::readWord(Addr addr) const
 {
-    assert(addr == wordAlign(addr));
+    IF_HOT;
+    IF_DBG_ASSERT(addr == wordAlign(addr));
     return readBlock(addr).readWord(blockOffset(addr));
 }
 
 void
 FunctionalMemory::writeWord(Addr addr, std::uint64_t value)
 {
-    assert(addr == wordAlign(addr));
+    IF_COLD_ALLOC("sparse backing store: first touch of a block "
+                  "allocates its node, bounded by workload footprint");
+    IF_DBG_ASSERT(addr == wordAlign(addr));
     BlockData blk = readBlock(addr);
     blk.writeWord(blockOffset(addr), value);
     blocks_[blockAlign(addr)] = blk;

@@ -1,6 +1,6 @@
 #include "mem/mshr.hh"
 
-#include <cassert>
+#include "sim/annotations.hh"
 #include <cstdlib>
 
 #include "sim/log.hh"
@@ -68,6 +68,7 @@ MshrFile::lookupScan(Addr blk, const Mshr::Kind* k)
 Mshr*
 MshrFile::lookup(Addr addr)
 {
+    IF_HOT;
     const Addr blk = blockAlign(addr);
     if (!useIndex_)
         return lookupScan(blk, nullptr);
@@ -80,12 +81,13 @@ MshrFile::lookup(Addr addr)
 Mshr*
 MshrFile::lookup(Addr addr, Mshr::Kind k)
 {
+    IF_HOT;
     const Addr blk = blockAlign(addr);
     if (!useIndex_)
         return lookupScan(blk, &k);
     const std::uint32_t* slot = index_.find(indexKey(blk, k));
     Mshr* m = slot ? &slots_[*slot] : nullptr;
-    assert(m == lookupScan(blk, &k) &&
+    IF_DBG_ASSERT(m == lookupScan(blk, &k) &&
            "MSHR index diverged from the linear scan");
     return m;
 }
@@ -93,6 +95,7 @@ MshrFile::lookup(Addr addr, Mshr::Kind k)
 Mshr*
 MshrFile::allocate(Addr addr, Mshr::Kind k)
 {
+    IF_HOT;
     if (full()) {
         ++statFullStalls;
         return nullptr;
@@ -106,7 +109,7 @@ MshrFile::allocate(Addr addr, Mshr::Kind k)
     m.kind = k;
     m.wantWrite = false;
     m.issuedWrite = false;
-    assert(m.readWaiters.empty() && m.writeWaiters.empty());
+    IF_DBG_ASSERT(m.readWaiters.empty() && m.writeWaiters.empty());
     m.readWaiters = WaiterChain{};
     m.writeWaiters = WaiterChain{};
     m.wbData = BlockData{};
@@ -115,7 +118,7 @@ MshrFile::allocate(Addr addr, Mshr::Kind k)
     if (useIndex_) {
         bool created = false;
         index_.getOrCreate(indexKey(m.blockAddr, k), &created) = slot;
-        assert(created && "duplicate MSHR for one (block, kind)");
+        IF_DBG_ASSERT(created && "duplicate MSHR for one (block, kind)");
     }
     ++count_;
     ++statAllocations;
@@ -139,16 +142,16 @@ void
 MshrFile::free(Mshr* m)
 {
     const std::ptrdiff_t off = m - slots_.data();
-    assert(off >= 0 && off < static_cast<std::ptrdiff_t>(capacity_) &&
+    IF_DBG_ASSERT(off >= 0 && off < static_cast<std::ptrdiff_t>(capacity_) &&
            "freeing MSHR not in file");
     const std::uint32_t slot = static_cast<std::uint32_t>(off);
-    assert(live_[slot] && "double free of MSHR slot");
+    IF_DBG_ASSERT(live_[slot] && "double free of MSHR slot");
     // A populated chain here means fill callbacks are being dropped —
     // loads waiting on them would hang (or silently replay): a protocol
     // bug at the call site, not a cleanup detail. All current call
     // sites (finishFill, handleWbAck) detach the chains first or can
     // prove them empty; see the audit notes in cache_agent.cc.
-    assert(m->readWaiters.empty() && m->writeWaiters.empty() &&
+    IF_DBG_ASSERT(m->readWaiters.empty() && m->writeWaiters.empty() &&
            "freeing MSHR with live waiters (lost fill callbacks)");
     if (!m->readWaiters.empty() || !m->writeWaiters.empty()) {
         static bool warned = false;
@@ -163,11 +166,11 @@ MshrFile::free(Mshr* m)
     }
     if (useIndex_) {
         const bool erased = index_.erase(indexKey(m->blockAddr, m->kind));
-        assert(erased && "freeing MSHR missing from the index");
+        IF_DBG_ASSERT(erased && "freeing MSHR missing from the index");
         static_cast<void>(erased);
     }
     live_[slot] = 0;
-    freeSlots_.push_back(slot);
+    hotPush(freeSlots_, slot);
     --count_;
 }
 
@@ -191,8 +194,7 @@ MshrFile::pushWaiter(WaiterChain& chain, const FillWaiter& cb)
         idx = waiterFree_;
         waiterFree_ = waiterPool_[idx].next;
     } else {
-        waiterPool_.emplace_back();   // slab growth: warmup only
-        idx = static_cast<std::uint32_t>(waiterPool_.size() - 1);
+        idx = growWaiterPool();
     }
     WaiterNode& node = waiterPool_[idx];
     node.cb = cb;
@@ -206,6 +208,16 @@ MshrFile::pushWaiter(WaiterChain& chain, const FillWaiter& cb)
 }
 
 std::uint32_t
+MshrFile::growWaiterPool()
+{
+    IF_COLD_ALLOC("waiter-node slab growth: nodes are free-listed and "
+                  "recycled, so the slab stops growing at the in-flight "
+                  "waiter high-water mark reached during warmup");
+    waiterPool_.emplace_back();
+    return static_cast<std::uint32_t>(waiterPool_.size() - 1);
+}
+
+std::uint32_t
 MshrFile::takeWaiters(WaiterChain& chain)
 {
     const std::uint32_t head = chain.head;
@@ -216,7 +228,7 @@ MshrFile::takeWaiters(WaiterChain& chain)
 FillWaiter
 MshrFile::takeWaiterAndAdvance(std::uint32_t& idx)
 {
-    assert(idx != kNoWaiter);
+    IF_DBG_ASSERT(idx != kNoWaiter);
     WaiterNode& node = waiterPool_[idx];
     const FillWaiter cb = node.cb;
     const std::uint32_t next = node.next;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "mem/block.hh"
+#include "sim/annotations.hh"
 #include "sim/flat_map.hh"
 #include "sim/types.hh"
 
@@ -187,6 +188,8 @@ class MshrFile
 
     /** Release every node of @p chain back to the slab. */
     void releaseChain(WaiterChain& chain);
+    /** Slab-growth slow path of pushWaiter (cold allocation frontier). */
+    IF_COLD_FN std::uint32_t growWaiterPool();
 
     std::uint32_t capacity_;
     std::uint32_t count_ = 0;

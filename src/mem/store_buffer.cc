@@ -1,15 +1,17 @@
 #include "mem/store_buffer.hh"
 
 #include <algorithm>
-#include <cassert>
+
+#include "sim/annotations.hh"
 
 namespace invisifence {
 
 void
 FifoStoreBuffer::push(Addr addr, std::uint64_t data, InstSeq seq)
 {
-    assert(hasSpace());
-    assert(addr == wordAlign(addr));
+    IF_HOT;
+    IF_DBG_ASSERT(hasSpace());
+    IF_DBG_ASSERT(addr == wordAlign(addr));
     entries_.push_back(Entry{addr, data, kWordBytes, seq, false});
     ++statPushes;
     statPeakOccupancy = std::max<std::uint64_t>(statPeakOccupancy,
@@ -19,6 +21,7 @@ FifoStoreBuffer::push(Addr addr, std::uint64_t data, InstSeq seq)
 std::optional<std::uint64_t>
 FifoStoreBuffer::forward(Addr addr) const
 {
+    IF_HOT;
     const Addr word = wordAlign(addr);
     for (std::size_t i = entries_.size(); i-- > 0;) {
         if (entries_[i].addr == word)
@@ -43,7 +46,8 @@ CoalescingStoreBuffer::store(Addr addr, std::uint32_t size,
                              std::uint64_t value, bool speculative,
                              std::uint32_t ctx, InstSeq seq)
 {
-    assert(sameBlock(addr, size));
+    IF_HOT;
+    IF_DBG_ASSERT(sameBlock(addr, size));
     const Addr blk = blockAlign(addr);
     ++statStores;
     // Coalesce only when the labels match exactly: a speculative store
@@ -87,6 +91,7 @@ CoalescingStoreBuffer::gatherBlock(Addr addr) const
 bool
 CoalescingStoreBuffer::containsBlock(Addr addr) const
 {
+    IF_HOT;
     const Addr blk = blockAlign(addr);
     for (const auto& e : entries_) {
         if (e.blockAddr == blk)
@@ -98,6 +103,7 @@ CoalescingStoreBuffer::containsBlock(Addr addr) const
 std::optional<std::uint64_t>
 CoalescingStoreBuffer::forward(Addr addr) const
 {
+    IF_HOT;
     // Word-local gather: overlay only the target word's bytes, oldest
     // entry first so younger stores win — same result as merging whole
     // blocks (gatherBlock) and reading one word, without the 64-byte
@@ -117,7 +123,7 @@ CoalescingStoreBuffer::forward(Addr addr) const
             static_cast<std::uint32_t>(m >> off) & 0xffu;
         std::uint64_t byte_mask = 0;
         for (std::uint32_t i = 0; i < 8; ++i) {
-            if (sub & (1u << i))
+            if (sub & bitOf<std::uint32_t>(i))
                 byte_mask |= std::uint64_t{0xff} << (8 * i);
         }
         value = (value & ~byte_mask) |
@@ -130,8 +136,7 @@ CoalescingStoreBuffer::forward(Addr addr) const
 }
 
 void
-CoalescingStoreBuffer::flashInvalidate(
-    const std::function<bool(const Entry&)>& pred)
+CoalescingStoreBuffer::flashInvalidate(FunctionRef<bool(const Entry&)> pred)
 {
     entries_.erase(std::remove_if(entries_.begin(), entries_.end(), pred),
                    entries_.end());
@@ -146,13 +151,14 @@ CoalescingStoreBuffer::flashInvalidateSpeculative()
 void
 CoalescingStoreBuffer::erase(const Entry& entry)
 {
+    IF_HOT;
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
         if (&*it == &entry) {
             entries_.erase(it);
             return;
         }
     }
-    assert(false && "erase of entry not in store buffer");
+    IF_DBG_ASSERT(false && "erase of entry not in store buffer");
 }
 
 bool

@@ -21,11 +21,11 @@
 #define INVISIFENCE_MEM_STORE_BUFFER_HH
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "mem/block.hh"
+#include "sim/function_ref.hh"
 #include "sim/ring_deque.hh"
 #include "sim/types.hh"
 
@@ -157,7 +157,7 @@ class CoalescingStoreBuffer
     bool containsBlock(Addr addr) const;
 
     /** Flash-invalidate every entry matching @p pred (single cycle). */
-    void flashInvalidate(const std::function<bool(const Entry&)>& pred);
+    void flashInvalidate(FunctionRef<bool(const Entry&)> pred);
 
     /** Flash-invalidate all speculative entries (abort of all contexts). */
     void flashInvalidateSpeculative();

@@ -1,6 +1,6 @@
 #include "mem/victim_cache.hh"
 
-#include <cassert>
+#include "sim/annotations.hh"
 
 namespace invisifence {
 
@@ -18,7 +18,7 @@ VictimCache::indexOf(Addr addr) const
 void
 VictimCache::eraseAt(std::size_t i)
 {
-    freeSlots_.push_back(tags_[i].slot);
+    hotPush(freeSlots_, tags_[i].slot);
     // Tag-lane shift only: 16-byte entries, payloads stay in place.
     tags_.erase(tags_.begin() + static_cast<std::ptrdiff_t>(i));
 }
@@ -26,7 +26,7 @@ VictimCache::eraseAt(std::size_t i)
 std::uint8_t
 VictimCache::takeSlot()
 {
-    assert(!freeSlots_.empty());
+    IF_DBG_ASSERT(!freeSlots_.empty());
     const std::uint8_t slot = freeSlots_.back();
     freeSlots_.pop_back();
     return slot;
@@ -35,8 +35,8 @@ VictimCache::takeSlot()
 VictimCache::InsertResult
 VictimCache::insert(const Entry& e)
 {
-    assert(e.state != CoherenceState::Invalid);
-    assert(e.blockAddr == blockAlign(e.blockAddr));
+    IF_DBG_ASSERT(e.state != CoherenceState::Invalid);
+    IF_DBG_ASSERT(e.blockAddr == blockAlign(e.blockAddr));
     InsertResult res;
     // A re-inserted block replaces its previous incarnation.
     invalidate(e.blockAddr);
@@ -50,8 +50,8 @@ VictimCache::insert(const Entry& e)
     }
     const std::uint8_t slot = takeSlot();
     data_[slot] = e.data;
-    tags_.push_back({e.blockAddr, slot, e.state,
-                     static_cast<std::uint8_t>(e.dirty ? 1 : 0)});
+    hotPush(tags_, Tag{e.blockAddr, slot, e.state,
+                       static_cast<std::uint8_t>(e.dirty ? 1 : 0)});
     return res;
 }
 
@@ -59,19 +59,21 @@ void
 VictimCache::insertFrom(Addr block_addr, CoherenceState state,
                         const BlockData& data)
 {
-    assert(state != CoherenceState::Invalid);
-    assert(block_addr == blockAlign(block_addr));
+    IF_HOT;
+    IF_DBG_ASSERT(state != CoherenceState::Invalid);
+    IF_DBG_ASSERT(block_addr == blockAlign(block_addr));
     invalidate(block_addr);
     if (tags_.size() >= capacity_)
         eraseAt(0);   // displaced entry dropped (clean by construction)
     const std::uint8_t slot = takeSlot();
     data_[slot] = data;
-    tags_.push_back({block_addr, slot, state, 0});
+    hotPush(tags_, Tag{block_addr, slot, state, 0});
 }
 
 bool
 VictimCache::extract(Addr addr, Entry* out)
 {
+    IF_HOT;
     const std::ptrdiff_t at = indexOf(addr);
     if (at < 0) {
         ++statMisses;
@@ -92,6 +94,7 @@ VictimCache::extract(Addr addr, Entry* out)
 bool
 VictimCache::invalidate(Addr addr)
 {
+    IF_HOT;
     const std::ptrdiff_t at = indexOf(addr);
     if (at < 0)
         return false;

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Static-analysis annotations and width-checked bit helpers, consumed
+ * by tools/iflint (the in-tree invariant analyzer, see tools/iflint/
+ * and the README's "Static analysis & invariants" section).
+ *
+ * IF_HOT
+ *   Marks the enclosing function as a steady-state hot-path root. The
+ *   macro plants a function-local static whose mangled name
+ *   (`_ZZ<function-encoding>E11if_hot_root`) survives into the Release
+ *   object's symbol table; iflint pass 2 recovers every such marker,
+ *   walks the static call graph from those roots, and fails the build
+ *   if `operator new`, the malloc family, or `__cxa_throw` is
+ *   reachable. Put it on the entry point of any new per-cycle path
+ *   (tick loops, event dispatch, protocol steps).
+ *
+ * IF_COLD_ALLOC("justification")
+ *   Marks the enclosing function as a sanctioned allocation frontier:
+ *   iflint pass 2 stops traversal here and reports the cut. Reserved
+ *   for capacity-growth paths that are preallocated in practice and
+ *   runtime-verified by alloc_steadystate_test (e.g. RingDeque::grow).
+ *   The justification must be a non-empty string literal so every cut
+ *   is documented at the definition and greppable.
+ *
+ * IF_DBG_ASSERT(expr)
+ *   The sanctioned debug-only invariant check. Raw `assert(` is banned
+ *   in src/ by iflint's raw-assert rule: bounds that must hold in every
+ *   build use IF_FATAL/IF_PANIC; checks that may compile away use this
+ *   macro (which is exactly <cassert> assert, compiled out under
+ *   NDEBUG) so the choice is always explicit.
+ *
+ * bitOf<T>(n)
+ *   Width-checked single-bit mask, the sanctioned replacement for
+ *   `1u << n` with a runtime shift count (iflint's raw-shift rule).
+ *   Shifting by a node/way/context variable that can reach the type
+ *   width is UB and silently truncates — the exact bug class the
+ *   SharerSet conversion removed for node masks; bitOf covers the
+ *   remaining sub-word masks (checkpoint contexts, word-valid bits).
+ *
+ * IF_COLD_FN / hotPush(vec, x)
+ *   vector::push_back compiles to "construct, or _M_realloc_insert
+ *   when full" — and for trivial element types GCC inlines the realloc
+ *   slow path straight into the caller, planting an operator-new edge
+ *   in every hot function that appends to a high-water-bounded vector.
+ *   hotPush peels the capacity check off explicitly: the in-capacity
+ *   append folds to a plain store (GCC unifies the two identical
+ *   finish==end_of_storage tests), and the growth path tail-calls an
+ *   out-of-line, cold, IF_COLD_ALLOC-cut helper. Use it for any
+ *   steady-state push to a pooled/bounded vector.
+ */
+
+#ifndef INVISIFENCE_SIM_ANNOTATIONS_HH
+#define INVISIFENCE_SIM_ANNOTATIONS_HH
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define IF_HOT \
+    static volatile char if_hot_root __attribute__((used)) = 0
+#define IF_COLD_ALLOC(justification) \
+    static_assert(sizeof(justification "") > 1, \
+                  "IF_COLD_ALLOC needs a written justification"); \
+    static volatile char if_cold_cut __attribute__((used)) = 0
+/** Out-of-line, branch-predicted-cold function attribute for the slow
+ *  half of a split hot path (growth, first-touch, error funnels). */
+#define IF_COLD_FN __attribute__((noinline, cold))
+/** Out-of-line only: for IF_COLD_ALLOC frontiers that stay on the
+ *  steady-state path (the allocation inside is conditional and rare,
+ *  but the function itself is not). */
+#define IF_OUTLINE_FN __attribute__((noinline))
+#else
+/* Non-ELF toolchains get no-op markers; pass 2 only runs on ELF. */
+#define IF_HOT do { } while (0)
+#define IF_COLD_ALLOC(justification) do { } while (0)
+#define IF_COLD_FN
+#define IF_OUTLINE_FN
+#endif
+
+/* The one sanctioned spelling of a debug-only assert. iflint's
+ * raw-assert rule would flag the expansion below, which is the
+ * intended single exception in the tree. */
+// iflint:allow(raw-assert) IF_DBG_ASSERT is the sanctioned wrapper; this is its definition site.
+#define IF_DBG_ASSERT(...) assert((__VA_ARGS__))
+
+namespace invisifence {
+
+/** Width-checked `1 << n` for sub-word masks; see file comment. */
+template <typename T>
+constexpr T
+bitOf(std::uint32_t n)
+{
+    IF_DBG_ASSERT(n < sizeof(T) * 8 && "bitOf: shift count exceeds type width");
+    return static_cast<T>(static_cast<T>(1u) << n);
+}
+
+/** Growth half of hotPush (see file comment): the only place the
+ *  vector may reallocate, cut out of the hot-path call graph. */
+template <typename T>
+IF_COLD_FN void
+coldPush(std::vector<T>& v, T x)
+{
+    IF_COLD_ALLOC("vector growth is high-water-mark bounded: capacity "
+                  "is retained across recycling, so steady state never "
+                  "re-enters this path (alloc_steadystate_test enforces "
+                  "the dynamic side of this claim)");
+    v.push_back(std::move(x));
+}
+
+/** Allocation-free-in-steady-state append; see file comment. */
+template <typename T>
+inline void
+hotPush(std::vector<T>& v, T x)
+{
+    if (v.size() == v.capacity()) [[unlikely]] {
+        coldPush(v, std::move(x));
+        return;
+    }
+    v.push_back(std::move(x));
+}
+
+} // namespace invisifence
+
+#endif // INVISIFENCE_SIM_ANNOTATIONS_HH

@@ -1,6 +1,6 @@
 #include "sim/event_queue.hh"
 
-#include <cassert>
+#include "sim/annotations.hh"
 
 #include "sim/log.hh"
 
@@ -14,6 +14,15 @@ EventQueue::allocNode()
         freeHead_ = pool_[idx].next;
         return idx;
     }
+    return growPool();
+}
+
+std::uint32_t
+EventQueue::growPool()
+{
+    IF_COLD_ALLOC("event-slab growth: nodes are free-listed and "
+                  "recycled, so the slab only grows until the in-flight "
+                  "high-water mark is reached during warmup");
     pool_.emplace_back();
     return static_cast<std::uint32_t>(pool_.size() - 1);
 }
@@ -31,13 +40,23 @@ EventQueue::farChain(Cycle when)
         node.mapped() = Chain{};
         return far_.insert(it, std::move(node))->second;
     }
-    return far_.emplace_hint(it, when, Chain{})->second;
+    return coldFarChain(when);
+}
+
+EventQueue::Chain&
+EventQueue::coldFarChain(Cycle when)
+{
+    IF_COLD_ALLOC("far_ map nodes are pooled (farPool_); a fresh node "
+                  "is only allocated until the pool reaches the "
+                  "high-water mark of concurrently pending far ticks");
+    return far_.emplace_hint(far_.lower_bound(when), when, Chain{})
+        ->second;
 }
 
 Event&
 EventQueue::emplaceSlot(Cycle when, std::uint32_t wake_node)
 {
-    assert(when >= now_ && "scheduling an event in the past");
+    IF_DBG_ASSERT(when >= now_ && "scheduling an event in the past");
     if (when < now_) {
         // Release-build safety net: clamp to now, but say so once — a
         // silently rewritten schedule usually means a latency
@@ -68,7 +87,7 @@ EventQueue::emplaceSlot(Cycle when, std::uint32_t wake_node)
 Cycle
 EventQueue::nextEventTick() const
 {
-    assert(size_ > 0 && "nextEventTick on an empty queue");
+    IF_DBG_ASSERT(size_ > 0 && "nextEventTick on an empty queue");
     Cycle t = nextTick_ < now_ ? now_ : nextTick_;
     const Cycle wheel_end = now_ + kWheelSize;
     const Cycle far_min =
@@ -80,7 +99,7 @@ EventQueue::nextEventTick() const
         }
     }
     // Only overflow events remain pending.
-    assert(far_min != kNeverCycle);
+    IF_DBG_ASSERT(far_min != kNeverCycle);
     nextTick_ = far_min;
     return far_min;
 }
@@ -88,7 +107,8 @@ EventQueue::nextEventTick() const
 void
 EventQueue::advanceTo(Cycle tick)
 {
-    assert(tick >= now_);
+    IF_HOT;
+    IF_DBG_ASSERT(tick >= now_);
     while (size_ > 0) {
         const Cycle t = nextEventTick();
         if (t > tick)
@@ -124,9 +144,9 @@ EventQueue::advanceTo(Cycle tick)
             --size_;
             ++executed_;
             if (ev.wakeNode != kNoWakeNode && wakeHook_)
-                wakeHook_(ev.wakeNode, ev.when);
+                wakeHook_(wakeCtx_, ev.wakeNode, ev.when);
             if (ev.kind == Event::Kind::MsgDelivery) {
-                assert(msgDispatch_ && "message event with no dispatcher");
+                IF_DBG_ASSERT(msgDispatch_ && "message event with no dispatcher");
                 msgDispatch_(msgCtx_, ev.sinkIdx, *ev.msg());
             } else {
                 ev.invoke(ev.payload);

@@ -30,10 +30,9 @@
 #ifndef INVISIFENCE_SIM_EVENT_QUEUE_HH
 #define INVISIFENCE_SIM_EVENT_QUEUE_HH
 
-#include <cassert>
+#include "sim/annotations.hh"
 #include <cstdint>
 #include <cstring>
-#include <functional>
 #include <map>
 #include <new>
 #include <type_traits>
@@ -75,7 +74,7 @@ struct Event
     Msg*
     msg()
     {
-        assert(kind == Kind::MsgDelivery);
+        IF_DBG_ASSERT(kind == Kind::MsgDelivery);
         return std::launder(reinterpret_cast<Msg*>(payload));
     }
 };
@@ -168,10 +167,18 @@ class EventQueue
     /**
      * Hook invoked with (wakeNode, when) immediately before executing
      * any event carrying a wake tag. The System uses it to settle and
-     * wake the dormant core the event is about to affect.
+     * wake the dormant core the event is about to affect. Registered as
+     * a plain function pointer plus context — the same devirtualized
+     * shape as setMsgDispatcher above — so the dispatch path stays
+     * allocation-free and statically analyzable.
      */
-    using WakeHook = std::function<void(std::uint32_t, Cycle)>;
-    void setWakeHook(WakeHook hook) { wakeHook_ = std::move(hook); }
+    using WakeHook = void (*)(void* ctx, std::uint32_t node, Cycle when);
+    void
+    setWakeHook(WakeHook hook, void* ctx)
+    {
+        wakeHook_ = hook;
+        wakeCtx_ = ctx;
+    }
 
     /**
      * Execute every event with when <= @p tick, in deterministic order.
@@ -222,6 +229,8 @@ class EventQueue
 
     /** Pop a node from the free list (or grow the slab: warmup only). */
     std::uint32_t allocNode();
+    /** Slab-growth slow path of allocNode (cold, allocation frontier). */
+    IF_COLD_FN std::uint32_t growPool();
     /** Return a node to the free list. */
     void
     freeNode(std::uint32_t idx)
@@ -263,6 +272,8 @@ class EventQueue
      *  span every cycle — far_ churn is steady-state there, so its map
      *  nodes are pooled exactly like the event slab. */
     Chain& farChain(Cycle when);
+    /** Pool-miss slow path of farChain (cold, allocation frontier). */
+    IF_COLD_FN Chain& coldFarChain(Cycle when);
 
     /** Events scheduled >= kWheelSize cycles out, ordered by tick. A
      *  chain migrates in front of its wheel slot at execution time
@@ -277,7 +288,8 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     Cycle now_ = 0;
-    WakeHook wakeHook_;
+    WakeHook wakeHook_ = nullptr;
+    void* wakeCtx_ = nullptr;
     MsgDispatch msgDispatch_ = nullptr;
     void* msgCtx_ = nullptr;
     bool warnedPastSchedule_ = false;

@@ -24,7 +24,7 @@
 #ifndef INVISIFENCE_SIM_FLAT_MAP_HH
 #define INVISIFENCE_SIM_FLAT_MAP_HH
 
-#include <cassert>
+#include "sim/annotations.hh"
 #include <cstdint>
 #include <vector>
 
@@ -53,7 +53,7 @@ class FlatAddrMap
     V*
     find(Addr key)
     {
-        assert(key != kEmptyKey);
+        IF_DBG_ASSERT(key != kEmptyKey);
         std::size_t i = homeSlot(key);
         while (true) {
             if (keys_[i] == key)
@@ -78,7 +78,7 @@ class FlatAddrMap
     V&
     getOrCreate(Addr key, bool* created = nullptr)
     {
-        assert(key != kEmptyKey);
+        IF_DBG_ASSERT(key != kEmptyKey);
         std::size_t i = homeSlot(key);
         while (keys_[i] != kEmptyKey) {
             if (keys_[i] == key) {
@@ -107,7 +107,7 @@ class FlatAddrMap
     bool
     erase(Addr key)
     {
-        assert(key != kEmptyKey);
+        IF_DBG_ASSERT(key != kEmptyKey);
         std::size_t i = homeSlot(key);
         while (true) {
             if (keys_[i] == kEmptyKey)
@@ -159,9 +159,12 @@ class FlatAddrMap
                    (key * 0x9e3779b97f4a7c15ull) >> 32) & mask_;
     }
 
-    void
+    IF_COLD_FN void
     grow()
     {
+        IF_COLD_ALLOC("open-addressing table doubling: the table only "
+                      "grows until the live-key high-water mark; "
+                      "steady-state insert/erase churn stays below it");
         std::vector<Addr> old_keys(keys_.size() * 2, kEmptyKey);
         std::vector<V> old_vals(vals_.size() * 2);
         old_keys.swap(keys_);

@@ -5,6 +5,21 @@
 
 namespace invisifence {
 
+namespace {
+
+/** Fixed-size formatting shared by the leveled sinks: no allocation,
+ *  so the logging layer stays out of iflint pass 2's reachable-alloc
+ *  set even when called from hot-path code. Long messages truncate. */
+void
+vformatBuf(char* buf, std::size_t cap, const char* fmt, va_list ap)
+{
+    const int n = std::vsnprintf(buf, cap, fmt, ap);
+    if (n < 0 && cap > 0)
+        buf[0] = '\0';
+}
+
+} // namespace
+
 std::string
 strformat(const char* fmt, ...)
 {
@@ -25,29 +40,50 @@ strformat(const char* fmt, ...)
 }
 
 [[noreturn]] void
-panicImpl(const char* file, int line, const std::string& msg)
+panicImpl(const char* file, int line, const char* fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    vformatBuf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", buf, file, line);
     std::abort();
 }
 
 [[noreturn]] void
-fatalImpl(const char* file, int line, const std::string& msg)
+fatalImpl(const char* file, int line, const char* fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    vformatBuf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", buf, file, line);
     std::exit(1);
 }
 
 void
-warnImpl(const std::string& msg)
+warnImpl(const char* fmt, ...)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    vformatBuf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", buf);
 }
 
 void
-logImpl(const std::string& msg)
+logImpl(const char* fmt, ...)
 {
-    std::fprintf(stderr, "log: %s\n", msg.c_str());
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    vformatBuf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "log: %s\n", buf);
 }
 
 } // namespace invisifence
+

@@ -17,7 +17,7 @@
 #ifndef INVISIFENCE_SIM_RECYCLING_MAP_HH
 #define INVISIFENCE_SIM_RECYCLING_MAP_HH
 
-#include <cassert>
+#include "sim/annotations.hh"
 #include <unordered_map>
 #include <vector>
 
@@ -64,11 +64,11 @@ class RecyclingMap
             auto node = std::move(pool_.back());
             pool_.pop_back();
             node.key() = key;
-            auto res = map_.insert(std::move(node));
-            assert(res.inserted);
+            auto res = reinsertNode(std::move(node));
+            IF_DBG_ASSERT(res.inserted);
             return res.position->second;
         }
-        return map_[key];
+        return coldCreate(key);
     }
 
     /** Erase @p key, stashing its node for reuse. Must be present. */
@@ -76,15 +76,19 @@ class RecyclingMap
     recycle(const K& key)
     {
         auto node = map_.extract(key);
-        assert(!node.empty() && "recycling an absent key");
+        IF_DBG_ASSERT(!node.empty() && "recycling an absent key");
         pool_.push_back(std::move(node));
     }
 
-    /** Visit every live entry as fn(key, value) (verifiers, audits). */
+    /** Visit every live entry as fn(key, value) in UNORDERED (hash
+     *  layout) order. Callers must fold commutatively (sums, set
+     *  membership) or re-sort; never derive result ordering from the
+     *  visitation sequence. */
     template <typename Fn>
     void
     forEach(Fn&& fn) const
     {
+        // iflint:allow(unordered-iter) sanctioned wrapper: forEach documents the unordered-visit contract above, and callers (debug oracles, quiescence recounts) fold commutatively.
         for (const auto& [key, value] : map_)
             fn(key, value);
     }
@@ -94,6 +98,30 @@ class RecyclingMap
     std::size_t size() const { return map_.size(); }
 
   private:
+    /** Pool-miss slow path of getOrCreate: the only node allocation. */
+    IF_COLD_FN V&
+    coldCreate(const K& key)
+    {
+        IF_COLD_ALLOC("node-pool miss: a fresh map node is allocated "
+                      "only until the pool reaches the transaction "
+                      "high-water mark; recycle() then feeds every "
+                      "later insert");
+        return map_[key];
+    }
+
+    /** Reinsert a pooled node. Out of line because the hashtable may
+     *  still rehash its bucket array on the way in — that growth is
+     *  high-water bounded just like the node pool, and keeping it
+     *  behind the cut keeps the hot caller allocation-free. */
+    IF_OUTLINE_FN typename Map::insert_return_type
+    reinsertNode(typename Map::node_type&& node)
+    {
+        IF_COLD_ALLOC("bucket-array rehash on node reinsert: bucket "
+                      "count grows with the live-entry high-water mark, "
+                      "never from steady-state recycle/insert churn");
+        return map_.insert(std::move(node));
+    }
+
     Map map_;
     std::vector<typename Map::node_type> pool_;
 };

@@ -15,7 +15,7 @@
 #ifndef INVISIFENCE_SIM_RING_DEQUE_HH
 #define INVISIFENCE_SIM_RING_DEQUE_HH
 
-#include <cassert>
+#include "sim/annotations.hh"
 #include <cstddef>
 #include <type_traits>
 #include <vector>
@@ -48,7 +48,7 @@ class RingDeque
     void
     pop_front()
     {
-        assert(size_ > 0);
+        IF_DBG_ASSERT(size_ > 0);
         head_ = slots_.empty() ? 0 : (head_ + 1) % slots_.size();
         --size_;
     }
@@ -111,9 +111,12 @@ class RingDeque
         return slots_.empty() ? 0 : (head_ + i) % slots_.size();
     }
 
-    void
+    IF_COLD_FN void
     grow()
     {
+        IF_COLD_ALLOC("ring doubling: capacity tracks the deepest "
+                      "backlog seen (warmup); pop/push at steady state "
+                      "reuses the ring in place");
         const std::size_t cap = slots_.empty() ? 8 : slots_.size() * 2;
         std::vector<T> next(cap);
         for (std::size_t i = 0; i < size_; ++i)

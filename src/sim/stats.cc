@@ -1,6 +1,6 @@
 #include "sim/stats.hh"
 
-#include <cassert>
+#include "sim/annotations.hh"
 
 #include "sim/log.hh"
 
@@ -9,14 +9,14 @@ namespace invisifence {
 void
 StatRegistry::registerStat(const std::string& name, const std::uint64_t* value)
 {
-    assert(value != nullptr);
+    IF_DBG_ASSERT(value != nullptr);
     stats_[name] = Entry{value, nullptr};
 }
 
 void
 StatRegistry::registerStat(const std::string& name, const double* value)
 {
-    assert(value != nullptr);
+    IF_DBG_ASSERT(value != nullptr);
     stats_[name] = Entry{nullptr, value};
 }
 

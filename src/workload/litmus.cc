@@ -1,6 +1,6 @@
 #include "workload/litmus.hh"
 
-#include <cassert>
+#include "sim/annotations.hh"
 
 namespace invisifence {
 
@@ -110,7 +110,7 @@ ScriptedProgram::fetchNext()
 {
     if (state_.checkingSpin) {
         state_.checkingSpin = 0;
-        assert(state_.pc < script_.size());
+        IF_DBG_ASSERT(state_.pc < script_.size());
         if (state_.lastResult == script_[state_.pc].until)
             ++state_.pc;    // spin satisfied; fall through to next op
     }

@@ -1,7 +1,6 @@
 #include "workload/synthetic.hh"
 
 #include <algorithm>
-#include <cassert>
 
 namespace invisifence {
 

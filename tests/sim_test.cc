@@ -156,10 +156,17 @@ TEST(EventQueue, WakeHookFiresForTaggedEventsBeforeTheirCallback)
     EventQueue eq;
     std::vector<std::pair<std::uint32_t, Cycle>> wakes;
     std::vector<int> order;
-    eq.setWakeHook([&](std::uint32_t node, Cycle when) {
-        wakes.emplace_back(node, when);
-        order.push_back(0);
-    });
+    struct HookCtx {
+        std::vector<std::pair<std::uint32_t, Cycle>>* wakes;
+        std::vector<int>* order;
+    } hookCtx{&wakes, &order};
+    eq.setWakeHook(
+        [](void* ctx, std::uint32_t node, Cycle when) {
+            auto* c = static_cast<HookCtx*>(ctx);
+            c->wakes->emplace_back(node, when);
+            c->order->push_back(0);
+        },
+        &hookCtx);
     eq.scheduleAt(5, [&]() { order.push_back(1); }, 3);
     eq.scheduleAt(6, [&]() { order.push_back(2); });   // untagged: no wake
     eq.advanceTo(10);

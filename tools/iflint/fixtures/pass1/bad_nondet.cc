@@ -1,0 +1,34 @@
+// Fixture: must trip nondet-source (and only nondet-source).
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+unsigned
+seedFromEntropy()
+{
+    std::random_device rd;            // BAD: hardware entropy
+    return rd();
+}
+
+int
+diceRoll()
+{
+    return rand() % 6;                // BAD: global C PRNG
+}
+
+long
+wallClock()
+{
+    auto t = std::chrono::steady_clock::now();   // BAD: wall-clock time
+    return t.time_since_epoch().count();
+}
+
+long
+epochSeconds()
+{
+    return std::time(nullptr);        // BAD: std::time call
+}
+
+} // namespace fixture

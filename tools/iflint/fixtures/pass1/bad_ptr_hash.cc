@@ -1,0 +1,23 @@
+// Fixture: must trip ptr-hash (and only ptr-hash).
+#include <cstddef>
+#include <functional>
+
+namespace fixture {
+
+struct Node {
+    int payload = 0;
+};
+
+std::size_t
+hashByAddress(Node* n)
+{
+    return std::hash<Node*>{}(n);          // BAD: pointer-value hash
+}
+
+bool
+orderByAddress(Node* a, Node* b)
+{
+    return std::less<const Node*>{}(a, b); // BAD: pointer-value ordering
+}
+
+} // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: must trip raw-assert (and only raw-assert).
+#include <cassert>
+
+namespace fixture {
+
+int
+checkedIndex(int i, int bound)
+{
+    assert(i >= 0 && i < bound);   // BAD: raw assert
+    return i;
+}
+
+} // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: must trip raw-shift (and only raw-shift).
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t
+nodeMask(std::uint32_t node)
+{
+    return 1u << node;                    // BAD: runtime shift, no width check
+}
+
+std::uint8_t
+ctxMask(std::uint32_t ctx)
+{
+    return static_cast<std::uint8_t>(1 << ctx);   // BAD: truncating shift
+}
+
+} // namespace fixture

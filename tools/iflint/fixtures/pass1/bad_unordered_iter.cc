@@ -1,0 +1,31 @@
+// Fixture: must trip unordered-iter (and only unordered-iter).
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+std::unordered_map<unsigned long, int> table;
+std::unordered_set<int> members;
+using AliasMap = std::unordered_map<int, int>;
+
+int
+sumAll()
+{
+    int sum = 0;
+    for (const auto& [key, value] : table)   // BAD: range-for
+        sum += value;
+    for (auto it = members.begin(); it != members.end(); ++it)  // BAD
+        sum += *it;
+    return sum;
+}
+
+int
+aliasLoop(const AliasMap& m)
+{
+    int sum = 0;
+    for (const auto& kv : m)   // BAD: range-for over aliased unordered type
+        sum += kv.second;
+    return sum;
+}
+
+} // namespace fixture

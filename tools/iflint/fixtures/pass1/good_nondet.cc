@@ -1,0 +1,30 @@
+// Fixture: seeded determinism and benign homonyms — no findings.
+
+namespace fixture {
+
+struct Rng {
+    unsigned long state;
+    explicit Rng(unsigned long seed) : state(seed) {}
+    unsigned long next() { return state = state * 6364136223846793005ul + 1; }
+};
+
+struct Timer {
+    unsigned long ticks = 0;
+    unsigned long time() const { return ticks; }    // OK: member definition
+    unsigned long clock() const { return ticks; }   // OK: member definition
+};
+
+unsigned long
+seededDraw(unsigned long seed)
+{
+    Rng rng(seed);                  // OK: all randomness flows from the seed
+    return rng.next();
+}
+
+unsigned long
+simulatedTime(const Timer& t)
+{
+    return t.time() + t.clock();    // OK: member calls on a sim object
+}
+
+} // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: value-keyed hashing and ordering — no findings.
+#include <cstddef>
+#include <functional>
+
+namespace fixture {
+
+std::size_t
+hashByValue(unsigned long block_addr)
+{
+    return std::hash<unsigned long>{}(block_addr);   // OK: value key
+}
+
+bool
+orderByValue(unsigned long a, unsigned long b)
+{
+    return std::less<unsigned long>{}(a, b);         // OK: value key
+}
+
+} // namespace fixture

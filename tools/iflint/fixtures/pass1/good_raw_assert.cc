@@ -1,0 +1,20 @@
+// Fixture: sanctioned assert spellings — no findings.
+
+// The fixture corpus is lexed, not compiled, so a local stand-in for
+// sim/annotations.hh keeps the file self-contained.
+#define IF_DBG_ASSERT(...) ((void)0)
+#define IF_FATAL(...) ((void)0)
+
+namespace fixture {
+
+int
+checkedIndex(int i, int bound)
+{
+    IF_DBG_ASSERT(i >= 0 && i < bound);   // OK: sanctioned debug macro
+    if (i < 0 || i >= bound)
+        IF_FATAL("index %d out of [0, %d)", i, bound);   // OK: always-on
+    static_assert(sizeof(int) >= 4);      // OK: compile-time assert
+    return i;
+}
+
+} // namespace fixture

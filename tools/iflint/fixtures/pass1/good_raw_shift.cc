@@ -1,0 +1,32 @@
+// Fixture: compile-time and width-checked shifts — no findings.
+#include <cstdint>
+
+namespace fixture {
+
+constexpr std::uint32_t kShardShift = 6;
+
+std::uint64_t
+fixedMask()
+{
+    return 1u << 13;                      // OK: literal shift count
+}
+
+std::uint64_t
+namedConstantMask()
+{
+    return 1u << kShardShift;             // OK: kConst-style constant
+}
+
+std::uint64_t
+typeWidthMask()
+{
+    return 1ull << sizeof(std::uint32_t); // OK: sizeof expression
+}
+
+std::uint64_t
+streamInsert(std::uint64_t a, std::uint64_t b)
+{
+    return a << b;                        // OK: LHS is not the literal 1
+}
+
+} // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: unordered containers used for lookup only — no findings.
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<unsigned long, int> table;
+std::map<unsigned long, int> sortedView;
+
+int
+lookupOnly(unsigned long key)
+{
+    auto it = table.find(key);        // OK: .end() is a lookup sentinel
+    return it == table.end() ? 0 : it->second;
+}
+
+int
+orderedIteration()
+{
+    int sum = 0;
+    for (const auto& [key, value] : sortedView)   // OK: std::map is ordered
+        sum += value;
+    return sum;
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture (hot-path dir): must trip std-function (and only that).
+#include <functional>
+
+namespace fixture {
+
+struct Dispatcher {
+    std::function<void(int)> sink;   // BAD: type-erased, heap-backed
+};
+
+void
+fire(Dispatcher& d, int payload)
+{
+    if (d.sink)
+        d.sink(payload);
+}
+
+} // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: a suppression without a justification is itself an error.
+#include <cassert>
+
+namespace fixture {
+
+int
+f(int i)
+{
+    assert(i >= 0);   // iflint:allow(raw-assert)
+    return i;
+}
+
+} // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: every violation below carries a justified suppression, in
+// each supported shape — expect zero findings.
+#include <cassert>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<int, int> table;
+
+int
+sameLine(int i)
+{
+    assert(i >= 0);   // iflint:allow(raw-assert) fixture: same-line suppression shape
+    return i;
+}
+
+int
+nextLine(int i)
+{
+    // iflint:allow(raw-assert) fixture: next-line suppression shape
+    assert(i >= 0);
+    return i;
+}
+
+int
+blockForm()
+{
+    int sum = 0;
+    // iflint:begin-allow(unordered-iter) fixture: block suppression shape
+    for (const auto& [key, value] : table)
+        sum += value;
+    for (const auto& [key, value] : table)
+        sum -= value;
+    // iflint:end-allow(unordered-iter)
+    return sum;
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: naming a rule that does not exist is itself an error.
+
+namespace fixture {
+
+// iflint:allow(made-up-rule) this rule name is not in kRules
+int
+f(int i)
+{
+    return i;
+}
+
+} // namespace fixture

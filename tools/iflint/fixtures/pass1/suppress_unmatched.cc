@@ -1,0 +1,14 @@
+// Fixture: begin-allow with no matching end-allow is itself an error.
+#include <cassert>
+
+namespace fixture {
+
+// iflint:begin-allow(raw-assert) fixture: block never closed
+int
+f(int i)
+{
+    assert(i >= 0);
+    return i;
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: a suppression that suppresses nothing is itself an error.
+
+namespace fixture {
+
+// iflint:allow(raw-assert) fixture: nothing on the next line to suppress
+int
+f(int i)
+{
+    return i;
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Pass-2 fixture: a hot root with a planted allocation. iflint pass 2
+// over this object MUST report a violation (hotEntryBad -> operator new).
+#include "sim/annotations.hh"
+
+namespace fixture {
+
+int* planted_sink = nullptr;
+
+void
+hotEntryBad(int v)
+{
+    IF_HOT;
+    planted_sink = new int(v);   // planted: reachable allocation
+}
+
+} // namespace fixture

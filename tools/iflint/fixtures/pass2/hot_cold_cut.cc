@@ -1,0 +1,27 @@
+// Pass-2 fixture: a hot root whose only allocation sits behind an
+// IF_COLD_ALLOC frontier. iflint pass 2 must pass and report the cut.
+#include <vector>
+
+#include "sim/annotations.hh"
+
+namespace fixture {
+
+std::vector<int> pool;
+
+IF_COLD_FN void
+growPoolOnce(int v)
+{
+    IF_COLD_ALLOC("fixture: pool growth happens once during warmup by "
+                  "construction of the test");
+    pool.push_back(v);
+}
+
+void
+hotEntryCut(int v)
+{
+    IF_HOT;
+    if (pool.empty())
+        growPoolOnce(v);
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// Pass-2 fixture: an allocation-free hot root with a helper call chain.
+// iflint pass 2 over this object must report zero violations.
+#include "sim/annotations.hh"
+
+namespace fixture {
+
+unsigned long accumulator = 0;
+
+unsigned long
+mix(unsigned long x)
+{
+    return x * 6364136223846793005ul + 1442695040888963407ul;
+}
+
+void
+hotEntryGood(unsigned long v)
+{
+    IF_HOT;
+    accumulator = mix(accumulator ^ v);
+}
+
+} // namespace fixture

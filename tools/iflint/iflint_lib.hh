@@ -1,0 +1,160 @@
+/**
+ * @file
+ * iflint — the in-tree invariant analyzer. Library interface; the CLI
+ * in iflint_main.cc and the gtest suite both drive these entry points.
+ *
+ * Pass 1 (source rules) lexes C++ sources (comments and string
+ * literals blanked, so prose never trips a rule) and enforces the
+ * determinism/discipline rules the simulator's hot-path work depends
+ * on. Every rule supports an explicit suppression:
+ *
+ *     code();            // iflint:allow(<rule>) <justification>
+ *     // iflint:allow(<rule>) <justification>   (covers the next line)
+ *     // iflint:begin-allow(<rule>) <justification>
+ *     ...region...
+ *     // iflint:end-allow(<rule>)
+ *
+ * Missing justifications, unknown rule names, unmatched begin/end and
+ * suppressions that suppress nothing are themselves violations, so the
+ * set of exceptions stays exact and greppable.
+ *
+ * Pass 2 (binary hot-path allocation proof) recovers IF_HOT /
+ * IF_COLD_ALLOC markers (src/sim/annotations.hh) from Release-object
+ * symbol tables, builds the static call graph from objdump
+ * disassembly, and reports every path from a hot root to
+ * operator new / the malloc family / __cxa_throw that does not cross
+ * a declared allocation frontier.
+ */
+
+#ifndef IFLINT_LIB_HH
+#define IFLINT_LIB_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace iflint {
+
+// ---------------------------------------------------------------- pass 1
+
+/** Rule identifiers; suppression comments must name one of these. */
+extern const std::vector<std::string> kRules;
+
+struct Finding {
+    std::string file;
+    int line = 0;
+    std::string rule;    // one of kRules, or "bad-suppression"
+    std::string detail;
+};
+
+/** Result of lexing one file: code with comments/strings blanked
+ *  (newlines preserved so offsets map to lines) plus the comments. */
+struct FileLex {
+    struct Comment {
+        int lineBegin = 0;
+        int lineEnd = 0;
+        std::string text;
+    };
+    std::string code;
+    std::vector<Comment> comments;
+};
+FileLex lexFile(const std::string& text);
+
+struct Token {
+    enum Kind { Ident, Num, Punct };
+    Kind kind;
+    std::string text;
+    int line = 0;
+};
+std::vector<Token> tokenize(const std::string& code);
+
+/** Phase A: record identifiers declared with an unordered container
+ *  type (including `using X = std::unordered_map<...>` aliases) into
+ *  `names` / `aliases`. Called over every file before any file is
+ *  rule-checked so member iteration in a .cc is caught even when the
+ *  member is declared in the header. */
+void collectUnorderedNames(const std::vector<Token>& toks,
+                           std::set<std::string>& names,
+                           std::set<std::string>& aliases);
+
+struct Pass1FileResult {
+    std::vector<Finding> findings;   // violations surviving suppression
+    int suppressionsHonored = 0;
+};
+
+/** Phase B: run all rules on one file and apply its suppressions. */
+Pass1FileResult analyzeFile(const std::string& path,
+                            const std::string& text,
+                            const std::set<std::string>& unorderedNames,
+                            const std::set<std::string>& unorderedAliases);
+
+struct Pass1Result {
+    std::vector<Finding> findings;
+    int filesScanned = 0;
+    int suppressionsHonored = 0;
+};
+
+/** Scan files/directories (recursing into dirs for .hh/.cc/.h/.cpp). */
+Pass1Result runPass1(const std::vector<std::string>& paths);
+
+// ---------------------------------------------------------------- pass 2
+
+struct CallGraph {
+    std::map<std::string, std::vector<std::string>> calls; // mangled
+    std::set<std::string> defined;      // functions with bodies seen
+    std::map<std::string, int> indirect; // per-function indirect calls
+    std::set<std::string> hotRoots;     // mangled enclosing functions
+    std::set<std::string> coldCuts;
+};
+
+/** Feed `objdump -t` output: collects IF_HOT/IF_COLD_ALLOC markers. */
+void parseSymtab(const std::string& text, CallGraph& g);
+/** Feed `objdump -dr` output: collects functions and call edges
+ *  (relocation lines override the disassembler's guessed targets). */
+void parseDisasm(const std::string& text, CallGraph& g);
+
+struct AllowEntry {
+    std::string pattern;        // substring of mangled or demangled name
+    std::string justification;
+    int hits = 0;
+};
+/** Parse "pattern | justification" lines; '#' comments and blanks are
+ *  skipped. Entries without a justification land in `errors`. */
+std::vector<AllowEntry> loadAllowFile(const std::string& text,
+                                      std::vector<std::string>& errors);
+
+struct Violation {
+    std::string root;
+    std::string badSym;
+    std::vector<std::string> path;  // root ... badSym (mangled)
+};
+
+struct Pass2Result {
+    std::vector<Violation> violations;
+    std::vector<std::string> missingRoots; // marker seen, no body found
+    std::vector<std::string> coldCutsHit;  // cold frontiers traversed into
+    std::vector<std::string> errors;
+    int rootsFound = 0;
+    int functions = 0;
+    int edges = 0;
+    long indirectCalls = 0;
+};
+
+Pass2Result analyzeGraph(const CallGraph& g, std::vector<AllowEntry>& allow);
+
+/** End-to-end: run objdump over the given .o files (directories are
+ *  globbed recursively for *.o), parse, analyze. */
+Pass2Result runPass2(const std::vector<std::string>& objectsOrDirs,
+                     const std::string& allowFilePath);
+
+/** True for operator new/new[], the malloc family, and the C++ throw
+ *  machinery (incl. libstdc++ __throw_* helpers). */
+bool isKillSymbol(const std::string& mangled);
+
+/** __cxa_demangle wrapper; returns the input on failure. */
+std::string demangle(const std::string& sym);
+
+} // namespace iflint
+
+#endif // IFLINT_LIB_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * iflint CLI.
+ *
+ *   iflint pass1 <file-or-dir>...
+ *       Source rules over the given trees (see iflint_lib.hh for the
+ *       rule list and suppression syntax). Exit 1 on any violation.
+ *
+ *   iflint pass2 [--allow FILE] <object-or-dir>...
+ *       Hot-path allocation proof over Release objects: walks the
+ *       static call graph from every IF_HOT root and fails if
+ *       operator new / the malloc family / __cxa_throw is reachable
+ *       outside IF_COLD_ALLOC cuts and --allow frontier patterns.
+ *       Exit 1 on violations (or if no roots were found: a proof over
+ *       zero roots is vacuous and almost certainly a wiring bug).
+ *
+ * Exit codes: 0 clean, 1 violations, 2 usage or I/O error.
+ */
+
+#include "iflint_lib.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: iflint pass1 <file-or-dir>...\n"
+                 "       iflint pass2 [--allow FILE] <object-or-dir>...\n");
+    return 2;
+}
+
+int
+runPass1Cli(const std::vector<std::string>& paths)
+{
+    const iflint::Pass1Result r = iflint::runPass1(paths);
+    for (const auto& f : r.findings)
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                     f.rule.c_str(), f.detail.c_str());
+    std::fprintf(stderr,
+                 "iflint pass1: %d files, %zu violation(s), "
+                 "%d justified suppression(s)\n",
+                 r.filesScanned, r.findings.size(), r.suppressionsHonored);
+    return r.findings.empty() ? 0 : 1;
+}
+
+int
+runPass2Cli(const std::vector<std::string>& args)
+{
+    std::string allowFile;
+    std::vector<std::string> objects;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--allow") {
+            if (i + 1 >= args.size())
+                return usage();
+            allowFile = args[++i];
+        } else {
+            objects.push_back(args[i]);
+        }
+    }
+    if (objects.empty())
+        return usage();
+
+    iflint::Pass2Result r = iflint::runPass2(objects, allowFile);
+    bool hardError = false;
+    for (const std::string& e : r.errors) {
+        std::fprintf(stderr, "iflint pass2: %s\n", e.c_str());
+        if (e.compare(0, 8, "warning:") != 0)
+            hardError = true;
+    }
+    if (hardError)
+        return 2;
+
+    for (const auto& v : r.violations) {
+        std::fprintf(stderr,
+                     "iflint pass2: allocation reachable from hot root "
+                     "%s:\n",
+                     iflint::demangle(v.root).c_str());
+        for (const std::string& s : v.path)
+            std::fprintf(stderr, "    -> %s\n",
+                         iflint::demangle(s).c_str());
+    }
+    for (const std::string& m : r.missingRoots)
+        std::fprintf(stderr,
+                     "iflint pass2: warning: IF_HOT marker for %s has no "
+                     "body in the analyzed objects (fully inlined or not "
+                     "compiled here)\n",
+                     iflint::demangle(m).c_str());
+    for (const std::string& c : r.coldCutsHit)
+        std::fprintf(stderr, "iflint pass2: cold cut: %s\n",
+                     iflint::demangle(c).c_str());
+    std::fprintf(stderr,
+                 "iflint pass2: %d hot root(s), %d function(s), %d "
+                 "edge(s), %ld indirect call site(s), %zu cold cut(s), "
+                 "%zu violation(s)\n",
+                 r.rootsFound, r.functions, r.edges, r.indirectCalls,
+                 r.coldCutsHit.size(), r.violations.size());
+    if (r.rootsFound == 0) {
+        std::fprintf(stderr,
+                     "iflint pass2: no IF_HOT roots found — vacuous "
+                     "proof, failing\n");
+        return 1;
+    }
+    return r.violations.empty() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.size() < 2)
+        return usage();
+    const std::string mode = args[0];
+    args.erase(args.begin());
+    if (mode == "pass1")
+        return runPass1Cli(args);
+    if (mode == "pass2")
+        return runPass2Cli(args);
+    return usage();
+}
