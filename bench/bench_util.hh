@@ -48,7 +48,12 @@ maybeWriteJson(const std::vector<SweepStats>& stats, const RunConfig& cfg,
     if (!os)
         IF_FATAL("INVISIFENCE_BENCH_JSON: cannot write '%s'",
                  path.c_str());
-    writeSweepJson(os, stats, cfg, seeds);
+    // Schema 1 keeps the committed goldens byte-identical; a run with
+    // fault injection armed emits revision 3 so the fault-tolerance
+    // counters (retries / drops_recovered / ...) are visible.
+    const bool faulty = cfg.system.fault.any() ||
+                        cfg.system.agent.retryTimeout != 0;
+    writeSweepJson(os, stats, cfg, seeds, faulty ? 3u : 1u);
     std::cerr << "  wrote sweep JSON to " << path << std::endl;
 }
 

@@ -14,6 +14,10 @@
 #   ./ci.sh tidy       clang-tidy over src/ with the tree's .clang-tidy
 #                      (skipped when clang-tidy is not installed)
 #   ./ci.sh format     clang-format check (skipped when not installed)
+#   ./ci.sh faults     fault-injection suite under ASan/UBSan: the
+#                      fault matrix, the planted-deadlock/watchdog
+#                      fixtures, and an env-knob smoke run (retries
+#                      under drops must still finish the quickstart)
 #   ./ci.sh perfsmoke  event-queue microbench + bench_wallclock at a
 #                      small budget, failing if kcps_fastfwd regresses
 #                      >25% against the committed BENCH_wallclock.json
@@ -81,6 +85,29 @@ run_asan() {
     INVISIFENCE_MSHR_INDEX=0 ctest --test-dir build-asan \
         --output-on-failure \
         -R '(golden_figures_test|fastforward_test|mem_test|coh_test|scale_test)'
+}
+
+run_faults() {
+    echo "== Fault-injection suite under ASan/UBSan =="
+    cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+        -DINVISIFENCE_SANITIZE=ON
+    cmake --build build-asan -j "$JOBS" --target fault_test \
+        fault_deadlock_fixture alloc_steadystate_test fig09_breakdown
+    # The fault matrix, recovery paths, watchdog death test, and both
+    # planted-wedge WILL_FAIL fixtures; then the same suite with the
+    # event-driven scheduler forced off (fault runs must stay
+    # bit-identical across scheduler modes, so both must pass).
+    ctest --test-dir build-asan --output-on-failure \
+        -R '(fault_test|fault_deadlock_watchdog|fault_max_cycles_budget)'
+    INVISIFENCE_FASTFWD=0 ctest --test-dir build-asan \
+        --output-on-failure -R fault_test
+    # Env-knob plumbing end to end: a figure bench with drop/delay/dup
+    # rates injected from the environment (retries auto-arm) must still
+    # run to completion at a small budget.
+    INVISIFENCE_BENCH_CYCLES=6000 INVISIFENCE_FAULT_SEED=7 \
+        INVISIFENCE_FAULT_DROP=800 INVISIFENCE_FAULT_DELAY=2000 \
+        INVISIFENCE_FAULT_DUP=800 INVISIFENCE_WATCHDOG=400000 \
+        ./build-asan/bench/fig09_breakdown
 }
 
 run_tsan() {
@@ -160,13 +187,14 @@ case "$STAGE" in
   lint)      run_lint ;;
   release)   run_release ;;
   asan)      run_asan ;;
+  faults)    run_faults ;;
   tsan)      run_tsan ;;
   tidy)      run_tidy ;;
   format)    run_format ;;
   perfsmoke) run_perfsmoke ;;
   all)       run_format; run_tidy; run_lint; run_release; run_asan
-             run_tsan; run_perfsmoke ;;
-  *) echo "usage: $0 [all|lint|release|asan|tsan|tidy|format|perfsmoke]" >&2
+             run_faults; run_tsan; run_perfsmoke ;;
+  *) echo "usage: $0 [all|lint|release|asan|faults|tsan|tidy|format|perfsmoke]" >&2
      exit 2 ;;
 esac
 echo "ci.sh: $STAGE OK"

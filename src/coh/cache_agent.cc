@@ -1,6 +1,7 @@
 #include "coh/cache_agent.hh"
 
 #include "sim/annotations.hh"
+#include <algorithm>
 
 #include "sim/log.hh"
 
@@ -206,7 +207,7 @@ CacheAgent::request(Addr addr, bool write, FillWaiter cb)
         if (cb)
             mshrs_.pushWaiter(m->writeWaiters, cb);
         ++statUpgrades;
-        sendToHome(MsgType::GetM, block, nullptr, false);
+        sendRequest(m, MsgType::GetM, nullptr, false);
         return true;
     }
 
@@ -223,8 +224,7 @@ CacheAgent::request(Addr addr, bool write, FillWaiter cb)
         else
             mshrs_.pushWaiter(m->readWaiters, cb);
     }
-    sendToHome(write ? MsgType::GetM : MsgType::GetS, block, nullptr,
-               false);
+    sendRequest(m, write ? MsgType::GetM : MsgType::GetS, nullptr, false);
     return true;
 }
 
@@ -472,8 +472,8 @@ CacheAgent::finishFill(Addr block, int attempt)
         // Stolen while the install was deferred: reissue the fetch; the
         // next data response restarts this path.
         m->issuedWrite = m->wantWrite;
-        sendToHome(m->wantWrite ? MsgType::GetM : MsgType::GetS, block,
-                   nullptr, false);
+        sendRequest(m, m->wantWrite ? MsgType::GetM : MsgType::GetS,
+                    nullptr, false);
         return;
     }
 
@@ -521,7 +521,7 @@ CacheAgent::finishFill(Addr block, int attempt)
             // upgrade with a follow-on GetM.
             m->issuedWrite = true;
             ++statUpgrades;
-            sendToHome(MsgType::GetM, block, nullptr, false);
+            sendRequest(m, MsgType::GetM, nullptr, false);
         }
         // else: a GetM is already in flight; its fill finishes the job.
     } else {
@@ -594,7 +594,16 @@ CacheAgent::serveExternal(const Msg& msg, CacheArray::Handle l1h)
         } else if (Mshr* wb = mshrs_.lookup(block, Mshr::Kind::Writeback)) {
             sendToHome(MsgType::DataToHome, block, &wb->wbData,
                        wb->wbDirty);
-            wb->ownershipLost = true;
+            if (params_.faultTolerant) {
+                // The home's transaction just consumed the retained
+                // data, so our in-flight Put is moot: free the MSHR now
+                // (stopping its retry timer). The original Put either
+                // arrives stale (AckStale, orphan-counted) or was
+                // dropped (nothing outstanding).
+                mshrs_.free(wb);
+            } else {
+                wb->ownershipLost = true;
+            }
         } else {
             IF_PANIC("agent %u: FwdGetS for absent block %llx", node_,
                      static_cast<unsigned long long>(block));
@@ -613,7 +622,11 @@ CacheAgent::serveExternal(const Msg& msg, CacheArray::Handle l1h)
         } else if (Mshr* wb = mshrs_.lookup(block, Mshr::Kind::Writeback)) {
             sendToHome(MsgType::DataToHome, block, &wb->wbData,
                        wb->wbDirty);
-            wb->ownershipLost = true;
+            if (params_.faultTolerant) {
+                mshrs_.free(wb);   // see the FwdGetS twin above
+            } else {
+                wb->ownershipLost = true;
+            }
         } else {
             IF_PANIC("agent %u: FwdGetM for absent block %llx", node_,
                      static_cast<unsigned long long>(block));
@@ -659,6 +672,13 @@ CacheAgent::handleWbAck(const Msg& msg)
 {
     Mshr* wb = mshrs_.lookup(msg.blockAddr, Mshr::Kind::Writeback);
     if (!wb) {
+        if (params_.faultTolerant) {
+            // Ack for a writeback already resolved another way: a
+            // forward consumed the data (early free above), the retry
+            // path abandoned it, or a duplicated Put drew two acks.
+            ++statOrphanWbAcks;
+            return;
+        }
         IF_PANIC("agent %u: %s with no writeback MSHR", node_,
                  msgTypeName(msg.type).data());
     }
@@ -689,6 +709,11 @@ CacheAgent::registerStats(StatRegistry& reg,
                      &mshrs_.statFullStalls);
     reg.registerStat(prefix + ".mshr.waiter_dedups",
                      &mshrs_.statWaiterDedups);
+    reg.registerStat(prefix + ".retries", &statRetries);
+    reg.registerStat(prefix + ".orphan_wb_acks", &statOrphanWbAcks);
+    reg.registerStat(prefix + ".wb_abandoned", &statWbAbandoned);
+    reg.registerStat(prefix + ".retry_backoff_max",
+                     &statRetryBackoffMax);
 }
 
 CacheArray::Line
@@ -825,13 +850,16 @@ CacheAgent::evictL2Line(CacheArray::Line line)
 
     switch (line.state()) {
       case CoherenceState::Modified:
-        sendToHome(MsgType::PutM, block, &line.data(), true);
+        wb->wbType = MsgType::PutM;
+        sendRequest(wb, MsgType::PutM, &wb->wbData, true);
         break;
       case CoherenceState::Exclusive:
-        sendToHome(MsgType::PutE, block, nullptr, false);
+        wb->wbType = MsgType::PutE;
+        sendRequest(wb, MsgType::PutE, nullptr, false);
         break;
       case CoherenceState::Shared:
-        sendToHome(MsgType::PutS, block, nullptr, false);
+        wb->wbType = MsgType::PutS;
+        sendRequest(wb, MsgType::PutS, nullptr, false);
         break;
       case CoherenceState::Invalid:
         IF_PANIC("evicting invalid L2 line");
@@ -841,7 +869,7 @@ CacheAgent::evictL2Line(CacheArray::Line line)
 
 void
 CacheAgent::sendToHome(MsgType type, Addr block, const BlockData* data,
-                       bool dirty)
+                       bool dirty, std::uint32_t txn_id)
 {
     Msg m;
     m.type = type;
@@ -850,12 +878,104 @@ CacheAgent::sendToHome(MsgType type, Addr block, const BlockData* data,
     m.dst = homeMap_.homeOf(block);
     m.dstUnit = Unit::Directory;
     m.requester = node_;
+    m.txnId = txn_id;
     if (data) {
         m.data = *data;
         m.hasData = true;
     }
     m.dirty = dirty;
     net_.send(m);
+}
+
+void
+CacheAgent::sendRequest(Mshr* m, MsgType type, const BlockData* data,
+                        bool dirty)
+{
+    if (params_.faultTolerant) {
+        // Fresh id per (re)issued request: reissues open a *new*
+        // directory transaction, so they must not collide with the
+        // dedup record of the one they replace.
+        m->txnId = nextTxnId_++;
+        m->retryAttempt = 0;
+        if (params_.retryTimeout != 0)
+            armRetry(m->blockAddr, m->kind, m->txnId, 0);
+    }
+    sendToHome(type, m->blockAddr, data, dirty, m->txnId);
+}
+
+Cycle
+CacheAgent::backoffFor(std::uint32_t attempt) const
+{
+    // Exponential backoff: timeout * 2^attempt, capped. bitOf keeps the
+    // shift width-checked; the exponent is clamped far below 64 anyway.
+    const Cycle raw =
+        params_.retryTimeout *
+        static_cast<Cycle>(bitOf<std::uint64_t>(std::min(attempt, 16u)));
+    const Cycle cap = std::max(params_.retryBackoffCap,
+                               params_.retryTimeout);
+    return std::min(raw, cap);
+}
+
+void
+CacheAgent::armRetry(Addr block, Mshr::Kind kind, std::uint32_t txn,
+                     std::uint32_t attempt)
+{
+    const Cycle backoff = backoffFor(attempt);
+    statRetryBackoffMax = std::max(statRetryBackoffMax,
+                                   static_cast<std::uint64_t>(backoff));
+    // No wake tag: the deadline only inspects MSHRs and (re)sends
+    // messages; it never touches the core. The closure is a bounded
+    // trivially-copyable capture living in the pooled event slot — no
+    // per-timeout heap allocation.
+    eq_.schedule(backoff, [this, block, kind, txn, attempt]() {
+        onRetryTimer(block, kind, txn, attempt);
+    });
+}
+
+void
+CacheAgent::onRetryTimer(Addr block, Mshr::Kind kind, std::uint32_t txn,
+                         std::uint32_t attempt)
+{
+    Mshr* m = mshrs_.lookup(block, kind);
+    if (!m || m->txnId != txn)
+        return;   // completed or superseded since arming: stale timer
+    if (kind == Mshr::Kind::Writeback) {
+        if (mshrs_.lookup(block, Mshr::Kind::Fetch)) {
+            // A fetch for the same block is in flight; its resolution
+            // decides this writeback's fate (the home may forward it
+            // back to us for the retained data). Check again later, at
+            // the same attempt — the fetch has its own retry bound.
+            armRetry(block, kind, txn, attempt);
+            return;
+        }
+        if (l2_.lookup(block)) {
+            // We own/share the block again (the home re-granted it
+            // after the original Put, or a duplicate resolved the
+            // eviction): the directory's state is consistent with our
+            // possession, so retransmitting the Put would corrupt it —
+            // e.g. a stale PutS clearing a live sharer bit. Abandon.
+            ++statWbAbandoned;
+            mshrs_.free(m);
+            return;
+        }
+    }
+    if (attempt >= params_.retryMax) {
+        IF_PANIC("agent %u: request blk=%llx txn=%u still unanswered "
+                 "after %u retries (unrecoverable loss?)",
+                 node_, static_cast<unsigned long long>(block), txn,
+                 attempt);
+    }
+    m->retryAttempt = attempt + 1;
+    ++statRetries;
+    if (kind == Mshr::Kind::Writeback) {
+        const bool has_data = m->wbType == MsgType::PutM;
+        sendToHome(m->wbType, block, has_data ? &m->wbData : nullptr,
+                   has_data && m->wbDirty, txn);
+    } else {
+        sendToHome(m->issuedWrite ? MsgType::GetM : MsgType::GetS, block,
+                   nullptr, false, txn);
+    }
+    armRetry(block, kind, txn, attempt + 1);
 }
 
 } // namespace invisifence

@@ -49,6 +49,19 @@ struct AgentParams
     std::uint32_t victimEntries = 16;
     Cycle victimLatency = 3;
     std::uint32_t mshrs = 32;
+
+    /** @{ Fault-tolerance knobs (see sim/fault.hh). A nonzero
+     *  retryTimeout arms a retransmit deadline per outstanding request
+     *  (exponential backoff, bounded attempts). faultTolerant is
+     *  derived by the System — set whenever faults or retries are
+     *  enabled — and turns on transaction-id tagging plus the tolerant
+     *  receive paths (orphan acks, owner-self forwards). Both default
+     *  off: the clean-run protocol paths are byte-identical. */
+    Cycle retryTimeout = 0;          //!< retransmit deadline, 0 = off
+    std::uint32_t retryMax = 10;     //!< timeouts before declaring loss
+    Cycle retryBackoffCap = 65536;   //!< ceiling on the backoff delay
+    bool faultTolerant = false;
+    /** @} */
 };
 
 /** Coherence endpoint and two-level private cache hierarchy of one node. */
@@ -230,6 +243,13 @@ class CacheAgent
     std::uint64_t statDeferredFills = 0;
     std::uint64_t statL2Evictions = 0;
 
+    /** @{ Fault-tolerance counters (all zero with the knobs off). */
+    std::uint64_t statRetries = 0;          //!< requests retransmitted
+    std::uint64_t statOrphanWbAcks = 0;     //!< acks with no wb MSHR
+    std::uint64_t statWbAbandoned = 0;      //!< writebacks made moot
+    std::uint64_t statRetryBackoffMax = 0;  //!< largest backoff armed
+    /** @} */
+
   private:
     void handleFill(const Msg& msg);
     void handleExternal(const Msg& msg);
@@ -261,7 +281,24 @@ class CacheAgent
     void runLocalFillBatch(std::uint32_t slot);
     void evictL2Line(CacheArray::Line line);
     void sendToHome(MsgType type, Addr block, const BlockData* data,
-                    bool dirty);
+                    bool dirty, std::uint32_t txn_id = 0);
+    /**
+     * Send the request that MSHR @p m tracks. In fault-tolerant mode
+     * this tags the message with a fresh transaction id (the home's
+     * dedup key) and arms the retransmit timer; otherwise it is exactly
+     * sendToHome. Reissues (stolen block, upgrade follow-on) get a
+     * fresh id too — they open a new directory transaction.
+     */
+    void sendRequest(Mshr* m, MsgType type, const BlockData* data,
+                     bool dirty);
+    /** Schedule the retry deadline for (@p block, @p kind, @p txn). */
+    void armRetry(Addr block, Mshr::Kind kind, std::uint32_t txn,
+                  std::uint32_t attempt);
+    /** Retry deadline elapsed: retransmit, re-arm, or abandon. */
+    void onRetryTimer(Addr block, Mshr::Kind kind, std::uint32_t txn,
+                      std::uint32_t attempt);
+    /** Backoff delay before attempt @p attempt's deadline. */
+    Cycle backoffFor(std::uint32_t attempt) const;
     /** Propagate dirty L1 data into the L2 line. */
     void syncL2FromL1(Addr block);
     void syncL2FromL1(CacheArray::Line l1line, CacheArray::Line l2line);
@@ -280,6 +317,7 @@ class CacheAgent
     VictimCache vc_;
     MshrFile mshrs_;
     std::uint32_t fetchCount_ = 0;
+    std::uint32_t nextTxnId_ = 1;   //!< 0 is the "untagged" sentinel
     std::uint32_t specLines_ = 0;   //!< L1 lines with speculative bits
     RingDeque<Msg> deferred_;
     bool externalBlocked_ = false;

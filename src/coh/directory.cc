@@ -41,6 +41,36 @@ DirectorySlice::DirectorySlice(NodeId node, const HomeMap& home_map,
       dirFlat_(params.flatCapacity)
 {
     net_.attachDirectory(node_, this);
+    if (params_.faultTolerant) {
+        if (params_.dedupCapacity == 0)
+            IF_FATAL("fault-tolerant directory needs dedupCapacity > 0");
+        // Ring of completed-transaction keys; 0 marks an empty slot
+        // (txnId 0 is the untagged sentinel, so no real key is 0).
+        dedupRing_.assign(params_.dedupCapacity, 0);
+    }
+}
+
+bool
+DirectorySlice::wasCompleted(NodeId src, std::uint32_t txn_id) const
+{
+    return dedup_.find(dedupKey(src, txn_id)) != nullptr;
+}
+
+void
+DirectorySlice::recordCompleted(NodeId src, std::uint32_t txn_id)
+{
+    if (!params_.faultTolerant || txn_id == 0)
+        return;
+    const Addr key = dedupKey(src, txn_id);
+    bool created = false;
+    dedup_.getOrCreate(key, &created) = 1;
+    if (!created)
+        return;
+    Addr& slot = dedupRing_[dedupHead_];
+    if (slot != 0)
+        dedup_.recycle(slot);   // FIFO eviction of the oldest record
+    slot = key;
+    dedupHead_ = (dedupHead_ + 1) % dedupRing_.size();
 }
 
 DirectorySlice::DirEntry&
@@ -199,6 +229,32 @@ DirectorySlice::registerStats(StatRegistry& reg,
     reg.registerStat(prefix + ".mem_reads", &statMemReads);
     reg.registerStat(prefix + ".stale_writebacks", &statStaleWritebacks);
     reg.registerStat(prefix + ".queued_requests", &statQueuedRequests);
+    reg.registerStat(prefix + ".dups_squashed", &statDupsSquashed);
+}
+
+void
+DirectorySlice::dumpTransients(std::FILE* out) const
+{
+    home_.forEach([&](Addr block, const BlockHome& h) {
+        if (!h.busy && !h.txnActive && h.waiting.empty())
+            return;
+        std::fprintf(out,
+                     "  dir%u blk=%llx busy=%d active=%d waiting=%zu",
+                     node_, static_cast<unsigned long long>(block),
+                     h.busy ? 1 : 0, h.txnActive ? 1 : 0,
+                     h.waiting.size());
+        if (h.txnActive) {
+            const Txn& t = h.txn;
+            std::fprintf(out,
+                         " txn{%s src=%u txn_id=%u acks=%u needMem=%d "
+                         "memDone=%d needOwner=%d ownerDone=%d}",
+                         msgTypeName(t.req.type).data(), t.req.src,
+                         t.req.txnId, t.pendingAcks, t.needMem ? 1 : 0,
+                         t.memDone ? 1 : 0, t.needOwnerData ? 1 : 0,
+                         t.ownerDataDone ? 1 : 0);
+        }
+        std::fprintf(out, "\n");
+    });
 }
 
 void
@@ -263,6 +319,17 @@ DirectorySlice::startNextIfQueued(Addr block)
 void
 DirectorySlice::startTxn(const Msg& req)
 {
+    // A tagged request whose transaction already completed is a
+    // duplicate (injected, or a retry racing its original): squash with
+    // no response. The original's response (or this agent's retry) is
+    // what the requester acts on; answering again would double-grant.
+    // Checked here, after dequeue, so duplicates that queued behind
+    // their original are caught once the original's record exists.
+    if (req.txnId != 0 && wasCompleted(req.src, req.txnId)) {
+        ++statDupsSquashed;
+        startNextIfQueued(req.blockAddr);
+        return;
+    }
     DirEntry& e = entry(req.blockAddr);
     switch (req.type) {
       case MsgType::PutM:
@@ -305,10 +372,15 @@ DirectorySlice::handleGetS(Txn& txn, DirEntry& e)
         beginMemRead(txn.req.blockAddr);
         break;
       case DirState::Owned:
-        if (e.owner == req) {
+        if (e.owner == req && !params_.faultTolerant) {
             IF_PANIC("GetS from current owner %u blk=%llx", req,
                      static_cast<unsigned long long>(txn.req.blockAddr));
         }
+        // owner == req can be legitimate under faults: the owner's Put
+        // was dropped, so it no longer holds the block but we still
+        // record its ownership. Forward to the owner as usual — the
+        // agent serves the forward from its retained writeback data,
+        // and the transaction completes normally.
         txn.needOwnerData = true;
         sendToAgent(e.owner, MsgType::FwdGetS, txn.req.blockAddr, nullptr,
                     false, req);
@@ -339,10 +411,11 @@ DirectorySlice::handleGetM(Txn& txn, DirEntry& e)
         break;
       }
       case DirState::Owned:
-        if (e.owner == req) {
+        if (e.owner == req && !params_.faultTolerant) {
             IF_PANIC("GetM from current owner %u blk=%llx", req,
                      static_cast<unsigned long long>(txn.req.blockAddr));
         }
+        // owner == req: dropped-Put recovery; see the GetS twin above.
         txn.needOwnerData = true;
         sendToAgent(e.owner, MsgType::FwdGetM, txn.req.blockAddr, nullptr,
                     false, req);
@@ -359,7 +432,16 @@ DirectorySlice::handlePut(const Msg& req, DirEntry& e)
     switch (req.type) {
       case MsgType::PutM:
       case MsgType::PutE:
-        if (e.state == DirState::Owned && e.owner == src) {
+        if (e.state == DirState::Owned && e.owner == src &&
+            !(req.txnId != 0 && e.grantTxn != 0 &&
+              req.txnId <= e.grantTxn)) {
+            // The tag comparison guards a fault-mode hazard owner==src
+            // alone cannot catch: a retried Put (original dropped, so
+            // no dedup record) arriving after this agent re-acquired
+            // ownership with a NEWER Get. Its stale data must not reach
+            // memory. Valid Puts always carry a tag issued after the
+            // grant; ids are per-agent monotonic, so tag <= grantTxn
+            // means "predates the current ownership".
             if (req.type == MsgType::PutM) {
                 IF_DBG_ASSERT(req.hasData);
                 mem_.writeBlock(req.blockAddr, req.data);
@@ -384,6 +466,9 @@ DirectorySlice::handlePut(const Msg& req, DirEntry& e)
     }
     if (stale)
         ++statStaleWritebacks;
+    // Stale Puts complete too (the ack IS the response): a duplicate of
+    // either outcome must be squashed, not re-acked.
+    recordCompleted(src, req.txnId);
     sendToAgent(src, stale ? MsgType::AckStale : MsgType::WbAck,
                 req.blockAddr, nullptr, false, src);
 }
@@ -465,11 +550,13 @@ void
 DirectorySlice::finishGetS(Txn& txn, DirEntry& e)
 {
     const NodeId req = txn.req.src;
+    recordCompleted(req, txn.req.txnId);
     if (e.state == DirState::Idle) {
         // Grant Exclusive when no one else holds the block.
         e.state = DirState::Owned;
         e.owner = req;
         e.sharers.reset();
+        e.grantTxn = txn.req.txnId;
         sendToAgent(req, MsgType::DataE, txn.req.blockAddr, &txn.data,
                     false, req);
     } else if (e.state == DirState::Shared) {
@@ -491,9 +578,11 @@ void
 DirectorySlice::finishGetM(Txn& txn, DirEntry& e)
 {
     const NodeId req = txn.req.src;
+    recordCompleted(req, txn.req.txnId);
     e.state = DirState::Owned;
     e.owner = req;
     e.sharers.reset();
+    e.grantTxn = txn.req.txnId;
     sendToAgent(req, MsgType::DataM, txn.req.blockAddr, &txn.data,
                 txn.dataDirty, req);
 }

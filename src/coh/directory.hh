@@ -20,9 +20,11 @@
 #define INVISIFENCE_COH_DIRECTORY_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <unordered_map>
 
 #include <string>
+#include <vector>
 
 #include "sim/annotations.hh"
 #include "coh/home_map.hh"
@@ -52,6 +54,15 @@ struct DirectoryParams
      *  on), 0/1 force the legacy unordered_map / the flat table — the
      *  per-instance override the A/B equivalence tests use. */
     int flatTable = -1;
+
+    /** @{ Fault tolerance (derived by the System; see AgentParams).
+     *  When on, the slice deduplicates retried/duplicated requests by
+     *  their (src, txnId) tag and recovers from owner-self requests
+     *  (a dropped Put leaves the directory believing the requester
+     *  still owns the block) instead of panicking. */
+    bool faultTolerant = false;
+    std::uint32_t dedupCapacity = 4096;  //!< completed-txn records kept
+    /** @} */
 };
 
 /** Home node of a block under the legacy modulo interleave (tests). */
@@ -113,6 +124,12 @@ class DirectorySlice
     std::uint64_t statMemReads = 0;
     std::uint64_t statStaleWritebacks = 0;
     std::uint64_t statQueuedRequests = 0;
+    /** Duplicated/retried requests squashed by the dedup record. */
+    std::uint64_t statDupsSquashed = 0;
+
+    /** Dump every in-flight transient (active transaction, queued
+     *  requests) to @p out: the liveness watchdog's diagnostic. */
+    void dumpTransients(std::FILE* out) const;
 
   private:
     struct DirEntry
@@ -120,6 +137,15 @@ class DirectorySlice
         DirState state = DirState::Idle;
         SharerSet sharers{};
         NodeId owner = 0;
+        /**
+         * txnId of the request that granted the current ownership
+         * (fault-tolerant runs only; 0 = untagged/primed, check off).
+         * A retried PutM/PutE from the owner whose tag predates this
+         * grant is stale — the owner re-acquired the block after the
+         * eviction being retried — and must NOT write memory or clear
+         * ownership, even though owner == src looks valid.
+         */
+        std::uint32_t grantTxn = 0;
 
         bool operator==(const DirEntry&) const = default;
     };
@@ -187,6 +213,19 @@ class DirectorySlice
     void sendToAgent(NodeId dst, MsgType type, Addr block,
                      const BlockData* data, bool dirty, NodeId requester);
 
+    /** @{ Completed-transaction dedup record (fault-tolerant mode).
+     *  Key = (src << 32) | txnId; a bounded FIFO ring evicts the
+     *  oldest record once dedupCapacity is reached. Map nodes recycle,
+     *  so steady-state churn is allocation-free after the ring wraps. */
+    static Addr
+    dedupKey(NodeId src, std::uint32_t txn_id)
+    {
+        return (static_cast<Addr>(src) << 32) | txn_id;
+    }
+    bool wasCompleted(NodeId src, std::uint32_t txn_id) const;
+    void recordCompleted(NodeId src, std::uint32_t txn_id);
+    /** @} */
+
     NodeId node_;
     HomeMap homeMap_;
     Network& net_;
@@ -213,6 +252,11 @@ class DirectorySlice
     std::unordered_map<Addr, DirEntry> dir_;
 #endif
     RecyclingMap<Addr, BlockHome> home_;
+    /** @{ Dedup record storage; empty unless faultTolerant. */
+    RecyclingMap<Addr, std::uint8_t> dedup_;
+    std::vector<Addr> dedupRing_;
+    std::size_t dedupHead_ = 0;
+    /** @} */
     std::uint64_t waitingTotal_ = 0;
     std::uint64_t activeTxns_ = 0;
     std::uint64_t busyBlocks_ = 0;

@@ -100,6 +100,14 @@ struct Msg
     NodeId dst = 0;          //!< receiving node
     Unit dstUnit = Unit::Directory;
     NodeId requester = 0;    //!< original requester (carried by forwards)
+    /**
+     * Transaction id of a request, unique per (src, txnId) while the
+     * id space has not wrapped (per-agent monotonic counter). 0 means
+     * "untagged": fault-tolerant mode off, or a non-request message.
+     * The home uses the tag to squash duplicated/retried requests
+     * whose original already completed (see DirectorySlice).
+     */
+    std::uint32_t txnId = 0;
     BlockData data{};
     bool hasData = false;
     bool dirty = false;      //!< data differs from memory image

@@ -5,6 +5,7 @@
 
 #include "coh/cache_agent.hh"
 #include "coh/directory.hh"
+#include "sim/fault.hh"
 #include "sim/log.hh"
 
 namespace invisifence {
@@ -146,6 +147,13 @@ Network::send(const Msg& msg)
     // only mutate directory state and send further (tagged) messages.
     const std::uint32_t wake =
         msg.dstUnit == Unit::Agent ? msg.dst : kNoWakeNode;
+    if (faults_ != nullptr) [[unlikely]] {
+        // Fault-injection detour: the injector decides this message's
+        // fate (drop / extra delay / duplicate) and schedules whatever
+        // deliveries survive, FIFO-clamped per pair.
+        faults_->route(msg, idx, wake, delay(msg.src, msg.dst));
+        return;
+    }
     // One copy, parameter -> pooled event slot (the old path copied the
     // Msg a second time into a heap-allocated closure, node-local
     // deliveries included).

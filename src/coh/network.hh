@@ -32,6 +32,7 @@ namespace invisifence {
 
 class CacheAgent;
 class DirectorySlice;
+class FaultInjector;
 
 /**
  * Parameters of the torus. Dimensions of 0 are derived from the node
@@ -86,6 +87,13 @@ class Network
     /** Send @p msg; delivery is scheduled after the topological delay. */
     void send(const Msg& msg);
 
+    /**
+     * Divert every subsequent send() through @p f (deterministic fault
+     * injection; see sim/fault.hh). Null detaches. With no injector
+     * attached — the default — the hook costs one never-taken branch.
+     */
+    void setFaultInjector(FaultInjector* f) { faults_ = f; }
+
     /** Minimal torus hop count between two nodes. */
     std::uint32_t hops(NodeId a, NodeId b) const;
 
@@ -126,6 +134,7 @@ class Network
     NetworkParams params_;
     std::uint32_t numNodes_;
     std::vector<Endpoint> endpoints_;   //!< indexed by node * 2 + unit
+    FaultInjector* faults_ = nullptr;   //!< optional; see setFaultInjector
 };
 
 } // namespace invisifence

@@ -575,6 +575,35 @@ SpeculativeImpl::quiesced() const
     return !speculating() && sb_.empty() && cleaningPending_.empty();
 }
 
+void
+SpeculativeImpl::dumpLiveness(std::FILE* out) const
+{
+    std::fprintf(out,
+                 "    impl %s sb=%zu/%u ckpts=%zu cleaning=%zu "
+                 "commitPressure=%d covArmed=%d\n",
+                 name_.c_str(), sb_.size(), sb_.capacity(), order_.size(),
+                 cleaningPending_.size(), commitPressure_ ? 1 : 0,
+                 covArmed_ ? 1 : 0);
+    for (const std::uint32_t ctx : order_) {
+        const Ckpt& k = ckpts_[ctx];
+        std::fprintf(out,
+                     "      ckpt ctx=%u closed=%d committing=%d "
+                     "stores=%llu startedAt=%llu\n",
+                     ctx, k.closed ? 1 : 0, k.committing ? 1 : 0,
+                     static_cast<unsigned long long>(k.storeCount),
+                     static_cast<unsigned long long>(k.startedAt));
+    }
+    for (std::size_t i = 0; i < sb_.entries().size(); ++i) {
+        const CoalescingStoreBuffer::Entry& e = sb_.entries()[i];
+        std::fprintf(out,
+                     "      sb[%zu] blk=%llx spec=%d ctx=%u "
+                     "fillRequested=%d held=%d waitingFill=%d\n",
+                     i, static_cast<unsigned long long>(e.blockAddr),
+                     e.speculative ? 1 : 0, e.ctx, e.fillRequested ? 1 : 0,
+                     e.held ? 1 : 0, e.waitingFill ? 1 : 0);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Drain, commit, abort
 // ---------------------------------------------------------------------

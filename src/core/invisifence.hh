@@ -95,6 +95,7 @@ class SpeculativeImpl : public ConsistencyImpl
     bool quiesced() const override;
     Cycle nextWorkAt() const override;
     void accrueQuiescentCycles(std::uint64_t n) override;
+    void dumpLiveness(std::FILE* out) const override;
 
     ExtAction onSpecConflict(Addr block, bool wants_write) override;
     bool resolveSpecEviction(Addr block) override;

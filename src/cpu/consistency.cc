@@ -45,6 +45,13 @@ ConsistencyImpl::onInvalidateApplied(Addr block)
     core_.notifyInvalidated(block);
 }
 
+void
+ConsistencyImpl::dumpLiveness(std::FILE* out) const
+{
+    std::fprintf(out, "    impl %s quiesced=%d\n", name_.c_str(),
+                 quiesced() ? 1 : 0);
+}
+
 // ---------------------------------------------------------------------
 // Conventional SC and TSO (word-granularity FIFO store buffer)
 // ---------------------------------------------------------------------
@@ -189,6 +196,21 @@ ConventionalFifoImpl::accrueQuiescentCycles(std::uint64_t n)
         statHeadIssuedWait += n;
 }
 
+void
+ConventionalFifoImpl::dumpLiveness(std::FILE* out) const
+{
+    std::fprintf(out, "    impl %s sb=%zu/%u\n", name_.c_str(), sb_.size(),
+                 sb_.capacity());
+    const RingDeque<FifoStoreBuffer::Entry>& entries = sb_.entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const FifoStoreBuffer::Entry& e = entries[i];
+        std::fprintf(out, "      sb[%zu] addr=%llx seq=%llu issued=%d\n",
+                     i, static_cast<unsigned long long>(e.addr),
+                     static_cast<unsigned long long>(e.seq),
+                     e.issued ? 1 : 0);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Conventional RMO (block-granularity coalescing store buffer)
 // ---------------------------------------------------------------------
@@ -311,6 +333,22 @@ ConventionalRmoImpl::tick()
             }
         }
         ++i;
+    }
+}
+
+void
+ConventionalRmoImpl::dumpLiveness(std::FILE* out) const
+{
+    std::fprintf(out, "    impl %s sb=%zu/%u\n", name_.c_str(), sb_.size(),
+                 sb_.capacity());
+    for (std::size_t i = 0; i < sb_.entries().size(); ++i) {
+        const CoalescingStoreBuffer::Entry& e = sb_.entries()[i];
+        std::fprintf(out,
+                     "      sb[%zu] blk=%llx spec=%d ctx=%u "
+                     "fillRequested=%d held=%d\n",
+                     i, static_cast<unsigned long long>(e.blockAddr),
+                     e.speculative ? 1 : 0, e.ctx, e.fillRequested ? 1 : 0,
+                     e.held ? 1 : 0);
     }
 }
 

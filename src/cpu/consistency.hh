@@ -23,6 +23,7 @@
 #define INVISIFENCE_CPU_CONSISTENCY_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
@@ -107,6 +108,15 @@ class ConsistencyImpl : public CoherenceListener
     virtual bool quiesced() const = 0;
 
     /**
+     * Dump this implementation's live state (buffered stores, pending
+     * speculation) to @p out — one piece of the liveness watchdog's
+     * diagnostic (see System::watchdogFire). The default prints only
+     * the name and the quiesced flag; implementations with store
+     * buffers override to list their entries.
+     */
+    virtual void dumpLiveness(std::FILE* out) const;
+
+    /**
      * Earliest future cycle at which this implementation's tick() could
      * do more than repeat the previous cycle's stall accounting, assuming
      * no external event fires first. kNeverCycle when only an external
@@ -150,6 +160,7 @@ class ConventionalFifoImpl : public ConsistencyImpl
     std::optional<std::uint64_t> forwardStore(Addr addr) const override;
     bool quiesced() const override { return sb_.empty(); }
     void accrueQuiescentCycles(std::uint64_t n) override;
+    void dumpLiveness(std::FILE* out) const override;
 
     const FifoStoreBuffer& storeBuffer() const { return sb_; }
 
@@ -174,6 +185,7 @@ class ConventionalRmoImpl : public ConsistencyImpl
     void onRetire(RobEntry& entry) override;
     std::optional<std::uint64_t> forwardStore(Addr addr) const override;
     bool quiesced() const override { return sb_.empty(); }
+    void dumpLiveness(std::FILE* out) const override;
 
     const CoalescingStoreBuffer& storeBuffer() const { return sb_; }
 

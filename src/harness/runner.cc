@@ -87,6 +87,17 @@ parseBenchEnv()
     e.dirHash =
         static_cast<int>(envOr("INVISIFENCE_DIR_HASH", std::uint64_t(-1),
                                0, 1));
+    e.maxCycles = static_cast<Cycle>(
+        envOr("INVISIFENCE_MAX_CYCLES", 0, 1, ~0ull));
+    e.faultSeed = envOr("INVISIFENCE_FAULT_SEED", 0, 1, ~0ull);
+    e.faultDrop = static_cast<std::uint32_t>(
+        envOr("INVISIFENCE_FAULT_DROP", 0, 0, 65536));
+    e.faultDelay = static_cast<std::uint32_t>(
+        envOr("INVISIFENCE_FAULT_DELAY", 0, 0, 65536));
+    e.faultDup = static_cast<std::uint32_t>(
+        envOr("INVISIFENCE_FAULT_DUP", 0, 0, 65536));
+    e.watchdog = static_cast<Cycle>(
+        envOr("INVISIFENCE_WATCHDOG", 0, 1, ~0ull));
     return e;
 }
 
@@ -120,6 +131,20 @@ RunConfig::fromEnv()
         cfg.system.net.perHopLatency = env.hopLatency;
     if (env.dirHash >= 0)
         cfg.system.dirHashHome = env.dirHash != 0;
+    if (env.faultSeed != 0)
+        cfg.system.fault.seed = env.faultSeed;
+    if (env.faultDrop != 0 || env.faultDelay != 0 || env.faultDup != 0) {
+        cfg.system.fault.dropPer64k = env.faultDrop;
+        cfg.system.fault.delayPer64k = env.faultDelay;
+        cfg.system.fault.dupPer64k = env.faultDup;
+        // Dropped requests without retries would simply wedge the run:
+        // arm a default request timeout sitting well above the
+        // worst-case clean round trip of the bench torus.
+        if (cfg.system.agent.retryTimeout == 0)
+            cfg.system.agent.retryTimeout = 3000;
+    }
+    if (env.watchdog != 0)
+        cfg.system.watchdog = env.watchdog;
     return cfg;
 }
 
@@ -157,6 +182,10 @@ struct Counters
     std::uint64_t mshrFullStalls = 0;
     std::uint64_t dirStaleWritebacks = 0;
     std::uint64_t dirQueuedRequests = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t dropsInjected = 0;
+    std::uint64_t dupsSquashed = 0;
+    std::uint64_t retryBackoffMax = 0;
 };
 
 Counters
@@ -170,6 +199,10 @@ sample(System& sys)
     c.mshrFullStalls = sys.totalMshrFullStalls();
     c.dirStaleWritebacks = sys.totalDirStaleWritebacks();
     c.dirQueuedRequests = sys.totalDirQueuedRequests();
+    c.retries = sys.totalRetries();
+    c.dropsInjected = sys.totalDropsInjected();
+    c.dupsSquashed = sys.totalDupsSquashed();
+    c.retryBackoffMax = sys.maxRetryBackoff();
     for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
         if (auto* spec = dynamic_cast<SpeculativeImpl*>(&sys.impl(i))) {
             c.aborts += spec->statAborts;
@@ -315,6 +348,12 @@ runExperiment(const Workload& workload, ImplKind kind,
         after.dirStaleWritebacks - before.dirStaleWritebacks;
     r.dirQueuedRequests =
         after.dirQueuedRequests - before.dirQueuedRequests;
+    r.retries = after.retries - before.retries;
+    r.dropsRecovered = after.dropsInjected - before.dropsInjected;
+    r.dupsSquashed = after.dupsSquashed - before.dupsSquashed;
+    // A high-water mark, not a rate: report the absolute maximum the
+    // run ever reached rather than a meaningless window difference.
+    r.timeoutBackoffMax = after.retryBackoffMax;
     return r;
 }
 

@@ -55,6 +55,21 @@ struct BenchEnv
     Cycle hopLatency = 0;
     int dirHash = -1;
     /** @} */
+    /** @{ Fault-injection and liveness knobs (0 = unset/off):
+     *  INVISIFENCE_MAX_CYCLES is an absolute hard cycle budget for
+     *  System::runUntilDone — exhausting it is fatal, a CI backstop
+     *  against silent hangs; INVISIFENCE_FAULT_SEED seeds the fault
+     *  Rng; INVISIFENCE_FAULT_DROP / _DELAY / _DUP are per-65536
+     *  message rates (requests only for drop/dup, see sim/fault.hh);
+     *  INVISIFENCE_WATCHDOG is the liveness watchdog's no-progress
+     *  threshold in cycles. */
+    Cycle maxCycles = 0;
+    std::uint64_t faultSeed = 0;
+    std::uint32_t faultDrop = 0;
+    std::uint32_t faultDelay = 0;
+    std::uint32_t faultDup = 0;
+    Cycle watchdog = 0;
+    /** @} */
 };
 
 /** The parsed environment (first call parses; later calls are free). */
@@ -120,6 +135,17 @@ struct RunResult
     std::uint64_t mshrFullStalls = 0;
     std::uint64_t dirStaleWritebacks = 0;
     std::uint64_t dirQueuedRequests = 0;
+    /** @} */
+    /** @{ Fault-tolerance accounting (JSON schema v3; all zero in
+     *  clean runs): request retransmissions taken, injected request
+     *  drops (each recovered by a retry in a run that completes),
+     *  duplicate requests the directory's dedup record squashed, and
+     *  the largest retry-backoff interval any agent reached — a
+     *  high-water mark sampled after the window, not a delta. */
+    std::uint64_t retries = 0;
+    std::uint64_t dropsRecovered = 0;
+    std::uint64_t dupsSquashed = 0;
+    std::uint64_t timeoutBackoffMax = 0;
     /** @} */
 
     double throughput() const

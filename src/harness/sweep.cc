@@ -189,6 +189,12 @@ writeRun(std::ostream& os, const RunResult& r, std::uint32_t schema)
            << ", \"dir_stale_writebacks\": " << r.dirStaleWritebacks
            << ", \"dir_queued_requests\": " << r.dirQueuedRequests;
     }
+    if (schema >= 3) {
+        os << ", \"retries\": " << r.retries
+           << ", \"drops_recovered\": " << r.dropsRecovered
+           << ", \"dups_squashed\": " << r.dupsSquashed
+           << ", \"timeout_backoff_max\": " << r.timeoutBackoffMax;
+    }
     os << ", \"breakdown\": {\"busy\": " << r.breakdown.busy
        << ", \"other\": " << r.breakdown.other
        << ", \"sb_full\": " << r.breakdown.sbFull

@@ -178,10 +178,13 @@ class SweepRunner
  * throughput/spec-fraction estimates. Output is deterministic for a
  * fixed grid and seed (goldens diff byte-for-byte). @p schema selects
  * the emitted revision: 1 ("invisifence-sweep-v1", the default — keeps
- * committed goldens byte-identical) or 2, which adds the per-run
+ * committed goldens byte-identical), 2, which adds the per-run
  * mshr_full_stalls / dir_stale_writebacks / dir_queued_requests
  * counters plus the machine topology (dim_x / dim_y / dir_hash) in the
- * config object.
+ * config object, or 3, which further adds the fault-tolerance counters
+ * (retries / drops_recovered / dups_squashed / timeout_backoff_max; the
+ * v2 golden fig_scale64_small.json is byte-frozen, so the new fields
+ * ride a new revision).
  */
 void writeSweepJson(std::ostream& os, const std::vector<SweepStats>& stats,
                     const RunConfig& base, std::uint32_t numSeeds,

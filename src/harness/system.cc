@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include "sim/annotations.hh"
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "core/invisifence.hh"
+#include "harness/runner.hh"
 #include "sim/log.hh"
 
 namespace invisifence {
@@ -159,6 +161,16 @@ System::System(const SystemParams& params,
         IF_FATAL("system needs %u programs, got %zu", params_.numCores,
                  programs_.size());
     }
+    // Fault tolerance is derived, not set per component: an active
+    // injection plan or a request-retry timeout switches BOTH the
+    // agents (retry/orphan handling) and the directory slices (dedup,
+    // owner-self recovery) together — a retrying agent against a strict
+    // directory would trip the directory's protocol panics. Must happen
+    // before the construction loops below copy params_.agent/.dir.
+    if (params_.fault.any() || params_.agent.retryTimeout != 0) {
+        params_.agent.faultTolerant = true;
+        params_.dir.faultTolerant = true;
+    }
     for (NodeId n = 0; n < params_.numCores; ++n) {
         dirs_.push_back(std::make_unique<DirectorySlice>(
             n, homeMap_, net_, eq_, mem_, params_.dir));
@@ -182,6 +194,18 @@ System::System(const SystemParams& params,
     stats_.registerStat("system.fastfwd.cycles", &statFastForwardedCycles);
     stats_.registerStat("system.fastfwd.jumps", &statFastForwards);
     stats_.registerStat("system.fastfwd.shard_skips", &statShardSkips);
+    if (params_.fault.any()) {
+        faults_ = std::make_unique<FaultInjector>(params_.fault,
+                                                  params_.numCores, eq_);
+        net_.setFaultInjector(faults_.get());
+        stats_.registerStat("system.fault.drops", &faults_->statDrops);
+        stats_.registerStat("system.fault.dups", &faults_->statDups);
+        stats_.registerStat("system.fault.delays", &faults_->statDelays);
+        stats_.registerStat("system.fault.delay_cycles",
+                            &faults_->statDelayCycles);
+    }
+    wdThreshold_ = params_.watchdog;
+    maxCyclesCap_ = benchEnv().maxCycles;
     wakeAt_.assign(params_.numCores, 0);
     lastTicked_.assign(params_.numCores, 0);
     shardWake_.assign((params_.numCores + kShardSize - 1) / kShardSize, 0);
@@ -315,7 +339,13 @@ System::maybeJump(Cycle end)
         next = eq_.nextEventTick();
     if (next <= now_ + 1)
         return;
-    const Cycle target = next - 1 < end ? next - 1 : end;
+    Cycle target = next - 1 < end ? next - 1 : end;
+    // The watchdog must get a chance to observe the stall: never jump
+    // past the cycle where the no-progress threshold would trip. (A
+    // wedged system has a drained queue and all-dormant cores, so
+    // without this cap the jump would sail straight to `end`.)
+    if (wdThreshold_ != 0 && target > wdLastProgress_ + wdThreshold_)
+        target = wdLastProgress_ + wdThreshold_;
     if (target <= now_)
         return;
     // Core accounting is settled lazily on wake; only the clocks move.
@@ -333,6 +363,8 @@ System::run(Cycle cycles)
         ++now_;
         eq_.advanceTo(now_);
         tickCores(now_);
+        if (wdThreshold_ != 0) [[unlikely]]
+            checkWatchdog();
         maybeJump(end);
     }
     settleAll(end);
@@ -342,7 +374,14 @@ bool
 System::runUntilDone(Cycle max_cycles)
 {
     IF_HOT;
-    const Cycle end = now_ + max_cycles;
+    Cycle end = now_ + max_cycles;
+    // INVISIFENCE_MAX_CYCLES is an absolute hard budget on the global
+    // clock: exhausting it is a fatal runaway diagnosis (a CI backstop
+    // against silent multi-hour hangs), not a quiet `false` return.
+    const Cycle cap = maxCyclesCap_;
+    const bool capped = cap != 0 && cap < end;
+    if (capped)
+        end = cap;
     while (now_ < end) {
         ++now_;
         eq_.advanceTo(now_);
@@ -358,10 +397,82 @@ System::runUntilDone(Cycle max_cycles)
             settleAll(now_);
             return true;
         }
+        if (wdThreshold_ != 0) [[unlikely]]
+            checkWatchdog();
         maybeJump(end);
     }
     settleAll(end);
+    if (capped) {
+        IF_FATAL("INVISIFENCE_MAX_CYCLES=%llu exhausted with work still "
+                 "pending (requested budget was %llu cycles)",
+                 static_cast<unsigned long long>(cap),
+                 static_cast<unsigned long long>(max_cycles));
+    }
     return false;
+}
+
+void
+System::checkWatchdog()
+{
+    // Any protocol step, event, or instruction commit moves this sum;
+    // scheduled/executed counters are monotonic, so a quiet system
+    // holds it exactly still (no ABA).
+    const std::uint64_t sig =
+        eq_.scheduledCount() + eq_.executedCount() + totalRetired();
+    if (sig != wdLastSig_) {
+        wdLastSig_ = sig;
+        wdLastProgress_ = now_;
+        return;
+    }
+    if (now_ - wdLastProgress_ <= wdThreshold_)
+        return;
+    bool all_done = true;
+    for (const auto& core : cores_)
+        all_done &= core->done();
+    if (all_done && eq_.empty()) {
+        // Quiet because finished, not stuck: run(cycles) legitimately
+        // idles out its remaining budget after programs halt.
+        wdLastProgress_ = now_;
+        return;
+    }
+    watchdogFire();
+}
+
+void
+System::watchdogFire()
+{
+    IF_COLD_ALLOC("fatal-path diagnostic dump: stdio formatting may "
+                  "allocate; the process exits immediately after");
+    std::fprintf(stderr,
+                 "=== LIVENESS WATCHDOG: no progress for %llu cycles "
+                 "(now=%llu, last progress at %llu) ===\n",
+                 static_cast<unsigned long long>(now_ - wdLastProgress_),
+                 static_cast<unsigned long long>(now_),
+                 static_cast<unsigned long long>(wdLastProgress_));
+    for (std::uint32_t i = 0; i < params_.numCores; ++i) {
+        std::fprintf(stderr,
+                     "  core%u done=%d retired=%llu wakeAt=%llu "
+                     "nextWorkAt=%llu\n",
+                     i, cores_[i]->done() ? 1 : 0,
+                     static_cast<unsigned long long>(cores_[i]->statRetired),
+                     static_cast<unsigned long long>(wakeAt_[i]),
+                     static_cast<unsigned long long>(cores_[i]->nextWorkAt()));
+        impls_[i]->dumpLiveness(stderr);
+        agents_[i]->mshrs().forEachLive([&](const Mshr& m) {
+            std::fprintf(stderr,
+                         "  agent%u mshr blk=%llx kind=%s wantWrite=%d "
+                         "issuedWrite=%d txn=%u retries=%u\n",
+                         i, static_cast<unsigned long long>(m.blockAddr),
+                         m.kind == Mshr::Kind::Fetch ? "fetch" : "wb",
+                         m.wantWrite ? 1 : 0, m.issuedWrite ? 1 : 0,
+                         m.txnId, m.retryAttempt);
+        });
+    }
+    for (std::uint32_t i = 0; i < params_.numCores; ++i)
+        dirs_[i]->dumpTransients(stderr);
+    IF_FATAL("liveness watchdog fired at cycle %llu: the system is "
+             "wedged (see transaction dump above)",
+             static_cast<unsigned long long>(now_));
 }
 
 Breakdown
@@ -436,6 +547,39 @@ System::totalDirQueuedRequests() const
     std::uint64_t n = 0;
     for (const auto& dir : dirs_)
         n += dir->statQueuedRequests;
+    return n;
+}
+
+std::uint64_t
+System::totalRetries() const
+{
+    std::uint64_t n = 0;
+    for (const auto& agent : agents_)
+        n += agent->statRetries;
+    return n;
+}
+
+std::uint64_t
+System::totalDropsInjected() const
+{
+    return faults_ ? faults_->statDrops : 0;
+}
+
+std::uint64_t
+System::totalDupsSquashed() const
+{
+    std::uint64_t n = 0;
+    for (const auto& dir : dirs_)
+        n += dir->statDupsSquashed;
+    return n;
+}
+
+std::uint64_t
+System::maxRetryBackoff() const
+{
+    std::uint64_t n = 0;
+    for (const auto& agent : agents_)
+        n = std::max(n, agent->statRetryBackoffMax);
     return n;
 }
 

@@ -22,7 +22,9 @@
 #include "cpu/consistency.hh"
 #include "cpu/core.hh"
 #include "mem/functional_mem.hh"
+#include "sim/annotations.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 
 namespace invisifence {
@@ -73,6 +75,21 @@ struct SystemParams
      * produce bit-identical RunResults (see tests/fastforward_test.cc).
      */
     int fastForward = -1;
+    /**
+     * Fault-injection plan for the coherence fabric (see sim/fault.hh).
+     * Default-constructed = inject nothing, and the network hook is not
+     * even attached, so clean runs stay byte-identical to the goldens.
+     * Any active plan (or a nonzero agent.retryTimeout) switches the
+     * agents and directory slices into fault-tolerant mode.
+     */
+    FaultPlan fault{};
+    /**
+     * Liveness watchdog: if this many cycles pass with work pending but
+     * no progress signal (no event scheduled or executed, no
+     * instruction retired), dump every in-flight transaction and fail
+     * fast instead of spinning to the cycle budget. 0 = off (default).
+     */
+    Cycle watchdog = 0;
 
     /** The paper's full configuration (8 MB L2). */
     static SystemParams paper();
@@ -143,6 +160,15 @@ class System
     std::uint64_t totalDirStaleWritebacks() const;
     std::uint64_t totalDirQueuedRequests() const;
     /** @} */
+    /** @{ Fault-tolerance totals (JSON v3): request retransmissions,
+     *  injected request drops (each one recovered by a retry in a run
+     *  that completes), duplicate requests the directory squashed, and
+     *  the largest backoff interval any agent reached. */
+    std::uint64_t totalRetries() const;
+    std::uint64_t totalDropsInjected() const;
+    std::uint64_t totalDupsSquashed() const;
+    std::uint64_t maxRetryBackoff() const;
+    /** @} */
 
   private:
     /**
@@ -176,6 +202,17 @@ class System
     static constexpr std::uint32_t kShardSize = 1u << kShardShift;
     void recomputeShardWake(std::uint32_t shard);
 
+    /**
+     * Liveness watchdog step, run once per loop iteration when enabled.
+     * Progress signature = events scheduled + events executed + total
+     * retired instructions: any protocol step or core commit moves it.
+     * When it sits still for watchdog cycles with work pending,
+     * watchdogFire() dumps every in-flight MSHR, directory transient,
+     * and store-buffer entry, then aborts the run.
+     */
+    void checkWatchdog();
+    [[noreturn]] IF_COLD_FN void watchdogFire();
+
     SystemParams params_;
     ImplKind kind_;
     HomeMap homeMap_;
@@ -183,6 +220,8 @@ class System
     FunctionalMemory mem_;
     Network net_;
     std::vector<std::unique_ptr<ThreadProgram>> programs_;
+    /** Attached to net_ only when params_.fault is active. */
+    std::unique_ptr<FaultInjector> faults_;
     std::vector<std::unique_ptr<DirectorySlice>> dirs_;
     std::vector<std::unique_ptr<CacheAgent>> agents_;
     std::vector<std::unique_ptr<Core>> cores_;
@@ -193,6 +232,16 @@ class System
     std::vector<Cycle> wakeAt_;      //!< next cycle each core must tick
     std::vector<Cycle> lastTicked_;  //!< last ticked/settled cycle
     std::vector<Cycle> shardWake_;   //!< exact per-shard min of wakeAt_
+    /** @{ Watchdog state: threshold (0 = off), the cycle of the last
+     *  observed progress, and the signature it was observed at. */
+    Cycle wdThreshold_ = 0;
+    Cycle wdLastProgress_ = 0;
+    std::uint64_t wdLastSig_ = 0;
+    /** @} */
+    /** INVISIFENCE_MAX_CYCLES, sampled once at construction (benchEnv
+     *  holds a std::string, so consulting it from the hot run loop
+     *  would put an allocation edge under an IF_HOT root). 0 = off. */
+    Cycle maxCyclesCap_ = 0;
 };
 
 /** Build the consistency implementation @p kind for one core. */

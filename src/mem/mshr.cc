@@ -115,6 +115,9 @@ MshrFile::allocate(Addr addr, Mshr::Kind k)
     m.wbData = BlockData{};
     m.wbDirty = false;
     m.ownershipLost = false;
+    m.wbType = MsgType::PutS;
+    m.txnId = 0;
+    m.retryAttempt = 0;
     if (useIndex_) {
         bool created = false;
         index_.getOrCreate(indexKey(m.blockAddr, k), &created) = slot;

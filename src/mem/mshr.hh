@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "coh/message.hh"
 #include "mem/block.hh"
 #include "sim/annotations.hh"
 #include "sim/flat_map.hh"
@@ -96,6 +97,11 @@ struct Mshr
     BlockData wbData{};
     bool wbDirty = false;
     bool ownershipLost = false;  //!< a forward consumed the data already
+    MsgType wbType = MsgType::PutS;  //!< what to retransmit on timeout
+
+    // --- Retry state (fault-tolerant mode only; see cache_agent.cc) ---
+    std::uint32_t txnId = 0;        //!< tag of the in-flight request
+    std::uint32_t retryAttempt = 0; //!< timeouts taken so far
 };
 
 /**
@@ -153,6 +159,18 @@ class MshrFile
      * is reusable while the callback runs.
      */
     FillWaiter takeWaiterAndAdvance(std::uint32_t& idx);
+
+    /** Apply @p fn to every live MSHR, in slot order (diagnostics:
+     *  the liveness watchdog dumps in-flight transactions with this). */
+    template <typename Fn>
+    void
+    forEachLive(Fn&& fn) const
+    {
+        for (std::uint32_t i = 0; i < capacity_; ++i) {
+            if (live_[i])
+                fn(slots_[i]);
+        }
+    }
 
     bool full() const { return count_ >= capacity_; }
     std::uint32_t inUse() const { return count_; }

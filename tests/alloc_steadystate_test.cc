@@ -219,6 +219,52 @@ TEST(SteadyStateAllocs, ZeroPerCycleAcrossAllImplKinds)
     }
 }
 
+TEST(SteadyStateAllocs, ZeroPerCycleWithFaultInjectionEnabled)
+{
+    // The fault machinery rides the hottest paths in the simulator: the
+    // injector decides every Network::send, retry timers arm on every
+    // request, the directory tags a dedup record per completed
+    // transaction, and the watchdog check runs once per loop iteration.
+    // All of it must be allocation-free at steady state. The dedup ring
+    // is shrunk so it wraps (and its RecyclingMap pool warms) inside
+    // the warmup window; production capacity only delays the wrap.
+    const SyntheticParams params = smallParams();
+    for (const ImplKind kind : {ImplKind::ConvSC, ImplKind::Continuous}) {
+        SCOPED_TRACE(implKindName(kind));
+        SystemParams sp = SystemParams::small(4);
+        sp.fault.seed = 11;
+        sp.fault.dropPer64k = 1000;
+        sp.fault.delayPer64k = 4000;
+        sp.fault.dupPer64k = 1000;
+        sp.agent.retryTimeout = 1000;
+        sp.agent.retryBackoffCap = 16000;
+        sp.dir.dedupCapacity = 256;
+        sp.watchdog = 150000;
+        std::vector<std::unique_ptr<ThreadProgram>> programs;
+        for (std::uint32_t t = 0; t < sp.numCores; ++t) {
+            programs.push_back(
+                std::make_unique<SyntheticProgram>(params, t, 7));
+        }
+        System sys(sp, std::move(programs), kind);
+        warmSystem(sys, params);
+        touchFootprint(sys, params);
+        sys.run(200000);
+
+        const std::uint64_t before = g_allocCount;
+        g_numSites = 0;
+        g_captureSites = true;
+        sys.run(8000);
+        g_captureSites = false;
+        const std::uint64_t after = g_allocCount;
+
+        if (after != before)
+            dumpSites();
+        EXPECT_EQ(after - before, 0u)
+            << (after - before) << " heap allocations in an 8000-cycle "
+            << "faults-enabled window under " << implKindName(kind);
+    }
+}
+
 TEST(SteadyStateAllocs, ZeroPerCycleAt64And256Cores)
 {
     // The scale work (SharerSet entries, sharded wake tracking, the

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Planted-wedge fixtures, run as WILL_FAIL ctest entries.
+ *
+ * Each mode constructs a system that can never finish and checks that
+ * the corresponding safety net converts the silent hang into a fast,
+ * diagnosed failure (process exit code 1 via IF_FATAL):
+ *
+ *  - "deadlock": the first coherence request is dropped with retries
+ *    disabled — an unrecoverable loss the rate-based injector refuses
+ *    to create — so the system wedges with work pending. The liveness
+ *    watchdog must fire its transaction dump and abort.
+ *  - "maxcycles": a core spins forever on a value that never arrives
+ *    (endless progress, so the watchdog correctly stays quiet) and
+ *    INVISIFENCE_MAX_CYCLES must cut the run short with a fatal.
+ *
+ * A plain main (not gtest): the "maxcycles" mode must set the
+ * environment knob before anything parses benchEnv(), which a gtest
+ * death test cannot guarantee once the parent process warmed the
+ * magic static.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "harness/system.hh"
+#include "workload/litmus.hh"
+
+using namespace invisifence;
+
+namespace {
+
+std::unique_ptr<System>
+build(const SystemParams& params, std::vector<std::vector<ScriptOp>> scripts,
+      ImplKind kind)
+{
+    std::vector<std::unique_ptr<ThreadProgram>> programs;
+    for (auto& s : scripts)
+        programs.push_back(std::make_unique<ScriptedProgram>(std::move(s)));
+    return std::make_unique<System>(params, std::move(programs), kind);
+}
+
+int
+runDeadlock()
+{
+    FaultPlan plan;
+    plan.oneShots.push_back({1, FaultPlan::Kind::Drop, 0});
+    SystemParams params = SystemParams::small(2);
+    params.fault = plan;   // retryTimeout stays 0: no recovery path
+    params.watchdog = 20000;
+    auto sys = build(params,
+                     {{opStore(0x0900'0000, 1), opLoad(0x0900'0000)},
+                      {opStore(0x0900'0040, 2)}},
+                     ImplKind::ConvSC);
+    // Wedged: the watchdog must fatal long before this budget.
+    const bool done = sys->runUntilDone(50'000'000);
+    std::fprintf(stderr,
+                 "fixture error: watchdog never fired (done=%d, now=%llu)\n",
+                 done ? 1 : 0,
+                 static_cast<unsigned long long>(sys->now()));
+    return 0;   // reaching here at all is the failure (WILL_FAIL inverts)
+}
+
+int
+runMaxCycles()
+{
+    // Must precede the first benchEnv() parse anywhere in the process.
+    setenv("INVISIFENCE_MAX_CYCLES", "30000", 1);
+    SystemParams params = SystemParams::small(2);
+    auto sys = build(params,
+                     {{opSpinUntilEq(0x0900'0000, 7)},   // never satisfied
+                      {opStore(0x0900'0040, 2)}},
+                     ImplKind::InvisiSC);
+    const bool done = sys->runUntilDone(50'000'000);
+    std::fprintf(stderr,
+                 "fixture error: budget never tripped (done=%d, now=%llu)\n",
+                 done ? 1 : 0,
+                 static_cast<unsigned long long>(sys->now()));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc == 2 && std::strcmp(argv[1], "deadlock") == 0)
+        return runDeadlock();
+    if (argc == 2 && std::strcmp(argv[1], "maxcycles") == 0)
+        return runMaxCycles();
+    std::fprintf(stderr, "usage: %s deadlock|maxcycles\n", argv[0]);
+    return 0;   // usage error must also read as "did not fail as planned"
+}

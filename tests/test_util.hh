@@ -125,6 +125,10 @@ expectIdenticalResults(const RunResult& a, const RunResult& b)
     EXPECT_EQ(a.breakdown.sbFull, b.breakdown.sbFull);
     EXPECT_EQ(a.breakdown.sbDrain, b.breakdown.sbDrain);
     EXPECT_EQ(a.breakdown.violation, b.breakdown.violation);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.dropsRecovered, b.dropsRecovered);
+    EXPECT_EQ(a.dupsSquashed, b.dupsSquashed);
+    EXPECT_EQ(a.timeoutBackoffMax, b.timeoutBackoffMax);
 }
 
 } // namespace invisifence::test
